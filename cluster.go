@@ -1,0 +1,67 @@
+package dlsm
+
+import "dlsm/internal/memnode"
+
+// ClusterDB deploys dLSM across c compute nodes and m memory nodes (§IX):
+// the key space splits into c contiguous slices (one per compute node, so
+// single-shard accesses never cross compute nodes), each slice splits into
+// λ shards, and the resulting c·λ shard LSM-trees are assigned to memory
+// nodes round-robin for load balance.
+type ClusterDB struct {
+	dbs        []*DB
+	boundaries [][]byte // c-1 split points between compute nodes
+}
+
+// OpenCluster opens a DB per compute node. boundaries must contain exactly
+// c-1 ascending user keys splitting the space across compute nodes, and
+// perNode λ-1 split points are derived per slice by splitRange.
+func OpenCluster(d *Deployment, opts Options, lambda int, boundaries [][]byte, shardBounds func(compute int) [][]byte) *ClusterDB {
+	c := len(d.Compute)
+	if len(boundaries) != c-1 {
+		panic("dlsm: OpenCluster needs computeNodes-1 boundaries")
+	}
+	cl := &ClusterDB{boundaries: boundaries}
+	m := len(d.Servers)
+	for i := 0; i < c; i++ {
+		// Round-robin shard->memory-node placement across the cluster:
+		// compute i's λ shards start at memory node (i*lambda) mod m.
+		servers := make([]*memnode.Server, lambda)
+		for j := 0; j < lambda; j++ {
+			servers[j] = d.Servers[(i*lambda+j)%m]
+		}
+		var sb [][]byte
+		if shardBounds != nil {
+			sb = shardBounds(i)
+		}
+		cl.dbs = append(cl.dbs, OpenAt(d, i, servers, opts, lambda, sb))
+	}
+	return cl
+}
+
+// Compute returns the DB owned by compute node i. Benchmark drivers that
+// "run on" node i use it directly: their key slice lives entirely there.
+func (c *ClusterDB) Compute(i int) *DB { return c.dbs[i] }
+
+// NumComputes returns the compute-node count.
+func (c *ClusterDB) NumComputes() int { return len(c.dbs) }
+
+// Flush checkpoints every compute node's shards.
+func (c *ClusterDB) Flush() {
+	for _, db := range c.dbs {
+		db.Flush()
+	}
+}
+
+// WaitForCompactions settles the whole cluster.
+func (c *ClusterDB) WaitForCompactions() {
+	for _, db := range c.dbs {
+		db.WaitForCompactions()
+	}
+}
+
+// Close shuts down every compute node's DB.
+func (c *ClusterDB) Close() {
+	for _, db := range c.dbs {
+		db.Close()
+	}
+}

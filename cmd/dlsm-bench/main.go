@@ -1,0 +1,131 @@
+// Command dlsm-bench regenerates the paper's evaluation figures (§XI) on
+// the simulated disaggregated-memory testbed. Each figure prints as a
+// throughput table whose shape (orderings, ratios, crossovers) is compared
+// against the paper in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dlsm-bench -fig 7a [-n 200000] [-threads 1,2,4,8,16]
+//	dlsm-bench -fig all -n 100000
+//
+// Figures: 7a 7b 8 9 10 11 12 13 14a 14b 15 all.
+// Throughput is virtual-time based (see DESIGN.md); -n scales the paper's
+// 100M-key workloads down to laptop runtimes while preserving the
+// data:memtable:sstable ratios.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dlsm/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to reproduce: 7a 7b 8 9 10 11 12 13 14a 14b 15 all")
+		n       = flag.Int("n", 200_000, "operations per data point (paper: 100M)")
+		threads = flag.String("threads", "1,2,4,8,16", "thread counts for thread-sweep figures")
+		quiet   = flag.Bool("q", false, "suppress per-point progress output")
+	)
+	flag.Parse()
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !*quiet {
+		bench.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  ... "+format+"\n", args...)
+		}
+	}
+
+	ths := parseInts(*threads)
+	figs := strings.Split(*fig, ",")
+	if *fig == "all" {
+		figs = []string{"7a", "7b", "8", "9", "10", "11", "12", "13", "14a", "14b", "15"}
+	}
+	for _, f := range figs {
+		runFigure(f, *n, ths)
+	}
+}
+
+func runFigure(fig string, n int, threads []int) {
+	out := os.Stdout
+	switch fig {
+	case "7a":
+		bench.Fig7a(n, threads).Print(out)
+	case "7b":
+		bench.Fig7b(n, threads).Print(out)
+	case "8":
+		bench.Fig8(n, threads).Print(out)
+	case "9":
+		sizes := []int{n / 4, n / 2, n}
+		w, r, space := bench.Fig9(sizes, maxOf(threads))
+		w.Print(out)
+		r.Print(out)
+		fmt.Fprintln(out, "\nRemote-memory space usage (§XI-C3):")
+		var systems []string
+		for s := range space {
+			systems = append(systems, s)
+		}
+		sort.Strings(systems)
+		for _, s := range systems {
+			fmt.Fprintf(out, "  %-24s %s\n", s, strings.Join(space[s], "  "))
+		}
+	case "10":
+		bench.Fig10(n, maxOf(threads), []float64{0, 0.05, 0.5, 0.95, 1.0}).Print(out)
+	case "11":
+		bench.Fig11(n, 8).Print(out)
+	case "12":
+		fig12 := bench.Fig12(n, []int{1, 2, 4, 8, 12}, []int{1, 8, 16})
+		fig12.Print(out)
+		fmt.Fprintln(out, "\nRemote CPU utilization per point:")
+		for _, s := range fig12.Series {
+			fmt.Fprintf(out, "  %-26s", s.Label)
+			for _, p := range s.Points {
+				fmt.Fprintf(out, "  %3.0f%%", p.R.RemoteCPUUtil*100)
+			}
+			fmt.Fprintln(out)
+		}
+	case "13":
+		bench.Fig13(n, maxOf(threads)).Print(out)
+	case "14a":
+		bench.Fig14a(n/4, []int{1, 2, 4, 8, 16}, maxOf(threads)).Print(out)
+	case "14b":
+		bench.Fig14b(n, []int{1, 2, 4, 8}, 8).Print(out)
+	case "15":
+		w, r := bench.Fig15(n/4, []int{1, 2, 4, 8}, 8)
+		w.Print(out)
+		r.Print(out)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", p)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func maxOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

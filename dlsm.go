@@ -1,0 +1,251 @@
+// Package dlsm is a Go implementation of dLSM, the LSM-tree index for
+// disaggregated memory from "dLSM: An LSM-Based Index for Memory
+// Disaggregation" (ICDE 2023). MemTables, tree metadata, SSTable indexes
+// and bloom filters live on a compute node; SSTable bytes live on one or
+// more memory nodes reached through an RDMA-style fabric.
+//
+// Because real RDMA hardware (and multi-server testbeds) are not assumed,
+// the fabric is simulated: real bytes move between real data structures,
+// while network latency/bandwidth and per-node CPU cores are accounted on
+// a virtual clock (see internal/sim and DESIGN.md). All code runs inside a
+// simulation environment:
+//
+//	d := dlsm.NewDeployment(dlsm.SingleNodeConfig())
+//	d.Run(func() {
+//		db := dlsm.Open(d, dlsm.DefaultOptions())
+//		defer db.Close()
+//		s := db.NewSession()
+//		defer s.Close()
+//		s.Put([]byte("k"), []byte("v"))
+//		v, err := s.Get([]byte("k"))
+//		...
+//	})
+//	d.Close()
+package dlsm
+
+import (
+	"fmt"
+
+	"dlsm/internal/engine"
+	"dlsm/internal/keys"
+	"dlsm/internal/memnode"
+	"dlsm/internal/rdma"
+	"dlsm/internal/shard"
+	"dlsm/internal/sim"
+)
+
+// Re-exported configuration and identifiers. The aliases expose the full
+// engine configuration surface without duplicating it.
+type (
+	// Options configures a DB; see DefaultOptions.
+	Options = engine.Options
+	// Seq is a snapshot sequence number.
+	Seq = keys.Seq
+	// LinkParams models one network link.
+	LinkParams = rdma.LinkParams
+	// MemNodeConfig sizes a memory node.
+	MemNodeConfig = memnode.Config
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = engine.ErrNotFound
+
+// Compaction / transport / switch-policy selectors (see DESIGN.md).
+const (
+	CompactNearData = engine.CompactNearData
+	CompactLocal    = engine.CompactLocal
+
+	TransportNative   = engine.TransportNative
+	TransportFS       = engine.TransportFS
+	TransportTmpfsRPC = engine.TransportTmpfsRPC
+
+	SwitchSeqRange = engine.SwitchSeqRange
+	SwitchLocked   = engine.SwitchLocked
+)
+
+// DefaultOptions returns dLSM's configuration (byte-addressable SSTables,
+// near-data compaction, asynchronous flushing, sequence-range switching).
+func DefaultOptions() Options { return engine.DLSM() }
+
+// DeploymentConfig describes the simulated machines.
+type DeploymentConfig struct {
+	ComputeNodes int
+	MemoryNodes  int
+	ComputeCores int // per compute node (paper: 24)
+	MemoryCores  int // per memory node (paper sweeps 1-12; default 12)
+	Link         LinkParams
+	MemNode      MemNodeConfig
+}
+
+// SingleNodeConfig is the paper's main testbed: one compute node, one
+// memory node, EDR 100 Gb/s link.
+func SingleNodeConfig() DeploymentConfig {
+	return DeploymentConfig{
+		ComputeNodes: 1,
+		MemoryNodes:  1,
+		ComputeCores: 24,
+		MemoryCores:  12,
+		Link:         rdma.EDR100(),
+		MemNode:      memnode.DefaultConfig(),
+	}
+}
+
+// CloudLabConfig mirrors the multi-node testbed (c6220: 16 cores, FDR
+// 56 Gb/s) used in §XI-C8.
+func CloudLabConfig(computeNodes, memoryNodes int) DeploymentConfig {
+	cfg := SingleNodeConfig()
+	cfg.ComputeNodes = computeNodes
+	cfg.MemoryNodes = memoryNodes
+	cfg.ComputeCores = 16
+	cfg.MemoryCores = 8
+	cfg.Link = rdma.FDR56()
+	return cfg
+}
+
+// Deployment is a running simulated cluster: the fabric, compute nodes and
+// started memory-node servers.
+type Deployment struct {
+	Env     *sim.Env
+	Fabric  *rdma.Fabric
+	Compute []*rdma.Node
+	Servers []*memnode.Server
+}
+
+// NewDeployment builds and starts the simulated machines.
+func NewDeployment(cfg DeploymentConfig) *Deployment {
+	if cfg.ComputeNodes < 1 || cfg.MemoryNodes < 1 {
+		panic("dlsm: deployment needs at least one compute and one memory node")
+	}
+	env := sim.NewEnv()
+	fab := rdma.NewFabric(env, cfg.Link)
+	d := &Deployment{Env: env, Fabric: fab}
+	for i := 0; i < cfg.ComputeNodes; i++ {
+		d.Compute = append(d.Compute, fab.AddNode(fmt.Sprintf("compute-%d", i), cfg.ComputeCores))
+	}
+	for i := 0; i < cfg.MemoryNodes; i++ {
+		mn := fab.AddNode(fmt.Sprintf("memory-%d", i), cfg.MemoryCores)
+		srv := memnode.NewServer(mn, cfg.MemNode)
+		srv.Start()
+		d.Servers = append(d.Servers, srv)
+	}
+	return d
+}
+
+// Run executes fn as a simulated entity; blocking inside fn advances the
+// virtual clock. Call from the host goroutine that owns the deployment.
+func (d *Deployment) Run(fn func()) { d.Env.Run(fn) }
+
+// Close tears down the fabric. Databases must be closed first (inside
+// Run), then Close joins the remaining simulation entities.
+func (d *Deployment) Close() {
+	d.Env.Run(func() { d.Fabric.Close() })
+	d.Env.Wait()
+}
+
+// DB is a (possibly sharded) dLSM index on one compute node.
+type DB struct {
+	inner *shard.DB
+}
+
+// Open creates a DB on the deployment's first compute node backed by its
+// first memory node, with Lambda(opts)=1. Use OpenSharded for λ > 1 and
+// OpenAt for explicit node placement.
+func Open(d *Deployment, opts Options) *DB {
+	return OpenSharded(d, opts, 1, nil)
+}
+
+// OpenSharded creates a λ-sharded DB (§VII) on the first compute node.
+// boundaries are the λ-1 ascending user-key split points.
+func OpenSharded(d *Deployment, opts Options, lambda int, boundaries [][]byte) *DB {
+	return OpenAt(d, 0, d.Servers, opts, lambda, boundaries)
+}
+
+// OpenAt creates a DB on compute node computeIdx whose shards round-robin
+// across servers (§IX).
+func OpenAt(d *Deployment, computeIdx int, servers []*memnode.Server, opts Options, lambda int, boundaries [][]byte) *DB {
+	return &DB{inner: shard.New(d.Compute[computeIdx], servers, lambda, boundaries, opts)}
+}
+
+// UniformBoundaries splits a formatted integer key space into lambda equal
+// ranges; format must be monotone in i (e.g. fmt.Sprintf("key-%012d", i)).
+func UniformBoundaries(lambda, maxKey int, format func(i int) []byte) [][]byte {
+	return shard.UniformBoundaries(lambda, maxKey, format)
+}
+
+// Lambda returns the shard count.
+func (db *DB) Lambda() int { return db.inner.Lambda() }
+
+// Flush forces all MemTables to remote memory (the §VIII checkpoint
+// boundary).
+func (db *DB) Flush() { db.inner.Flush() }
+
+// WaitForCompactions blocks until background compaction settles.
+func (db *DB) WaitForCompactions() { db.inner.WaitForCompactions() }
+
+// SpaceUsed reports the remote-memory footprint in bytes.
+func (db *DB) SpaceUsed() int64 { return db.inner.SpaceUsed() }
+
+// Stats returns per-shard engine statistics.
+func (db *DB) Stats() []*engine.Stats {
+	out := make([]*engine.Stats, db.inner.Lambda())
+	for i := range out {
+		out[i] = db.inner.Shard(i).Stats()
+	}
+	return out
+}
+
+// Shard exposes shard i's engine (advanced use, ablations).
+func (db *DB) Shard(i int) *engine.DB { return db.inner.Shard(i) }
+
+// Close stops background work and releases engine resources.
+func (db *DB) Close() { db.inner.Close() }
+
+// Session is a per-thread handle; see the package example. Sessions are
+// not safe for concurrent use (thread-local QPs, §X-B).
+type Session struct {
+	inner *shard.Session
+}
+
+// NewSession creates a thread-local handle.
+func (db *DB) NewSession() *Session { return &Session{inner: db.inner.NewSession()} }
+
+// Put inserts or overwrites key.
+func (s *Session) Put(key, value []byte) { s.inner.Put(key, value) }
+
+// Delete removes key (a tombstone write).
+func (s *Session) Delete(key []byte) { s.inner.Delete(key) }
+
+// Get returns the newest visible value of key or ErrNotFound.
+func (s *Session) Get(key []byte) ([]byte, error) { return s.inner.Get(key) }
+
+// NewIterator opens a snapshot-consistent scan in key order.
+func (s *Session) NewIterator() *Iterator { return &Iterator{inner: s.inner.NewIterator()} }
+
+// Close releases the session's fabric resources.
+func (s *Session) Close() { s.inner.Close() }
+
+// Iterator scans live keys in ascending order at a fixed snapshot.
+type Iterator struct {
+	inner *shard.Iterator
+}
+
+// First positions at the smallest key.
+func (it *Iterator) First() { it.inner.First() }
+
+// SeekGE positions at the first key >= ukey.
+func (it *Iterator) SeekGE(ukey []byte) { it.inner.SeekGE(ukey) }
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.inner.Valid() }
+
+// Next advances to the next live key.
+func (it *Iterator) Next() { it.inner.Next() }
+
+// Key returns the current key (valid until the next move).
+func (it *Iterator) Key() []byte { return it.inner.Key() }
+
+// Value returns the current value (valid until the next move).
+func (it *Iterator) Value() []byte { return it.inner.Value() }
+
+// Close releases the pinned snapshot.
+func (it *Iterator) Close() { it.inner.Close() }

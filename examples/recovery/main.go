@@ -1,0 +1,94 @@
+// Recovery: the §VIII story end to end. dLSM serves a main-memory database
+// that persists through command logging: the index periodically produces a
+// transactionally consistent checkpoint (sequence horizon + table metadata;
+// the table bytes already live in remote memory, which survives a compute
+// node failure). After a "crash", a replacement compute node rebuilds the
+// index from the checkpoint and the database re-executes the command log
+// past the horizon.
+package main
+
+import (
+	"fmt"
+
+	"dlsm/internal/engine"
+	"dlsm/internal/memnode"
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+)
+
+type command struct{ key, value string }
+
+func main() {
+	env := sim.NewEnv()
+	fab := rdma.NewFabric(env, rdma.EDR100())
+	cn1 := fab.AddNode("compute-1", 24)
+	cn2 := fab.AddNode("compute-2", 24) // standby replacement
+	mn := fab.AddNode("memory", 12)
+	srv := memnode.NewServer(mn, memnode.DefaultConfig())
+	srv.Start()
+
+	env.Run(func() {
+		opts := engine.DLSM()
+		db := engine.Open(cn1, srv, opts)
+		s := db.NewSession()
+
+		// The command log the database layer maintains (simplified).
+		var log []command
+		apply := func(s *engine.Session, c command) {
+			log = append(log, c)
+			s.Put([]byte(c.key), []byte(c.value))
+		}
+
+		for i := 0; i < 80_000; i++ {
+			apply(s, command{fmt.Sprintf("acct-%06d", i%20000), fmt.Sprintf("balance=%d", i)})
+		}
+
+		// Checkpoint: flush the MemTables and snapshot the index metadata.
+		db.Flush()
+		cp := db.Checkpoint()
+		horizon := len(log) // commands up to here are covered by cp
+		fmt.Printf("checkpoint: %d KB of metadata covering %d commands (seq %d)\n",
+			len(cp)>>10, horizon, db.CurrentSeq())
+
+		// More traffic after the checkpoint — covered only by the log.
+		for i := 0; i < 5_000; i++ {
+			apply(s, command{fmt.Sprintf("acct-%06d", i), fmt.Sprintf("post-cp=%d", i)})
+		}
+
+		// 💥 the compute node fails. Sessions and in-DRAM state are gone;
+		// remote memory (the SSTables) survives on the memory node.
+		s.Close()
+		db.Close()
+		fmt.Println("compute node lost; recovering on standby...")
+
+		db2, err := engine.OpenFromCheckpoint(cn2, srv, opts, cp)
+		if err != nil {
+			panic(err)
+		}
+		s2 := db2.NewSession()
+
+		// Re-execute the command log past the horizon.
+		for _, c := range log[horizon:] {
+			s2.Put([]byte(c.key), []byte(c.value))
+		}
+		fmt.Printf("replayed %d post-checkpoint commands\n", len(log)-horizon)
+
+		// Verify: pre-checkpoint state recovered from remote memory,
+		// post-checkpoint state recovered from the log.
+		mustEqual(s2, "acct-019999", "balance=79999") // last pre-cp write to it
+		mustEqual(s2, "acct-000042", "post-cp=42")    // replayed
+		fmt.Println("recovery verified: both checkpointed and replayed state intact")
+
+		s2.Close()
+		db2.Close()
+		fab.Close()
+	})
+	env.Wait()
+}
+
+func mustEqual(s *engine.Session, key, want string) {
+	v, err := s.Get([]byte(key))
+	if err != nil || string(v) != want {
+		panic(fmt.Sprintf("Get(%s) = %q, %v; want %q", key, v, err, want))
+	}
+}

@@ -1,0 +1,3 @@
+module dlsm
+
+go 1.22

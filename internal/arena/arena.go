@@ -1,0 +1,57 @@
+// Package arena provides a concurrent bump allocator. MemTables allocate
+// skiplist nodes and key-value bytes from an arena so that a full table is
+// released as a handful of slabs instead of millions of small objects —
+// keeping Go GC pressure (which would otherwise distort latency, see
+// DESIGN.md §2) off the write path.
+package arena
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const slabSize = 1 << 20 // 1 MiB
+
+// Arena is a thread-safe append-only allocator. Memory is reclaimed all at
+// once when the arena becomes unreachable.
+type Arena struct {
+	used atomic.Int64 // total bytes handed out, for MemTable sizing
+
+	mu    sync.Mutex
+	slab  []byte
+	off   int
+	slabs [][]byte
+}
+
+// New returns an empty arena.
+func New() *Arena { return &Arena{} }
+
+// Alloc returns a zeroed byte slice of length n from the arena.
+func (a *Arena) Alloc(n int) []byte {
+	a.used.Add(int64(n))
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n > slabSize {
+		b := make([]byte, n)
+		a.slabs = append(a.slabs, b)
+		return b
+	}
+	if a.off+n > len(a.slab) {
+		a.slab = make([]byte, slabSize)
+		a.slabs = append(a.slabs, a.slab)
+		a.off = 0
+	}
+	b := a.slab[a.off : a.off+n : a.off+n]
+	a.off += n
+	return b
+}
+
+// Append copies p into the arena and returns the stable copy.
+func (a *Arena) Append(p []byte) []byte {
+	b := a.Alloc(len(p))
+	copy(b, p)
+	return b
+}
+
+// Used returns the total bytes allocated, the MemTable's size estimate.
+func (a *Arena) Used() int64 { return a.used.Load() }

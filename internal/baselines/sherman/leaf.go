@@ -1,0 +1,134 @@
+package sherman
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// leaf is the decoded in-compute-node image of one remote 1KB leaf.
+type leaf struct {
+	lock    uint64
+	version uint32
+	next    uint64 // remote offset of the right sibling, 0 = none
+	entries []entry
+}
+
+type entry struct {
+	key, val []byte
+}
+
+func (l *leaf) locked() bool { return l.lock != 0 }
+
+// bytesUsed returns the encoded size.
+func (l *leaf) bytesUsed() int {
+	n := leafHdr
+	for _, e := range l.entries {
+		n += 3 + len(e.key) + len(e.val)
+	}
+	return n
+}
+
+// get returns the value for key.
+func (l *leaf) get(key []byte) ([]byte, bool) {
+	i := sort.Search(len(l.entries), func(i int) bool {
+		return bytes.Compare(l.entries[i].key, key) >= 0
+	})
+	if i < len(l.entries) && bytes.Equal(l.entries[i].key, key) {
+		return l.entries[i].val, true
+	}
+	return nil, false
+}
+
+// put inserts or replaces key, reporting false when the leaf would
+// overflow NodeSize.
+func (l *leaf) put(key, val []byte) bool {
+	i := sort.Search(len(l.entries), func(i int) bool {
+		return bytes.Compare(l.entries[i].key, key) >= 0
+	})
+	if i < len(l.entries) && bytes.Equal(l.entries[i].key, key) {
+		if l.bytesUsed()-len(l.entries[i].val)+len(val) > NodeSize {
+			return false
+		}
+		l.entries[i].val = append([]byte(nil), val...)
+		return true
+	}
+	if l.bytesUsed()+3+len(key)+len(val) > NodeSize {
+		return false
+	}
+	l.entries = append(l.entries, entry{})
+	copy(l.entries[i+1:], l.entries[i:])
+	l.entries[i] = entry{append([]byte(nil), key...), append([]byte(nil), val...)}
+	return true
+}
+
+// delete removes key if present.
+func (l *leaf) delete(key []byte) {
+	i := sort.Search(len(l.entries), func(i int) bool {
+		return bytes.Compare(l.entries[i].key, key) >= 0
+	})
+	if i < len(l.entries) && bytes.Equal(l.entries[i].key, key) {
+		l.entries = append(l.entries[:i], l.entries[i+1:]...)
+	}
+}
+
+// splitRight moves the upper half of the entries into a fresh leaf.
+func (l *leaf) splitRight() *leaf {
+	mid := len(l.entries) / 2
+	if mid == 0 {
+		mid = 1 // a 1-entry leaf that overflows still splits its successor space
+	}
+	r := &leaf{entries: append([]entry(nil), l.entries[mid:]...)}
+	l.entries = l.entries[:mid]
+	return r
+}
+
+// encode serializes the leaf into a NodeSize buffer.
+func (l *leaf) encode(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+	binary.LittleEndian.PutUint64(b[0:], l.lock)
+	binary.LittleEndian.PutUint32(b[8:], l.version)
+	binary.LittleEndian.PutUint16(b[12:], uint16(len(l.entries)))
+	binary.LittleEndian.PutUint64(b[14:], l.next)
+	off := leafHdr
+	for _, e := range l.entries {
+		b[off] = byte(len(e.key))
+		binary.LittleEndian.PutUint16(b[off+1:], uint16(len(e.val)))
+		copy(b[off+3:], e.key)
+		copy(b[off+3+len(e.key):], e.val)
+		off += 3 + len(e.key) + len(e.val)
+	}
+}
+
+// parseLeaf decodes a leaf image.
+func parseLeaf(b []byte) (*leaf, error) {
+	if len(b) < leafHdr {
+		return nil, fmt.Errorf("sherman: short leaf (%d bytes)", len(b))
+	}
+	l := &leaf{
+		lock:    binary.LittleEndian.Uint64(b[0:]),
+		version: binary.LittleEndian.Uint32(b[8:]),
+		next:    binary.LittleEndian.Uint64(b[14:]),
+	}
+	count := int(binary.LittleEndian.Uint16(b[12:]))
+	off := leafHdr
+	for i := 0; i < count; i++ {
+		if off+3 > len(b) {
+			return nil, fmt.Errorf("sherman: corrupt leaf entry %d", i)
+		}
+		kl := int(b[off])
+		vl := int(binary.LittleEndian.Uint16(b[off+1:]))
+		if off+3+kl+vl > len(b) {
+			return nil, fmt.Errorf("sherman: corrupt leaf entry %d bounds", i)
+		}
+		l.entries = append(l.entries, entry{
+			key: append([]byte(nil), b[off+3:off+3+kl]...),
+			val: append([]byte(nil), b[off+3+kl:off+3+kl+vl]...),
+		})
+		off += 3 + kl + vl
+	}
+	return l, nil
+}

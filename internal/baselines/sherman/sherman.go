@@ -1,0 +1,396 @@
+// Package sherman reimplements the Sherman baseline (§XI-A #5): a
+// write-optimized B+-tree over disaggregated memory [Wang et al., SIGMOD
+// 2022] as configured in the dLSM paper's evaluation — 1 KB tree nodes,
+// internal nodes cached in compute-node local memory, leaves resident in
+// remote memory.
+//
+// The measured data path matches the paper's description:
+//
+//   - A read routes through the cached internal nodes (local CPU) and
+//     issues exactly one RDMA read for the leaf.
+//   - A write locks the leaf with an RDMA CAS, reads the leaf (RDMA read),
+//     modifies it locally, and writes it back; the write-back image carries
+//     the cleared lock word, modeling Sherman's combined write+unlock
+//     doorbell. Every write therefore moves >= 2 x 1 KB over the wire —
+//     the per-write network cost dLSM's MemTable buffering avoids.
+//   - A range scan walks the leaf chain, one 1 KB read per leaf (vs dLSM's
+//     multi-MB prefetch, Fig 11).
+//
+// Simplifications (documented in DESIGN.md §4): the internal-node tree is
+// an authoritative compute-local structure (a sorted separator array with
+// binary search) rather than being mirrored to remote memory — with a
+// single compute node its remote copy would never be read; and Sherman's
+// hierarchical on-chip lock is approximated by the straight RDMA CAS with
+// bounded backoff.
+package sherman
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dlsm/internal/memnode"
+	"dlsm/internal/rdma"
+	"dlsm/internal/remote"
+	"dlsm/internal/sim"
+)
+
+// NodeSize is Sherman's block size (the paper follows the source default).
+const NodeSize = 1 << 10
+
+// Leaf layout: [lock u64][version u32][count u16][next u64][entries...]
+// where each entry is [klen u8][vlen u16][key][value], sorted by key.
+const leafHdr = 8 + 4 + 2 + 8
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("sherman: key not found")
+
+// Options tunes the tree.
+type Options struct {
+	Costs       sim.CostModel
+	LockBackoff time.Duration // wait between CAS retries
+}
+
+// DefaultOptions returns the evaluation configuration.
+func DefaultOptions() Options {
+	return Options{Costs: sim.DefaultCosts(), LockBackoff: 2 * time.Microsecond}
+}
+
+// Stats counts Sherman's remote operations.
+type Stats struct {
+	mu         sync.Mutex
+	Reads      int64
+	Writes     int64
+	Splits     int64
+	LockRetry  int64
+	LeafReads  int64
+	LeafWrites int64
+}
+
+// Tree is a Sherman B+-tree: cached internals on the compute node, leaves
+// in remote memory.
+type Tree struct {
+	env   *sim.Env
+	cn    *rdma.Node
+	mn    *rdma.Node
+	mr    *rdma.MemoryRegion
+	alloc *remote.Allocator
+	opts  Options
+
+	// Cached internal structure: leaf i owns user keys in
+	// [seps[i], seps[i+1]) with seps[0] = "" and an implied +inf end.
+	mu    sync.RWMutex
+	seps  [][]byte
+	leafs []int64 // remote offsets
+
+	stats Stats
+}
+
+// New creates a tree whose leaves live in the memory node's data region.
+func New(cn *rdma.Node, srv *memnode.Server, opts Options) *Tree {
+	t := &Tree{
+		env:   cn.Fabric().Env(),
+		cn:    cn,
+		mn:    srv.Node(),
+		mr:    srv.DataMR(),
+		alloc: srv.ComputeAlloc(),
+		opts:  opts,
+	}
+	// Root leaf covering the whole key space.
+	off, err := t.alloc.Alloc(NodeSize)
+	if err != nil {
+		panic(err)
+	}
+	t.seps = [][]byte{{}}
+	t.leafs = []int64{off}
+	return t
+}
+
+// Stats returns the operation counters.
+func (t *Tree) Stats() *Stats { return &t.stats }
+
+// SpaceUsed returns remote bytes held by leaves.
+func (t *Tree) SpaceUsed() int64 { return t.alloc.Used() }
+
+// NumLeaves returns the current leaf count.
+func (t *Tree) NumLeaves() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.leafs)
+}
+
+// routeLocked returns the position of the leaf owning key.
+func route(seps [][]byte, key []byte) int {
+	// First separator > key, minus one.
+	i := sort.Search(len(seps), func(i int) bool { return bytes.Compare(seps[i], key) > 0 })
+	return i - 1
+}
+
+// lookup returns the remote offset of the leaf owning key.
+func (t *Tree) lookup(key []byte) int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.leafs[route(t.seps, key)]
+}
+
+// Session is one thread's handle: its own QP and leaf buffers (§X-B).
+type Session struct {
+	t    *Tree
+	qp   *rdma.QP
+	buf  *rdma.MemoryRegion // leaf image
+	word *rdma.MemoryRegion // 8-byte scratch for CAS
+}
+
+// NewSession creates a thread-local handle.
+func (t *Tree) NewSession() *Session {
+	return &Session{
+		t:    t,
+		qp:   t.cn.NewQP(t.mn),
+		buf:  t.cn.Register(NodeSize),
+		word: t.cn.Register(8),
+	}
+}
+
+// Close releases the session's QP.
+func (s *Session) Close() { s.qp.Close() }
+
+func (s *Session) charge(d time.Duration) { s.t.cn.CPU.Use(d) }
+
+// readLeaf fetches the 1KB leaf at off into the session buffer.
+func (s *Session) readLeaf(off int64) (*leaf, error) {
+	s.t.stats.mu.Lock()
+	s.t.stats.LeafReads++
+	s.t.stats.mu.Unlock()
+	if err := s.qp.ReadSync(s.buf, 0, s.t.mr.Addr(int(off)), NodeSize); err != nil {
+		return nil, err
+	}
+	return parseLeaf(s.buf.Bytes(0, NodeSize))
+}
+
+// writeLeaf writes a leaf image (with its lock word already cleared) back.
+func (s *Session) writeLeaf(off int64, l *leaf) error {
+	s.t.stats.mu.Lock()
+	s.t.stats.LeafWrites++
+	s.t.stats.mu.Unlock()
+	l.encode(s.buf.Bytes(0, NodeSize))
+	return s.qp.WriteSync(s.buf, 0, s.t.mr.Addr(int(off)), NodeSize)
+}
+
+// lockLeaf acquires the leaf's remote lock word via RDMA CAS, retrying with
+// backoff.
+func (s *Session) lockLeaf(off int64) error {
+	for {
+		_, swapped, err := s.qp.CompareSwapSync(s.t.mr.Addr(int(off)), 0, 1)
+		if err != nil {
+			return err
+		}
+		if swapped {
+			return nil
+		}
+		s.t.stats.mu.Lock()
+		s.t.stats.LockRetry++
+		s.t.stats.mu.Unlock()
+		s.t.env.Sleep(s.t.opts.LockBackoff)
+	}
+}
+
+// unlockLeaf explicitly clears the lock word (only needed when the write
+// path aborts without a write-back).
+func (s *Session) unlockLeaf(off int64) error {
+	binary.LittleEndian.PutUint64(s.word.Bytes(0, 8), 0)
+	return s.qp.WriteSync(s.word, 0, s.t.mr.Addr(int(off)), 8)
+}
+
+// Get reads the value of key with a single leaf RDMA read.
+func (s *Session) Get(key []byte) ([]byte, error) {
+	t := s.t
+	t.stats.mu.Lock()
+	t.stats.Reads++
+	t.stats.mu.Unlock()
+	s.charge(t.opts.Costs.IndexSearch) // cached internal-node traversal
+	for {
+		off := t.lookup(key)
+		l, err := s.readLeaf(off)
+		if err != nil {
+			return nil, err
+		}
+		if l.locked() {
+			// A writer is mid-update; retry after its write-back.
+			t.env.Sleep(t.opts.LockBackoff)
+			continue
+		}
+		s.charge(t.opts.Costs.MemProbe)
+		if v, ok := l.get(key); ok {
+			return append([]byte(nil), v...), nil
+		}
+		// The leaf may have split since routing; re-check.
+		if t.lookup(key) != off {
+			continue
+		}
+		return nil, ErrNotFound
+	}
+}
+
+// Put inserts or overwrites key.
+func (s *Session) Put(key, value []byte) error {
+	if len(key) > 255 || len(value) > 65535 {
+		return fmt.Errorf("sherman: key/value too large")
+	}
+	if leafHdr+6+len(key)+len(value) > NodeSize {
+		return fmt.Errorf("sherman: entry exceeds node size")
+	}
+	t := s.t
+	t.stats.mu.Lock()
+	t.stats.Writes++
+	t.stats.mu.Unlock()
+	s.charge(t.opts.Costs.IndexSearch)
+
+	for {
+		off := t.lookup(key)
+		if err := s.lockLeaf(off); err != nil {
+			return err
+		}
+		l, err := s.readLeaf(off)
+		if err != nil {
+			return err
+		}
+		// Re-route under the lock: a concurrent split may have moved the
+		// key's range to a new leaf.
+		if t.lookup(key) != off {
+			if err := s.unlockLeaf(off); err != nil {
+				return err
+			}
+			continue
+		}
+		s.charge(t.opts.Costs.MemProbe)
+		if l.put(key, value) {
+			l.lock = 0 // combined write-back + unlock
+			l.version++
+			return s.writeLeaf(off, l)
+		}
+		// Leaf full: split while holding the lock.
+		if err := s.split(off, l, key, value); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+// Delete removes key (no underflow merging, as is common).
+func (s *Session) Delete(key []byte) error {
+	t := s.t
+	for {
+		off := t.lookup(key)
+		if err := s.lockLeaf(off); err != nil {
+			return err
+		}
+		l, err := s.readLeaf(off)
+		if err != nil {
+			return err
+		}
+		if t.lookup(key) != off {
+			if err := s.unlockLeaf(off); err != nil {
+				return err
+			}
+			continue
+		}
+		l.delete(key)
+		l.lock = 0
+		l.version++
+		return s.writeLeaf(off, l)
+	}
+}
+
+// split divides the locked, full leaf at off and retries the insert into
+// the correct half. Sequence: write the new (right) leaf, publish the new
+// separator in the cached internals, then write back the old leaf with its
+// lock cleared.
+func (s *Session) split(off int64, l *leaf, key, value []byte) error {
+	t := s.t
+	t.stats.mu.Lock()
+	t.stats.Splits++
+	t.stats.mu.Unlock()
+
+	newOff, err := t.alloc.Alloc(NodeSize)
+	if err != nil {
+		return err
+	}
+	right := l.splitRight()
+	right.next = l.next
+	l.next = uint64(newOff)
+	sep := right.entries[0].key
+
+	// The new leaf is invisible until the separator publishes, so it can
+	// be written unlocked.
+	if err := s.writeLeaf(newOff, right); err != nil {
+		return err
+	}
+
+	t.mu.Lock()
+	i := route(t.seps, sep)
+	t.seps = append(t.seps, nil)
+	copy(t.seps[i+2:], t.seps[i+1:])
+	t.seps[i+1] = append([]byte(nil), sep...)
+	t.leafs = append(t.leafs, 0)
+	copy(t.leafs[i+2:], t.leafs[i+1:])
+	t.leafs[i+1] = newOff
+	t.mu.Unlock()
+
+	// Insert into whichever half owns the key, then write back the old
+	// leaf (unlocking it). If the key went right, the right leaf must be
+	// rewritten too — it is still only reachable after this point.
+	target := l
+	if bytes.Compare(key, sep) >= 0 {
+		target = right
+	}
+	if !target.put(key, value) {
+		return fmt.Errorf("sherman: entry does not fit after split")
+	}
+	if target == right {
+		if err := s.writeLeaf(newOff, right); err != nil {
+			return err
+		}
+	}
+	l.lock = 0
+	l.version++
+	return s.writeLeaf(off, l)
+}
+
+// Scan iterates the leaf chain from the first key >= start, calling fn for
+// each entry until fn returns false or the keys end. One 1KB RDMA read per
+// leaf (Fig 11's comparison point).
+func (s *Session) Scan(start []byte, fn func(key, value []byte) bool) error {
+	t := s.t
+	t.mu.RLock()
+	i := route(t.seps, start)
+	off := t.leafs[i]
+	t.mu.RUnlock()
+
+	for {
+		l, err := s.readLeaf(off)
+		if err != nil {
+			return err
+		}
+		if l.locked() {
+			t.env.Sleep(t.opts.LockBackoff)
+			continue
+		}
+		s.charge(time.Duration(len(l.entries)) * t.opts.Costs.EntryParse)
+		for _, e := range l.entries {
+			if bytes.Compare(e.key, start) < 0 {
+				continue
+			}
+			if !fn(e.key, e.val) {
+				return nil
+			}
+		}
+		if l.next == 0 {
+			return nil
+		}
+		off = int64(l.next)
+	}
+}

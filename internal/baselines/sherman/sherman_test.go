@@ -1,0 +1,235 @@
+package sherman
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dlsm/internal/memnode"
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+)
+
+func harness(t *testing.T, fn func(env *sim.Env, tree *Tree)) {
+	t.Helper()
+	env := sim.NewEnv()
+	fab := rdma.NewFabric(env, rdma.EDR100())
+	cn := fab.AddNode("compute", 24)
+	mn := fab.AddNode("memory", 12)
+	cfg := memnode.DefaultConfig()
+	cfg.ComputeRegionSize = 256 << 20
+	cfg.SelfRegionSize = 1 << 20
+	srv := memnode.NewServer(mn, cfg)
+	srv.Start()
+	env.Run(func() {
+		tree := New(cn, srv, DefaultOptions())
+		fn(env, tree)
+		fab.Close()
+	})
+	env.Wait()
+}
+
+func TestPutGet(t *testing.T) {
+	harness(t, func(env *sim.Env, tree *Tree) {
+		s := tree.NewSession()
+		defer s.Close()
+		if err := s.Put([]byte("k"), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.Get([]byte("k"))
+		if err != nil || string(v) != "v" {
+			t.Fatalf("Get = %q, %v", v, err)
+		}
+		if _, err := s.Get([]byte("missing")); err != ErrNotFound {
+			t.Fatalf("Get(missing) = %v", err)
+		}
+	})
+}
+
+func TestOverwrite(t *testing.T) {
+	harness(t, func(env *sim.Env, tree *Tree) {
+		s := tree.NewSession()
+		defer s.Close()
+		s.Put([]byte("k"), []byte("v1"))
+		s.Put([]byte("k"), []byte("v2"))
+		if v, _ := s.Get([]byte("k")); string(v) != "v2" {
+			t.Fatalf("Get = %q", v)
+		}
+	})
+}
+
+func TestManyInsertsForceSplits(t *testing.T) {
+	harness(t, func(env *sim.Env, tree *Tree) {
+		s := tree.NewSession()
+		defer s.Close()
+		const n = 2000
+		val := make([]byte, 100)
+		perm := rand.New(rand.NewSource(3)).Perm(n)
+		for _, i := range perm {
+			if err := s.Put([]byte(fmt.Sprintf("key-%06d", i)), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tree.NumLeaves() < 10 {
+			t.Fatalf("only %d leaves after %d inserts", tree.NumLeaves(), n)
+		}
+		for i := 0; i < n; i += 7 {
+			if _, err := s.Get([]byte(fmt.Sprintf("key-%06d", i))); err != nil {
+				t.Fatalf("Get(%d): %v", i, err)
+			}
+		}
+	})
+}
+
+func TestLargeValuesLikePaper(t *testing.T) {
+	// 420-byte entries in 1KB leaves: ~2 entries per leaf, splits constant.
+	harness(t, func(env *sim.Env, tree *Tree) {
+		s := tree.NewSession()
+		defer s.Close()
+		val := make([]byte, 400)
+		for i := 0; i < 300; i++ {
+			if err := s.Put([]byte(fmt.Sprintf("key-%012d", i)), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := tree.Stats().Splits; got < 100 {
+			t.Fatalf("splits = %d, want many with 400B values", got)
+		}
+		for i := 0; i < 300; i++ {
+			v, err := s.Get([]byte(fmt.Sprintf("key-%012d", i)))
+			if err != nil || len(v) != 400 {
+				t.Fatalf("Get(%d) len=%d err=%v", i, len(v), err)
+			}
+		}
+	})
+}
+
+func TestDelete(t *testing.T) {
+	harness(t, func(env *sim.Env, tree *Tree) {
+		s := tree.NewSession()
+		defer s.Close()
+		s.Put([]byte("a"), []byte("1"))
+		s.Put([]byte("b"), []byte("2"))
+		s.Delete([]byte("a"))
+		if _, err := s.Get([]byte("a")); err != ErrNotFound {
+			t.Fatalf("deleted key: %v", err)
+		}
+		if v, _ := s.Get([]byte("b")); string(v) != "2" {
+			t.Fatal("unrelated key lost")
+		}
+	})
+}
+
+func TestScanOrderedComplete(t *testing.T) {
+	harness(t, func(env *sim.Env, tree *Tree) {
+		s := tree.NewSession()
+		defer s.Close()
+		const n = 1000
+		perm := rand.New(rand.NewSource(5)).Perm(n)
+		for _, i := range perm {
+			s.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte(fmt.Sprintf("v%d", i)))
+		}
+		count := 0
+		var last []byte
+		s.Scan(nil, func(k, v []byte) bool {
+			if last != nil && string(k) <= string(last) {
+				t.Fatalf("scan out of order: %q after %q", k, last)
+			}
+			last = append(last[:0], k...)
+			count++
+			return true
+		})
+		if count != n {
+			t.Fatalf("scanned %d, want %d", count, n)
+		}
+	})
+}
+
+func TestScanFromMiddle(t *testing.T) {
+	harness(t, func(env *sim.Env, tree *Tree) {
+		s := tree.NewSession()
+		defer s.Close()
+		for i := 0; i < 100; i++ {
+			s.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte("v"))
+		}
+		count := 0
+		s.Scan([]byte("key-000050"), func(k, v []byte) bool {
+			count++
+			return true
+		})
+		if count != 50 {
+			t.Fatalf("scan from middle saw %d, want 50", count)
+		}
+	})
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	harness(t, func(env *sim.Env, tree *Tree) {
+		wg := sim.NewWaitGroup(env)
+		const writers, per = 8, 200
+		for w := 0; w < writers; w++ {
+			w := w
+			wg.Add(1)
+			env.Go(func() {
+				defer wg.Done()
+				s := tree.NewSession()
+				defer s.Close()
+				for i := 0; i < per; i++ {
+					k := []byte(fmt.Sprintf("w%02d-%05d", w, i))
+					if err := s.Put(k, k); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				}
+			})
+		}
+		wg.Wait()
+		s := tree.NewSession()
+		defer s.Close()
+		for w := 0; w < writers; w++ {
+			for i := 0; i < per; i += 11 {
+				k := []byte(fmt.Sprintf("w%02d-%05d", w, i))
+				v, err := s.Get(k)
+				if err != nil || string(v) != string(k) {
+					t.Fatalf("Get(%s) = %q, %v", k, v, err)
+				}
+			}
+		}
+	})
+}
+
+func TestReadIsSingleRDMARead(t *testing.T) {
+	harness(t, func(env *sim.Env, tree *Tree) {
+		s := tree.NewSession()
+		defer s.Close()
+		for i := 0; i < 50; i++ {
+			s.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte("v"))
+		}
+		before := tree.Stats().LeafReads
+		for i := 0; i < 50; i++ {
+			s.Get([]byte(fmt.Sprintf("key-%06d", i)))
+		}
+		reads := tree.Stats().LeafReads - before
+		if reads != 50 {
+			t.Fatalf("50 Gets issued %d leaf reads, want exactly 50", reads)
+		}
+	})
+}
+
+func TestLeafEncodeParseRoundTrip(t *testing.T) {
+	l := &leaf{version: 7, next: 12345}
+	l.put([]byte("alpha"), []byte("1"))
+	l.put([]byte("beta"), []byte("2"))
+	buf := make([]byte, NodeSize)
+	l.encode(buf)
+	got, err := parseLeaf(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.version != 7 || got.next != 12345 || len(got.entries) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if v, ok := got.get([]byte("beta")); !ok || string(v) != "2" {
+		t.Fatal("entry lost in round trip")
+	}
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// Small-N smoke configurations: these validate the harness mechanics and
+// the qualitative orderings, not absolute numbers.
+const smokeN = 30_000
+
+func TestFillRandomDLSM(t *testing.T) {
+	r := FillRandom(Config{System: DLSM, Threads: 8, N: smokeN})
+	if r.Ops < smokeN*9/10 {
+		t.Fatalf("ops = %d, want ~%d", r.Ops, smokeN)
+	}
+	if r.Throughput <= 0 || r.Elapsed <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	t.Logf("dLSM fill: %.0f ops/s, p50=%v p99=%v space=%dMB",
+		r.Throughput, r.P50, r.P99, r.SpaceUsed>>20)
+}
+
+func TestReadRandomAfterSettle(t *testing.T) {
+	r := ReadRandom(Config{System: DLSM, Threads: 8, N: smokeN, KeyRange: smokeN})
+	if r.Ops < smokeN*9/10 {
+		t.Fatalf("ops = %d", r.Ops)
+	}
+	t.Logf("dLSM read: %.0f ops/s p50=%v", r.Throughput, r.P50)
+}
+
+func TestEverySystemFillsAndReads(t *testing.T) {
+	for _, sys := range AllSystems {
+		cfg := Config{System: sys, Threads: 4, N: 8_000, KeyRange: 8_000}
+		w := FillRandom(cfg)
+		if w.Ops == 0 || w.Throughput <= 0 {
+			t.Fatalf("%v fill degenerate: %+v", sys, w)
+		}
+		r := ReadRandom(cfg)
+		if r.Ops == 0 || r.Throughput <= 0 {
+			t.Fatalf("%v read degenerate: %+v", sys, r)
+		}
+		t.Logf("%-22s fill=%9.0f ops/s  read=%9.0f ops/s", sys, w.Throughput, r.Throughput)
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	r := Mixed(Config{System: DLSM, Threads: 8, N: smokeN, KeyRange: smokeN, ReadRatio: 0.5, Lambda: 8})
+	if r.Ops < smokeN*9/10 {
+		t.Fatalf("ops = %d", r.Ops)
+	}
+	t.Logf("dLSM-8 mixed 50%%: %.0f ops/s", r.Throughput)
+}
+
+func TestReadSeqScansEverything(t *testing.T) {
+	r := ReadSeq(Config{System: DLSM, Threads: 2, N: 10_000, KeyRange: 10_000})
+	if r.Ops != 2*10_000 {
+		t.Fatalf("scan visited %d entries, want %d", r.Ops, 2*10_000)
+	}
+	t.Logf("dLSM readseq: %.0f entries/s", r.Throughput)
+}
+
+func TestClusterRun(t *testing.T) {
+	cfg := Config{System: DLSM, Threads: 8, N: 16_000, KeyRange: 16_000,
+		ComputeNodes: 2, MemoryNodes: 2, Lambda: 2}
+	w := runCluster(cfg, opFill, false)
+	if w.Ops < 15_000 {
+		t.Fatalf("cluster ops = %d", w.Ops)
+	}
+	if w.ComputeNodes != 2 || w.MemoryNodes != 2 {
+		t.Fatalf("cluster shape: %+v", w)
+	}
+	t.Logf("2C2M fill: %.0f ops/s", w.Throughput)
+}
+
+func TestDLSMBeatsBaselinesOnWrites(t *testing.T) {
+	// The headline claim at moderate scale: dLSM writes faster than every
+	// baseline (Fig 7a). Absolute margins are checked in EXPERIMENTS.md.
+	cfg := Config{Threads: 8, N: 20_000}
+	cfg.System = DLSM
+	d := FillRandom(cfg)
+	for _, sys := range []System{RocksRDMA8K, NovaLSM, Sherman} {
+		c := cfg
+		c.System = sys
+		r := FillRandom(c)
+		if r.Throughput >= d.Throughput {
+			t.Errorf("%v writes %.0f ops/s >= dLSM %.0f ops/s", sys, r.Throughput, d.Throughput)
+		}
+		t.Logf("dLSM %.0f vs %v %.0f (%.1fx)", d.Throughput, sys, r.Throughput, d.Throughput/r.Throughput)
+	}
+}
+
+func TestNearDataCompactionHelpsUnderWriteLoad(t *testing.T) {
+	base := Config{System: DLSM, Threads: 16, N: 40_000}
+	with := FillRandom(base)
+	without := base
+	without.DisableNearData = true
+	wo := FillRandom(without)
+	t.Logf("near-data %.0f vs compute-side %.0f ops/s (%.2fx)",
+		with.Throughput, wo.Throughput, with.Throughput/wo.Throughput)
+	if with.Throughput < wo.Throughput*95/100 {
+		t.Errorf("near-data compaction slower than compute-side: %.0f vs %.0f",
+			with.Throughput, wo.Throughput)
+	}
+}
+
+func TestRemoteCPUUtilizationReported(t *testing.T) {
+	r := FillRandom(Config{System: DLSM, Threads: 8, N: smokeN, MemoryCores: 2})
+	if r.RemoteCPUUtil <= 0 || r.RemoteCPUUtil > 1 {
+		t.Fatalf("remote CPU utilization = %f", r.RemoteCPUUtil)
+	}
+	t.Logf("remote CPU (2 cores): %.0f%%", r.RemoteCPUUtil*100)
+}
+
+func TestLatencySamplesSane(t *testing.T) {
+	// Read latencies include at least one network round trip, so the
+	// percentiles must be positive and ordered. (Write latency is not
+	// asserted: Puts buffer locally and their CPU charges are batched,
+	// so an individual Put can complete in zero virtual time.)
+	r := ReadRandom(Config{System: DLSM, Threads: 4, N: smokeN, KeyRange: smokeN})
+	if r.P50 <= 0 || r.P99 < r.P50 {
+		t.Fatalf("latency percentiles: p50=%v p99=%v", r.P50, r.P99)
+	}
+	if r.P50 > time.Second {
+		t.Fatalf("p50 = %v implausible", r.P50)
+	}
+	t.Logf("read p50=%v p99=%v", r.P50, r.P99)
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"dlsm/internal/memnode"
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+)
+
+// Result is one measured data point.
+type Result struct {
+	System  System
+	Threads int
+	Ops     int64
+	Elapsed time.Duration // virtual time
+	// Throughput in operations/second of virtual time (entries/second for
+	// scans).
+	Throughput float64
+	P50, P99   time.Duration
+	SpaceUsed  int64
+	// RemoteCPUUtil is the memory node's core utilization during the
+	// measured phase (Fig 12 bar annotations).
+	RemoteCPUUtil float64
+	// Net traffic during the measured phase, compute<->first memory node.
+	NetToMem, NetFromMem int64
+}
+
+// opKind selects the measured operation mix.
+type opKind int
+
+const (
+	opFill opKind = iota
+	opRead
+	opMixed
+	opScan
+)
+
+// FillRandom measures random-write throughput from an empty tree
+// ("fillrandom", Fig 7).
+func FillRandom(cfg Config) Result { return run(cfg.Normalize(), opFill, false) }
+
+// ReadRandom preloads every key, waits for compaction to settle, then
+// measures random point reads ("readrandom", Fig 8).
+func ReadRandom(cfg Config) Result { return run(cfg.Normalize(), opRead, true) }
+
+// Mixed preloads, then measures a read/write mix at cfg.ReadRatio
+// ("readrandomwriterandom", Fig 10).
+func Mixed(cfg Config) Result { return run(cfg.Normalize(), opMixed, true) }
+
+// ReadSeq preloads, settles, then measures full-table scans ("readseq",
+// Fig 11); throughput is entries/second.
+func ReadSeq(cfg Config) Result { return run(cfg.Normalize(), opScan, true) }
+
+func run(cfg Config, kind opKind, preload bool) Result {
+	env, fab, cns, servers := deployment(cfg)
+	var res Result
+	env.Run(func() {
+		db := openSystem(cfg.System, cfg, cns[0], servers)
+		if preload {
+			doPreload(env, cfg, db)
+			db.Settle()
+		}
+		res = measure(env, fab, cfg, kind, db, cns[0], servers)
+		db.Close()
+		fab.Close()
+	})
+	env.Wait()
+	// Figure sweeps run many deployments back-to-back; return each one's
+	// registered regions to the OS promptly.
+	debug.FreeOSMemory()
+	return res
+}
+
+// doPreload inserts every key exactly once (shuffled), with 16 loader
+// threads, outside the measured window.
+func doPreload(env *sim.Env, cfg Config, db kvDB) {
+	const loaders = 16
+	perm := rand.New(rand.NewSource(cfg.Seed ^ 0x5ee0)).Perm(cfg.Preload)
+	wg := sim.NewWaitGroup(env)
+	for t := 0; t < loaders; t++ {
+		t := t
+		wg.Add(1)
+		env.Go(func() {
+			defer wg.Done()
+			s := db.NewSession()
+			defer s.Close()
+			for i := t; i < len(perm); i += loaders {
+				k := perm[i]
+				s.Put(cfg.Key(k), cfg.Value(k))
+			}
+		})
+	}
+	wg.Wait()
+}
+
+// measure runs the configured operation mix across cfg.Threads entities and
+// aggregates the result.
+func measure(env *sim.Env, fab *rdma.Fabric, cfg Config, kind opKind, db kvDB, cn *rdma.Node, servers []*memnode.Server) Result {
+	mn := servers[0].Node()
+	mn.CPU.ResetStats()
+	toMem0, _ := fab.LinkStats(cn, mn)
+	fromMem0, _ := fab.LinkStats(mn, cn)
+
+	type threadOut struct {
+		ops int64
+		lat []time.Duration
+	}
+	outs := make([]threadOut, cfg.Threads)
+	start := env.Now()
+	wg := sim.NewWaitGroup(env)
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		wg.Add(1)
+		env.Go(func() {
+			defer wg.Done()
+			s := db.NewSession()
+			defer s.Close()
+			rnd := cfg.threadRand(t)
+			per := cfg.N / cfg.Threads
+			switch kind {
+			case opScan:
+				outs[t].ops = scanOnce(env, s, &outs[t].lat)
+			default:
+				outs[t].ops = opLoop(env, cfg, kind, s, rnd, per, &outs[t].lat)
+			}
+		})
+	}
+	wg.Wait()
+	elapsed := time.Duration(env.Now() - start)
+
+	var res Result
+	res.System = cfg.System
+	res.Threads = cfg.Threads
+	res.Elapsed = elapsed
+	for _, o := range outs {
+		res.Ops += o.ops
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	var all []time.Duration
+	for _, o := range outs {
+		all = append(all, o.lat...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50 = all[len(all)/2]
+		res.P99 = all[len(all)*99/100]
+	}
+	res.SpaceUsed = db.SpaceUsed()
+	res.RemoteCPUUtil = mn.CPU.Utilization()
+	toMem1, _ := fab.LinkStats(cn, mn)
+	fromMem1, _ := fab.LinkStats(mn, cn)
+	res.NetToMem = toMem1 - toMem0
+	res.NetFromMem = fromMem1 - fromMem0
+	return res
+}
+
+// opLoop executes per point operations, sampling latency every 32nd op.
+func opLoop(env *sim.Env, cfg Config, kind opKind, s kvSession, rnd *rand.Rand, per int, lat *[]time.Duration) int64 {
+	var ops int64
+	for i := 0; i < per; i++ {
+		k := rnd.Intn(cfg.KeyRange)
+		read := kind == opRead || (kind == opMixed && rnd.Float64() < cfg.ReadRatio)
+		sample := i%32 == 0
+		var t0 sim.Time
+		if sample {
+			t0 = env.Now()
+		}
+		if read {
+			s.Get(cfg.Key(k)) // misses are expected and counted (db_bench)
+		} else {
+			s.Put(cfg.Key(k), cfg.Value(k))
+		}
+		if sample {
+			*lat = append(*lat, time.Duration(env.Now()-t0))
+		}
+		ops++
+	}
+	return ops
+}
+
+// scanOnce iterates the whole database once, returning entries visited.
+func scanOnce(env *sim.Env, s kvSession, lat *[]time.Duration) int64 {
+	var n int64
+	t0 := env.Now()
+	s.Scan(nil, func(k, v []byte) bool {
+		n++
+		return true
+	})
+	if n > 0 {
+		*lat = append(*lat, time.Duration(env.Now()-t0)/time.Duration(n))
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlsm/internal/rdma"
+)
+
+// Config describes one benchmark run. Zero fields take defaults.
+type Config struct {
+	System  System
+	Threads int
+
+	N        int // total operations in the measured phase
+	KeyRange int // distinct keys (db_bench: same as N)
+	KeySize  int // default 20 (paper)
+	ValSize  int // default 400 (paper)
+
+	ReadRatio float64 // mixed workloads: fraction of reads
+	Lambda    int     // dLSM shard count (§VII)
+	Bulkload  bool    // level0_stop_writes_trigger = infinity
+
+	DisableNearData bool // dLSM ablation: compact on the compute node instead
+
+	// Cluster shape (Fig 12/14/15); zero means the single-node testbed.
+	ComputeNodes int
+	MemoryNodes  int
+	ComputeCores int
+	MemoryCores  int
+	Link         rdma.LinkParams
+
+	// Preload is the number of keys filled before a read-only or mixed
+	// measurement (0 = KeyRange).
+	Preload int
+
+	// Seed for workload generation.
+	Seed int64
+}
+
+// Normalize fills defaults; all runners call it first.
+func (c Config) Normalize() Config {
+	if c.Threads == 0 {
+		c.Threads = 16
+	}
+	if c.N == 0 {
+		c.N = 200_000
+	}
+	if c.KeyRange == 0 {
+		c.KeyRange = c.N
+	}
+	if c.KeySize < 12 {
+		c.KeySize = 20
+	}
+	if c.ValSize == 0 {
+		c.ValSize = 400
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 1
+	}
+	if c.Preload == 0 {
+		c.Preload = c.KeyRange
+	}
+	if c.Seed == 0 {
+		c.Seed = 20230401
+	}
+	return c
+}
+
+// memTableSize scales the paper's 64MB MemTable/SSTable to the run's data
+// volume, preserving the data:memtable ratio (DESIGN.md §2).
+func (c Config) memTableSize() int64 {
+	data := int64(c.KeyRange) * int64(c.KeySize+c.ValSize)
+	size := data / 96 // paper: ~42GB data / 64MB memtable ~= 650; softened for small runs
+	if size < 256<<10 {
+		size = 256 << 10
+	}
+	if size > 64<<20 {
+		size = 64 << 20
+	}
+	return size
+}
+
+// regionSize sizes each memory node's regions: live data plus transient
+// amplification headroom (obsolete tables awaiting GC, compaction slack).
+func (c Config) regionSize() int64 {
+	data := int64(c.KeyRange) * int64(c.KeySize+c.ValSize)
+	per := data*6/int64(max(1, c.MemoryNodes)) + 128<<20
+	return per
+}
+
+// Key formats key i at the configured key size (db_bench-style fixed-width
+// decimal, shared by workloads and shard boundaries).
+func (c Config) Key(i int) []byte {
+	return []byte(fmt.Sprintf("%0*d", c.KeySize, i))
+}
+
+// Value deterministically generates the value for key i.
+func (c Config) Value(i int) []byte {
+	v := make([]byte, c.ValSize)
+	state := uint64(i)*0x9E3779B97F4A7C15 + 1
+	for j := range v {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		v[j] = 'a' + byte(state%26)
+	}
+	return v
+}
+
+// threadRand returns the per-thread random stream.
+func (c Config) threadRand(thread int) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed + int64(thread)*7919))
+}

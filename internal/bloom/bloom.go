@@ -1,0 +1,96 @@
+// Package bloom implements the bloom filters dLSM caches on the compute
+// node so point reads skip SSTables that cannot contain the key (§II-C,
+// §VI). The construction mirrors LevelDB's: k probes derived from one
+// 32-bit hash by double hashing.
+package bloom
+
+import "encoding/binary"
+
+// Filter is an immutable bloom filter over a set of keys. The zero-length
+// filter matches everything (safe default).
+type Filter []byte
+
+// Build creates a filter for the given keys at bitsPerKey (the paper and
+// RocksDB default to 10, ~1% false-positive rate).
+func Build(keys [][]byte, bitsPerKey int) Filter {
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	k := uint32(float64(bitsPerKey) * 0.69) // ln(2) * bits/key
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	bits := len(keys) * bitsPerKey
+	if bits < 64 {
+		bits = 64
+	}
+	nBytes := (bits + 7) / 8
+	bits = nBytes * 8
+	f := make(Filter, nBytes+1)
+	f[nBytes] = byte(k)
+	for _, key := range keys {
+		h := Hash(key)
+		delta := h>>17 | h<<15
+		for i := uint32(0); i < k; i++ {
+			pos := h % uint32(bits)
+			f[pos/8] |= 1 << (pos % 8)
+			h += delta
+		}
+	}
+	return f
+}
+
+// MayContain reports whether key could be in the set. False positives are
+// possible; false negatives are not.
+func (f Filter) MayContain(key []byte) bool {
+	if len(f) < 2 {
+		return true
+	}
+	nBytes := len(f) - 1
+	bits := uint32(nBytes * 8)
+	k := uint32(f[nBytes])
+	if k > 30 {
+		return true // reserved for future encodings
+	}
+	h := Hash(key)
+	delta := h>>17 | h<<15
+	for i := uint32(0); i < k; i++ {
+		pos := h % bits
+		if f[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}
+
+// Hash is LevelDB's bloom hash (a Murmur-like 32-bit hash).
+func Hash(data []byte) uint32 {
+	const (
+		seed = 0xbc9f1d34
+		m    = 0xc6a4a793
+	)
+	h := uint32(seed) ^ uint32(len(data))*m
+	for len(data) >= 4 {
+		h += binary.LittleEndian.Uint32(data)
+		h *= m
+		h ^= h >> 16
+		data = data[4:]
+	}
+	switch len(data) {
+	case 3:
+		h += uint32(data[2]) << 16
+		fallthrough
+	case 2:
+		h += uint32(data[1]) << 8
+		fallthrough
+	case 1:
+		h += uint32(data[0])
+		h *= m
+		h ^= h >> 24
+	}
+	return h
+}

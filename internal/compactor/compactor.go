@@ -1,0 +1,201 @@
+// Package compactor merges SSTables. The same executor runs in two places:
+// on the memory node for dLSM's near-data compaction (§V), where inputs are
+// read from local memory and outputs written to the node's own region, and
+// on the compute node for the baseline/ablation configurations, where every
+// input byte is fetched over the network and every output byte written
+// back.
+package compactor
+
+import (
+	"bytes"
+	"time"
+
+	"dlsm/internal/iterx"
+	"dlsm/internal/keys"
+	"dlsm/internal/sstable"
+)
+
+// Input is one table to merge.
+type Input struct {
+	Meta  *sstable.Meta
+	Fetch sstable.Fetcher
+}
+
+// Commit finalizes one output table, assigning its identity and location.
+type Commit func(res sstable.BuildResult, maxSeq uint64) (*sstable.Meta, error)
+
+// Factory creates output tables: it allocates an extent of the given
+// capacity and returns the byte sink plus the commit callback.
+type Factory func(capacity int64) (sstable.Sink, Commit, error)
+
+// Params configures one merge.
+type Params struct {
+	Format     sstable.Format
+	BlockSize  int
+	BitsPerKey int
+	TableSize  int64 // rotate outputs at this much data
+	// ExtentCap is the allocated extent size per output (data + footer
+	// must fit); 0 derives a default from TableSize.
+	ExtentCap int64
+
+	// SmallestSnapshot is the oldest sequence number any live reader can
+	// observe; older shadowed versions are dropped.
+	SmallestSnapshot keys.Seq
+	// DropTombstones discards deletes once shadowing is resolved (set when
+	// compacting into the deepest populated level).
+	DropTombstones bool
+
+	// Lo/Hi restrict the merge to user keys in [Lo, Hi) for subcompaction
+	// parallelism (§V-A); nil means unbounded.
+	Lo, Hi []byte
+
+	// Prefetch is the sequential read-ahead for input iterators.
+	Prefetch int
+
+	Opts sstable.Options // cost model + CPU charger of the executing node
+}
+
+// Run merges the inputs into size-rotated output tables.
+func Run(inputs []Input, p Params, factory Factory) ([]*sstable.Meta, error) {
+	iters := make([]sstable.Iterator, len(inputs))
+	for i, in := range inputs {
+		iters[i] = sstable.NewReader(in.Meta, in.Fetch, p.Opts).NewIterator(p.Prefetch)
+	}
+	merged := iterx.Merging(keys.Compare, iters...)
+	if p.Lo != nil {
+		merged.SeekGE(keys.AppendLookup(nil, p.Lo, keys.MaxSeq))
+	} else {
+		merged.First()
+	}
+
+	var (
+		outputs  []*sstable.Meta
+		w        sstable.Writer
+		commit   Commit
+		maxSeq   uint64
+		curUkey  []byte
+		haveUkey bool
+		lastKept keys.Seq // seq of the most recent kept version of curUkey
+		// wantRotate defers output rotation to the next user-key boundary.
+		wantRotate bool
+		charge     mergeCharger
+	)
+	charge.opts = p.Opts
+
+	finishOutput := func() error {
+		if w == nil {
+			return nil
+		}
+		res, err := w.Finish()
+		if err != nil {
+			return err
+		}
+		meta, err := commit(res, maxSeq)
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, meta)
+		w, commit, maxSeq = nil, nil, 0
+		return nil
+	}
+
+	for ; merged.Valid(); merged.Next() {
+		ikey := merged.Key()
+		ukey, seq, kind, err := keys.Parse(ikey)
+		if err != nil {
+			return nil, err
+		}
+		if p.Hi != nil && bytes.Compare(ukey, p.Hi) >= 0 {
+			break
+		}
+		charge.entry()
+
+		// LevelDB's shadowing rule: within one user key (versions arrive
+		// newest-first), a version is droppable once an already-kept newer
+		// version is itself invisible to every live snapshot.
+		if !haveUkey || !bytes.Equal(ukey, curUkey) {
+			// User-key boundary: safe point to rotate the output. One
+			// key's versions must never straddle two tables — point
+			// lookups probe a single file per level.
+			if wantRotate {
+				if err := finishOutput(); err != nil {
+					return nil, err
+				}
+				wantRotate = false
+			}
+			curUkey = append(curUkey[:0], ukey...)
+			haveUkey = true
+			lastKept = keys.MaxSeq
+		} else if lastKept <= p.SmallestSnapshot {
+			continue // shadowed for every possible reader
+		}
+		drop := kind == keys.KindDelete && seq <= p.SmallestSnapshot && p.DropTombstones
+		lastKept = seq
+		if drop {
+			continue
+		}
+
+		if w == nil {
+			var sink sstable.Sink
+			var err error
+			sink, commit, err = factory(p.extentCap())
+			if err != nil {
+				return nil, err
+			}
+			w = sstable.NewWriter(p.Format, sink, p.BlockSize, p.BitsPerKey, p.Opts)
+		}
+		w.Add(ikey, merged.Value())
+		if uint64(seq) > maxSeq {
+			maxSeq = uint64(seq)
+		}
+		// Rotate at the data budget (like RocksDB, so table cadence is
+		// format-independent) or earlier if data plus the index/filter
+		// footer approaches the extent — the footer can rival the data at
+		// small values. The actual rotation waits for the next user-key
+		// boundary above.
+		if w.EstimatedSize() >= p.TableSize ||
+			w.EstimatedSize()+w.FooterSize() >= p.extentCap()-64<<10 {
+			wantRotate = true
+		}
+	}
+	if err := merged.Error(); err != nil {
+		return nil, err
+	}
+	charge.flush()
+	if err := finishOutput(); err != nil {
+		return nil, err
+	}
+	return outputs, nil
+}
+
+// extentCap sizes the output extent: the data budget plus headroom for a
+// typical footer and rotation slack.
+func (p Params) extentCap() int64 {
+	if p.ExtentCap > 0 {
+		return p.ExtentCap
+	}
+	return p.TableSize + p.TableSize/4 + 128<<10
+}
+
+// mergeCharger batches the per-entry merge CPU cost.
+type mergeCharger struct {
+	opts    sstable.Options
+	pending int
+}
+
+func (m *mergeCharger) entry() {
+	if m.opts.Charge == nil {
+		return
+	}
+	m.pending++
+	if time.Duration(m.pending)*m.opts.Costs.MergeEntry >= 20*time.Microsecond {
+		m.flush()
+	}
+}
+
+func (m *mergeCharger) flush() {
+	if m.opts.Charge != nil && m.pending > 0 {
+		m.opts.Charge(time.Duration(m.pending) * m.opts.Costs.MergeEntry)
+		m.pending = 0
+	}
+}

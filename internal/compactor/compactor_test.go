@@ -1,0 +1,278 @@
+package compactor
+
+import (
+	"fmt"
+	"testing"
+
+	"dlsm/internal/keys"
+	"dlsm/internal/sstable"
+)
+
+// memory-backed sink/fetcher/factory for format-level testing.
+type memSink struct{ buf *[]byte }
+
+func (s memSink) Write(p []byte) { *s.buf = append(*s.buf, p...) }
+func (s memSink) Finish() error  { return nil }
+
+type memFetcher struct{ buf *[]byte }
+
+func (f memFetcher) ReadAt(off, n int) ([]byte, error) { return (*f.buf)[off : off+n], nil }
+
+type memTables struct{ bufs []*[]byte }
+
+func (m *memTables) factory() Factory {
+	return func(capacity int64) (sstable.Sink, Commit, error) {
+		buf := new([]byte)
+		m.bufs = append(m.bufs, buf)
+		id := uint64(len(m.bufs))
+		commit := func(res sstable.BuildResult, maxSeq uint64) (*sstable.Meta, error) {
+			return &sstable.Meta{
+				ID: id, Size: res.Size, Extent: capacity, Count: res.Count,
+				Smallest: res.Smallest, Largest: res.Largest, MaxSeq: maxSeq,
+				Format: sstable.ByteAddr, Index: res.Index, Filter: res.Filter,
+			}, nil
+		}
+		return memSink{buf}, commit, nil
+	}
+}
+
+func (m *memTables) fetcherFor(meta *sstable.Meta) sstable.Fetcher {
+	return memFetcher{m.bufs[meta.ID-1]}
+}
+
+// buildInput makes a table from explicit entries.
+func buildInput(t *testing.T, entries []struct {
+	key  string
+	seq  keys.Seq
+	kind keys.Kind
+	val  string
+}) Input {
+	t.Helper()
+	buf := new([]byte)
+	w := sstable.NewWriter(sstable.ByteAddr, memSink{buf}, 0, 10, sstable.Options{})
+	for _, e := range entries {
+		w.Add(keys.Append(nil, []byte(e.key), e.seq, e.kind), []byte(e.val))
+	}
+	res, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := &sstable.Meta{Size: res.Size, Count: res.Count, Smallest: res.Smallest,
+		Largest: res.Largest, Format: sstable.ByteAddr, Index: res.Index, Filter: res.Filter}
+	return Input{Meta: meta, Fetch: memFetcher{buf}}
+}
+
+type entry = struct {
+	key  string
+	seq  keys.Seq
+	kind keys.Kind
+	val  string
+}
+
+func params(tableSize int64) Params {
+	return Params{Format: sstable.ByteAddr, BitsPerKey: 10, TableSize: tableSize,
+		SmallestSnapshot: keys.MaxSeq, DropTombstones: true}
+}
+
+// readAll scans an output table's (key, seq, kind, value) tuples.
+func readAll(t *testing.T, m *memTables, meta *sstable.Meta) []string {
+	t.Helper()
+	r := sstable.NewReader(meta, m.fetcherFor(meta), sstable.Options{})
+	it := r.NewIterator(1 << 20)
+	var out []string
+	for it.First(); it.Valid(); it.Next() {
+		uk, seq, kind, _ := keys.Parse(it.Key())
+		out = append(out, fmt.Sprintf("%s@%d/%d=%s", uk, seq, kind, it.Value()))
+	}
+	return out
+}
+
+func TestMergeTwoTablesSorted(t *testing.T) {
+	in1 := buildInput(t, []entry{{"a", 1, keys.KindSet, "va"}, {"c", 1, keys.KindSet, "vc"}})
+	in2 := buildInput(t, []entry{{"b", 2, keys.KindSet, "vb"}, {"d", 2, keys.KindSet, "vd"}})
+	mt := &memTables{}
+	outs, err := Run([]Input{in1, in2}, params(1<<20), mt.factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("%d outputs, want 1", len(outs))
+	}
+	got := readAll(t, mt, outs[0])
+	want := []string{"a@1/1=va", "b@2/1=vb", "c@1/1=vc", "d@2/1=vd"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+	if outs[0].MaxSeq != 2 {
+		t.Fatalf("MaxSeq = %d, want 2", outs[0].MaxSeq)
+	}
+}
+
+func TestShadowedVersionsDropped(t *testing.T) {
+	newer := buildInput(t, []entry{{"k", 9, keys.KindSet, "new"}})
+	older := buildInput(t, []entry{{"k", 3, keys.KindSet, "old"}})
+	mt := &memTables{}
+	outs, err := Run([]Input{newer, older}, params(1<<20), mt.factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, mt, outs[0])
+	if len(got) != 1 || got[0] != "k@9/1=new" {
+		t.Fatalf("merged = %v, want only k@9", got)
+	}
+}
+
+func TestSnapshotProtectsOldVersions(t *testing.T) {
+	newer := buildInput(t, []entry{{"k", 9, keys.KindSet, "new"}})
+	older := buildInput(t, []entry{{"k", 3, keys.KindSet, "old"}})
+	p := params(1 << 20)
+	p.SmallestSnapshot = 5 // a reader at seq 5 must still see k@3
+	mt := &memTables{}
+	outs, err := Run([]Input{newer, older}, p, mt.factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, mt, outs[0])
+	want := []string{"k@9/1=new", "k@3/1=old"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+}
+
+func TestTombstonesDropWithShadowedData(t *testing.T) {
+	del := buildInput(t, []entry{{"k", 9, keys.KindDelete, ""}})
+	val := buildInput(t, []entry{{"k", 3, keys.KindSet, "old"}, {"live", 4, keys.KindSet, "x"}})
+	mt := &memTables{}
+	outs, err := Run([]Input{del, val}, params(1<<20), mt.factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, mt, outs[0])
+	if len(got) != 1 || got[0] != "live@4/1=x" {
+		t.Fatalf("merged = %v, want only live@4", got)
+	}
+}
+
+func TestTombstonesKeptWhenNotBottomLevel(t *testing.T) {
+	del := buildInput(t, []entry{{"k", 9, keys.KindDelete, ""}})
+	p := params(1 << 20)
+	p.DropTombstones = false
+	mt := &memTables{}
+	outs, err := Run([]Input{del}, p, mt.factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, mt, outs[0])
+	if len(got) != 1 || got[0] != "k@9/0=" {
+		t.Fatalf("merged = %v, want tombstone kept", got)
+	}
+}
+
+func TestOutputRotationAtTableSize(t *testing.T) {
+	var es []entry
+	for i := 0; i < 100; i++ {
+		es = append(es, entry{fmt.Sprintf("key-%04d", i), keys.Seq(i + 1), keys.KindSet, "0123456789012345678901234567890123456789"})
+	}
+	in := buildInput(t, es)
+	mt := &memTables{}
+	outs, err := Run([]Input{in}, params(1000), mt.factory()) // ~60B/entry, rotate ~ every 17
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) < 4 {
+		t.Fatalf("%d outputs, want rotation into >= 4", len(outs))
+	}
+	total := 0
+	var last string
+	for _, o := range outs {
+		for _, s := range readAll(t, mt, o) {
+			if s <= last {
+				t.Fatalf("entries out of order across outputs: %q after %q", s, last)
+			}
+			last = s
+			total++
+		}
+	}
+	if total != 100 {
+		t.Fatalf("total entries = %d, want 100", total)
+	}
+}
+
+func TestSubrangeBounds(t *testing.T) {
+	var es []entry
+	for i := 0; i < 100; i++ {
+		es = append(es, entry{fmt.Sprintf("key-%04d", i), keys.Seq(i + 1), keys.KindSet, "v"})
+	}
+	in := buildInput(t, es)
+	p := params(1 << 20)
+	p.Lo, p.Hi = []byte("key-0030"), []byte("key-0060")
+	mt := &memTables{}
+	outs, err := Run([]Input{in}, p, mt.factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, mt, outs[0])
+	if len(got) != 30 {
+		t.Fatalf("subrange produced %d entries, want 30", len(got))
+	}
+	if got[0] != "key-0030@31/1=v" {
+		t.Fatalf("first = %q", got[0])
+	}
+}
+
+func TestSplitRangesCoverAndPartition(t *testing.T) {
+	var es []entry
+	for i := 0; i < 1000; i++ {
+		es = append(es, entry{fmt.Sprintf("key-%05d", i), keys.Seq(i + 1), keys.KindSet, "v"})
+	}
+	in := buildInput(t, es)
+	ranges := SplitRanges([]*sstable.Meta{in.Meta}, 4, 1)
+	if len(ranges) != 4 {
+		t.Fatalf("%d ranges, want 4", len(ranges))
+	}
+	if ranges[0][0] != nil || ranges[len(ranges)-1][1] != nil {
+		t.Fatal("outer bounds must be unbounded")
+	}
+	for i := 1; i < len(ranges); i++ {
+		if string(ranges[i][0]) != string(ranges[i-1][1]) {
+			t.Fatalf("ranges not contiguous at %d", i)
+		}
+	}
+	// Running all subranges yields exactly the full set once.
+	mt := &memTables{}
+	total := 0
+	for _, r := range ranges {
+		p := params(1 << 20)
+		p.Lo, p.Hi = r[0], r[1]
+		outs, err := Run([]Input{in}, p, mt.factory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outs {
+			total += o.Count
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("subranges produced %d entries total, want 1000", total)
+	}
+}
+
+func TestSplitRangesSmallInputSingleRange(t *testing.T) {
+	in := buildInput(t, []entry{{"a", 1, keys.KindSet, "v"}})
+	ranges := SplitRanges([]*sstable.Meta{in.Meta}, 8, 1)
+	if len(ranges) != 1 {
+		t.Fatalf("tiny input split into %d ranges", len(ranges))
+	}
+}
+
+func TestEmptyMergeProducesNoOutputs(t *testing.T) {
+	del := buildInput(t, []entry{{"k", 9, keys.KindDelete, ""}})
+	mt := &memTables{}
+	outs, err := Run([]Input{del}, params(1<<20), mt.factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 0 {
+		t.Fatalf("%d outputs from tombstone-only merge, want 0", len(outs))
+	}
+}

@@ -1,0 +1,65 @@
+package compactor
+
+import (
+	"bytes"
+	"sort"
+
+	"dlsm/internal/keys"
+	"dlsm/internal/sstable"
+)
+
+// SplitRanges partitions the inputs' user-key span into at most k
+// contiguous subranges of roughly equal data so subcompaction workers can
+// merge them in parallel (§V-A). Each range is [lo, hi) in user-key space;
+// nil bounds are unbounded. Boundaries are drawn from the largest input's
+// index so versions of one user key never straddle two ranges.
+//
+// k is clamped so every subrange still carries at least one output table's
+// worth of data (tableSize): splitting small merges would splinter the
+// tree into shards of tiny tables.
+func SplitRanges(inputs []*sstable.Meta, k int, tableSize int64) [][2][]byte {
+	if tableSize > 0 {
+		var total int64
+		for _, m := range inputs {
+			total += m.Size
+		}
+		if maxK := int(total / tableSize); k > maxK {
+			k = maxK
+		}
+	}
+	if k <= 1 || len(inputs) == 0 {
+		return [][2][]byte{{nil, nil}}
+	}
+	// Sample boundary keys from the input with the most index records.
+	var biggest *sstable.Meta
+	for _, m := range inputs {
+		if biggest == nil || m.Index.NumRecords() > biggest.Index.NumRecords() {
+			biggest = m
+		}
+	}
+	n := biggest.Index.NumRecords()
+	if n < 2*k {
+		return [][2][]byte{{nil, nil}}
+	}
+	var bounds [][]byte
+	for i := 1; i < k; i++ {
+		rec, _, _, _ := biggest.Index.Record(i * n / k)
+		bounds = append(bounds, append([]byte(nil), keys.UserKey(rec)...))
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bytes.Compare(bounds[i], bounds[j]) < 0 })
+	// Deduplicate.
+	uniq := bounds[:0]
+	for _, b := range bounds {
+		if len(uniq) == 0 || !bytes.Equal(uniq[len(uniq)-1], b) {
+			uniq = append(uniq, b)
+		}
+	}
+	ranges := make([][2][]byte, 0, len(uniq)+1)
+	var lo []byte
+	for _, b := range uniq {
+		ranges = append(ranges, [2][]byte{lo, b})
+		lo = b
+	}
+	ranges = append(ranges, [2][]byte{lo, nil})
+	return ranges
+}

@@ -1,0 +1,456 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"dlsm/internal/compactor"
+	"dlsm/internal/flush"
+	"dlsm/internal/keys"
+	"dlsm/internal/memnode"
+	"dlsm/internal/memtable"
+	"dlsm/internal/rdma"
+	"dlsm/internal/rpc"
+	"dlsm/internal/sim"
+	"dlsm/internal/sstable"
+	"dlsm/internal/version"
+)
+
+// bgWorker is the thread-local context of one background thread (flusher or
+// compaction worker): its own QP, flush pipeline, scratch buffer and RPC
+// client, per the paper's RDMA manager (§X-B).
+type bgWorker struct {
+	db       *DB
+	qp       *rdma.QP
+	pipeline *flush.Pipeline
+	scratch  *rdma.MemoryRegion
+	cli      *rpc.Client
+	largeCli *rpc.Client // compaction RPC (write-with-imm wakeups)
+}
+
+func (db *DB) newBGWorker() *bgWorker {
+	w := &bgWorker{db: db, qp: db.cn.NewQP(db.mn)}
+	w.pipeline = flush.NewPipeline(w.qp, db.opts.FlushBufSize)
+	return w
+}
+
+func (w *bgWorker) client() *rpc.Client {
+	if w.cli == nil {
+		w.cli = rpc.NewClient(w.db.cn, w.db.mn, nil, 1<<20)
+	}
+	return w.cli
+}
+
+func (w *bgWorker) largeClient() *rpc.Client {
+	if w.largeCli == nil {
+		w.largeCli = rpc.NewClient(w.db.cn, w.db.mn, w.db.notifier, w.db.opts.ReplyBufSize)
+	}
+	return w.largeCli
+}
+
+func (w *bgWorker) close() {
+	w.qp.Close()
+	if w.cli != nil {
+		w.cli.Close()
+	}
+	if w.largeCli != nil {
+		w.largeCli.Close()
+	}
+}
+
+// --- flushing ---------------------------------------------------------------
+
+func (db *DB) flusher() {
+	w := db.newBGWorker()
+	defer w.close()
+	for {
+		mt, ok := db.flushCh.Recv()
+		if !ok {
+			return
+		}
+		db.flushOne(w, mt)
+	}
+}
+
+// flushOne serializes one immutable MemTable into a new L0 table (§X-C).
+func (db *DB) flushOne(w *bgWorker, mt *memtable.MemTable) {
+	// Quiesce: wait until no writer can still insert into mt.
+	_, hi := mt.SeqRange()
+	for !mt.QuiesceDone() || !db.noClaimsBelow(uint64(hi)) {
+		db.env.Sleep(200 * time.Nanosecond)
+	}
+
+	if mt.Empty() {
+		db.finishFlush(mt, nil)
+		return
+	}
+
+	// Capacity covers the data region plus the index+filter footer: per
+	// entry the index stores the internal key plus 14 bytes of offsets,
+	// block formats add up to ~10 bytes/entry of wrapping, and the bloom
+	// filter is ~10 bits/key.
+	capacity := mt.ApproximateSize() + mt.KeyBytes() + int64(mt.Len())*24 + 8<<10
+	dest, err := db.newTableDest(capacity)
+	if err != nil {
+		panic(err) // remote memory exhausted: sizing bug in the deployment
+	}
+	sink := db.newSink(w, dest, capacity)
+	writer := sstable.NewWriter(db.opts.Format, sink, db.opts.BlockSize, db.opts.BitsPerKey,
+		sstable.Options{Costs: db.opts.Costs, Charge: db.charge})
+
+	var maxSeq uint64
+	it := mt.NewIterator()
+	for it.First(); it.Valid(); it.Next() {
+		writer.Add(it.Key(), it.Value())
+		if _, seq, _, err := keys.Parse(it.Key()); err == nil && uint64(seq) > maxSeq {
+			maxSeq = uint64(seq)
+		}
+	}
+	res, err := writer.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("engine: flush failed: %v", err))
+	}
+	capacity = db.shrinkExtent(dest, capacity, res)
+
+	meta := &sstable.Meta{
+		ID: db.vs.NextFileID(), Size: res.Size, Extent: capacity,
+		IndexLen: res.IndexLen, FilterLen: res.FilterLen, Count: res.Count,
+		Smallest: res.Smallest, Largest: res.Largest, MaxSeq: maxSeq,
+		Data: dest, CreatorNode: db.cn.ID,
+		Format: db.opts.Format, BlockSize: db.opts.BlockSize,
+		Index: res.Index, Filter: res.Filter,
+	}
+	db.stats.Flushes.Add(1)
+	db.stats.BytesFlushed.Add(res.Size)
+	db.finishFlush(mt, meta)
+}
+
+// finishFlush publishes the new L0 table (before removing the MemTable from
+// the immutable list, so no read window misses the data) and wakes stalled
+// writers and compaction workers.
+func (db *DB) finishFlush(mt *memtable.MemTable, meta *sstable.Meta) {
+	var file *version.File
+	if meta != nil {
+		file = version.NewFile(meta)
+		e := version.NewEdit()
+		e.Add(0, file)
+		db.vs.Apply(e)
+		db.l0count.Store(int32(db.currentL0Count()))
+	}
+
+	db.mu.Lock()
+	for i, x := range db.imms {
+		if x == mt {
+			db.imms = append(db.imms[:i], db.imms[i+1:]...)
+			break
+		}
+	}
+	db.immCount.Store(int32(len(db.imms)))
+	db.broadcastLocked()
+	db.mu.Unlock()
+
+	if file != nil {
+		db.vs.UnrefFile(file) // drop the creator reference
+	}
+	mt.Unref()
+}
+
+func (db *DB) currentL0Count() int {
+	v := db.vs.Current()
+	n := v.L0Count()
+	v.Unref()
+	return n
+}
+
+// --- compaction --------------------------------------------------------------
+
+func (db *DB) pickParams() version.PickParams {
+	return version.PickParams{
+		L0Trigger:  db.opts.L0CompactTrigger,
+		L1MaxBytes: db.opts.L1MaxBytes,
+		Multiplier: db.opts.LevelMultiplier,
+	}
+}
+
+// compactionWorker loops: pick the most urgent compaction, execute it
+// near-data or locally, install the result.
+func (db *DB) compactionWorker() {
+	w := db.newBGWorker()
+	defer w.close()
+	for {
+		db.mu.Lock()
+		if db.closed {
+			db.mu.Unlock()
+			return
+		}
+		gen := db.workGen
+		db.mu.Unlock()
+
+		c := db.vs.PickCompaction(db.pickParams())
+		if c == nil {
+			db.mu.Lock()
+			if db.workGen == gen && !db.closed {
+				db.bgCond.Wait()
+			}
+			db.mu.Unlock()
+			continue
+		}
+		db.runCompaction(w, c)
+	}
+}
+
+func (db *DB) runCompaction(w *bgWorker, c *version.Compaction) {
+	db.stats.CompactionsRunning.Add(1)
+	defer db.stats.CompactionsRunning.Add(-1)
+
+	start := db.env.Now()
+	var outputs []*sstable.Meta
+	var err error
+	if db.opts.CompactionSite == CompactNearData && db.opts.Transport == TransportNative {
+		outputs, err = db.compactRemote(w, c)
+		db.stats.RemoteCompactions.Add(1)
+	} else {
+		outputs, err = db.compactLocal(w, c)
+		db.stats.LocalCompactions.Add(1)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("engine: compaction failed: %v", err))
+	}
+	db.stats.CompactionTime.Add(int64(db.env.Now() - start))
+	db.stats.CompactionBytesIn.Add(c.InputBytes())
+	for _, m := range outputs {
+		db.stats.CompactionBytesOut.Add(m.Size)
+	}
+
+	// Install: outputs to Level+1, inputs removed — one copy-on-write
+	// metadata mutation (§III).
+	e := version.NewEdit()
+	files := make([]*version.File, 0, len(outputs))
+	for _, m := range outputs {
+		f := version.NewFile(m)
+		files = append(files, f)
+		e.Add(c.Level+1, f)
+	}
+	for _, f := range c.Files() {
+		e.Delete(f)
+	}
+	db.vs.Apply(e)
+	db.vs.Release(c)
+	for _, f := range files {
+		db.vs.UnrefFile(f)
+	}
+	db.l0count.Store(int32(db.currentL0Count()))
+
+	db.mu.Lock()
+	db.broadcastLocked()
+	db.mu.Unlock()
+}
+
+// compactRemote offloads the merge to the memory node through the
+// customized RPC (§V, §X-D2): only metadata travels; table bytes never
+// cross the network.
+func (db *DB) compactRemote(w *bgWorker, c *version.Compaction) ([]*sstable.Meta, error) {
+	args := &memnode.CompactArgs{
+		SmallestSnapshot: uint64(db.smallestSnapshot()),
+		DropTombstones:   c.DropTombstones,
+		Subcompactions:   db.opts.Subcompactions,
+		TableSize:        db.effectiveTableSize(),
+		Format:           db.opts.Format,
+		BlockSize:        db.opts.BlockSize,
+		BitsPerKey:       db.opts.BitsPerKey,
+	}
+	for _, f := range c.Files() {
+		args.Inputs = append(args.Inputs, f.Meta)
+	}
+	reply, err := w.largeClient().CallLarge("compact", memnode.EncodeCompactArgs(args))
+	if err != nil {
+		return nil, err
+	}
+	outputs, err := memnode.DecodeMetas(reply)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range outputs {
+		m.ID = db.vs.NextFileID()
+	}
+	return outputs, nil
+}
+
+// compactLocal merges on the compute node: inputs stream over the network,
+// outputs stream back — the data movement near-data compaction eliminates.
+// Like the memory-node executor, it parallelizes into subcompactions
+// (§XI-B enables 12 subcompaction workers for every system).
+func (db *DB) compactLocal(w *bgWorker, c *version.Compaction) ([]*sstable.Meta, error) {
+	inputMetas := make([]*sstable.Meta, 0, len(c.Files()))
+	for _, f := range c.Files() {
+		inputMetas = append(inputMetas, f.Meta)
+	}
+	ranges := compactor.SplitRanges(inputMetas, db.opts.Subcompactions, db.effectiveTableSize())
+
+	type result struct {
+		metas []*sstable.Meta
+		err   error
+	}
+	results := make([]result, len(ranges))
+	wg := sim.NewWaitGroup(db.env)
+	for i, r := range ranges {
+		i, r := i, r
+		run := func() {
+			defer wg.Done()
+			metas, err := db.runLocalSubcompaction(c, inputMetas, r[0], r[1])
+			results[i] = result{metas, err}
+		}
+		wg.Add(1)
+		if i == len(ranges)-1 {
+			run() // last range on this worker
+		} else {
+			db.env.Go(run)
+		}
+	}
+	wg.Wait()
+
+	var outputs []*sstable.Meta
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		outputs = append(outputs, r.metas...)
+	}
+	return outputs, nil
+}
+
+// runLocalSubcompaction merges one key subrange on the compute node with
+// its own thread-local QP, fetchers and sink.
+func (db *DB) runLocalSubcompaction(c *version.Compaction, inputMetas []*sstable.Meta, lo, hi []byte) ([]*sstable.Meta, error) {
+	qp := db.cn.NewQP(db.mn)
+	defer qp.Close()
+	var cli *rpc.Client
+	cliFn := func() *rpc.Client {
+		if cli == nil {
+			cli = rpc.NewClient(db.cn, db.mn, nil, 1<<20)
+		}
+		return cli
+	}
+	defer func() {
+		if cli != nil {
+			cli.Close()
+		}
+	}()
+	sub := &bgWorker{db: db, qp: qp}
+	sub.pipeline = flush.NewPipeline(qp, db.opts.FlushBufSize)
+
+	inputs := make([]compactor.Input, 0, len(inputMetas))
+	for _, m := range inputMetas {
+		// Each input table needs its own scratch slot: the merge holds
+		// chunks from every input simultaneously.
+		slot := new(*rdma.MemoryRegion)
+		inputs = append(inputs, compactor.Input{
+			Meta:  m,
+			Fetch: db.newFetcher(m, qp, slot, cliFn),
+		})
+	}
+	factory := func(capacity int64) (sstable.Sink, compactor.Commit, error) {
+		dest, err := db.newTableDest(capacity)
+		if err != nil {
+			return nil, nil, err
+		}
+		commit := func(res sstable.BuildResult, maxSeq uint64) (*sstable.Meta, error) {
+			extent := db.shrinkExtent(dest, capacity, res)
+			return &sstable.Meta{
+				ID: db.vs.NextFileID(), Size: res.Size, Extent: extent,
+				IndexLen: res.IndexLen, FilterLen: res.FilterLen, Count: res.Count,
+				Smallest: res.Smallest, Largest: res.Largest, MaxSeq: maxSeq,
+				Data: dest, CreatorNode: db.cn.ID,
+				Format: db.opts.Format, BlockSize: db.opts.BlockSize,
+				Index: res.Index, Filter: res.Filter,
+			}, nil
+		}
+		return db.newSink(sub, dest, capacity), commit, nil
+	}
+	return compactor.Run(inputs, compactor.Params{
+		Format:           db.opts.Format,
+		BlockSize:        db.opts.BlockSize,
+		BitsPerKey:       db.opts.BitsPerKey,
+		TableSize:        db.effectiveTableSize(),
+		ExtentCap:        db.extentClass(),
+		SmallestSnapshot: db.smallestSnapshot(),
+		DropTombstones:   c.DropTombstones,
+		Lo:               lo,
+		Hi:               hi,
+		Prefetch:         db.opts.PrefetchBytes,
+		Opts:             sstable.Options{Costs: db.opts.Costs, Charge: db.charge},
+	}, factory)
+}
+
+// --- garbage collection (§V-B) ----------------------------------------------
+
+// gcWorker reclaims unreachable tables: compute-created extents free
+// locally (the allocator metadata lives here); memory-node-created extents
+// batch into "free" RPCs; tmpfs files batch into "fs_free".
+func (db *DB) gcWorker() {
+	cli := rpc.NewClient(db.cn, db.mn, nil, 1<<20)
+	defer cli.Close()
+	var remoteFrees [][2]int64
+	var fsFrees []uint64
+
+	flushBatches := func(force bool) {
+		if len(remoteFrees) > 0 && (force || len(remoteFrees) >= db.opts.GCBatch) {
+			if _, err := cli.Call("free", memnode.EncodeFrees(remoteFrees)); err != nil {
+				panic(fmt.Sprintf("engine: remote free failed: %v", err))
+			}
+			db.stats.RemoteFreeRPCs.Add(1)
+			remoteFrees = remoteFrees[:0]
+		}
+		if len(fsFrees) > 0 && (force || len(fsFrees) >= db.opts.GCBatch) {
+			args := make([]byte, 4, 4+8*len(fsFrees))
+			putU32(args, uint32(len(fsFrees)))
+			for _, id := range fsFrees {
+				args = appendU64(args, id)
+			}
+			if _, err := cli.Call("fs_free", args); err != nil {
+				panic(fmt.Sprintf("engine: fs free failed: %v", err))
+			}
+			fsFrees = fsFrees[:0]
+		}
+	}
+
+	for {
+		m, ok := db.gcCh.Recv()
+		if !ok {
+			flushBatches(true)
+			return
+		}
+		for {
+			db.routeFree(m, &remoteFrees, &fsFrees)
+			if m, ok = db.gcCh.TryRecv(); !ok {
+				break
+			}
+		}
+		// The queue is drained; ship whatever accumulated (grouping
+		// multiple GC tasks per RPC, §V-B).
+		flushBatches(true)
+	}
+}
+
+func (db *DB) routeFree(m *sstable.Meta, remoteFrees *[][2]int64, fsFrees *[]uint64) {
+	db.stats.TablesFreed.Add(1)
+	switch {
+	case m.Data.RKey == fsRKeySentinel:
+		*fsFrees = append(*fsFrees, uint64(m.Data.Off))
+	case m.CreatorNode == db.cn.ID:
+		db.freeTableLocal(m)
+	default:
+		*remoteFrees = append(*remoteFrees, [2]int64{int64(m.Data.Off), m.Extent})
+	}
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return b
+}

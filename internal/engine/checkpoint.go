@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dlsm/internal/keys"
+	"dlsm/internal/memnode"
+	"dlsm/internal/memtable"
+	"dlsm/internal/rdma"
+	"dlsm/internal/sstable"
+	"dlsm/internal/version"
+)
+
+// Checkpoint returns a transactionally consistent snapshot of the index
+// metadata (§VIII): the sequence horizon plus every level's table metas
+// (including their cached indexes and filters). Table data itself stays in
+// remote memory, which survives a compute-node failure; a main-memory
+// database layers command logging on top and re-executes operations after
+// the horizon on recovery.
+//
+// Call Flush first (or use the snapshot for incremental checkpointing) if
+// MemTable contents must be covered.
+func (db *DB) Checkpoint() []byte {
+	v := db.vs.Current()
+	defer v.Unref()
+
+	b := binary.LittleEndian.AppendUint64(nil, db.seq.Load())
+	for level := 0; level < version.NumLevels; level++ {
+		files := v.Levels[level]
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(files)))
+		for _, f := range files {
+			enc := sstable.EncodeMeta(f.Meta)
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(enc)))
+			b = append(b, enc...)
+		}
+	}
+	return b
+}
+
+// OpenFromCheckpoint reconstructs a DB on a fresh compute node from a
+// checkpoint taken before the previous compute node went away. The memory
+// node server (and the table bytes in its regions) must be the ones the
+// checkpoint refers to.
+func OpenFromCheckpoint(cn *rdma.Node, srv *memnode.Server, opts Options, checkpoint []byte) (*DB, error) {
+	files, seq, err := decodeCheckpoint(checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	db := Open(cn, srv, opts)
+	db.seq.Store(seq)
+
+	// Replace the initial MemTable with one whose sequence range starts
+	// after the checkpoint horizon, so recovered re-execution and new
+	// writes never collide with checkpointed sequence numbers.
+	db.switchMu.Lock()
+	fresh := memtable.New(db.memID, keys.Seq(seq+1), keys.Seq(seq+1+db.seqRangeLen()))
+	db.cur.Store(fresh)
+	db.recent = []*memtable.MemTable{fresh}
+	db.switchMu.Unlock()
+
+	edit := version.NewEdit()
+	var created []*version.File
+	for level, metas := range files {
+		for _, m := range metas {
+			f := version.NewFile(m)
+			created = append(created, f)
+			edit.Add(level, f)
+		}
+	}
+	db.vs.Apply(edit)
+	for _, f := range created {
+		db.vs.UnrefFile(f)
+	}
+	db.l0count.Store(int32(db.currentL0Count()))
+	return db, nil
+}
+
+func decodeCheckpoint(b []byte) (files [version.NumLevels][]*sstable.Meta, seq uint64, err error) {
+	if len(b) < 8 {
+		return files, 0, fmt.Errorf("engine: short checkpoint")
+	}
+	seq = binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	for level := 0; level < version.NumLevels; level++ {
+		if len(b) < 4 {
+			return files, 0, fmt.Errorf("engine: truncated checkpoint at level %d", level)
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		for i := 0; i < n; i++ {
+			if len(b) < 4 {
+				return files, 0, fmt.Errorf("engine: truncated checkpoint meta")
+			}
+			sz := int(binary.LittleEndian.Uint32(b))
+			if len(b) < 4+sz {
+				return files, 0, fmt.Errorf("engine: truncated checkpoint meta body")
+			}
+			m, _, err := sstable.DecodeMeta(b[4 : 4+sz])
+			if err != nil {
+				return files, 0, err
+			}
+			files[level] = append(files[level], m)
+			b = b[4+sz:]
+		}
+	}
+	return files, seq, nil
+}

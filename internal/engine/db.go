@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dlsm/internal/keys"
+	"dlsm/internal/memnode"
+	"dlsm/internal/memtable"
+	"dlsm/internal/rdma"
+	"dlsm/internal/remote"
+	"dlsm/internal/rpc"
+	"dlsm/internal/sim"
+	"dlsm/internal/sstable"
+	"dlsm/internal/version"
+)
+
+// dbInstanceSeq hands every DB a process-unique id; tmpfs file names are
+// namespaced by it so shards sharing one memory node never collide.
+var dbInstanceSeq atomic.Uint64
+
+// DB is one LSM-tree over disaggregated memory: MemTables, metadata, table
+// indexes and bloom filters live on the compute node; SSTable bytes live on
+// the memory node (§III).
+type DB struct {
+	instanceID uint64
+
+	env  *sim.Env
+	opts Options
+	cn   *rdma.Node
+	mn   *rdma.Node
+	srv  *memnode.Server
+
+	dataMR *rdma.MemoryRegion
+	alloc  *remote.Allocator // compute-controlled region (§V-A)
+	vs     *version.VersionSet
+
+	// Write state.
+	seq      atomic.Uint64
+	cur      atomic.Pointer[memtable.MemTable]
+	switchMu sync.Mutex // guards MemTable switching and the recent list
+	recent   []*memtable.MemTable
+	memID    uint64 // under switchMu
+
+	writeMu *sim.Mutex // SwitchLocked only: the global write lock
+
+	// Background coordination.
+	mu       *sim.Mutex
+	bgCond   *sim.Cond
+	imms     []*memtable.MemTable // flush queue, newest last (under mu)
+	workGen  uint64               // bumped on every broadcast (under mu)
+	closed   bool                 // under mu
+	l0count  atomic.Int32
+	immCount atomic.Int32
+	flushCh  *sim.Chan[*memtable.MemTable]
+	gcCh     *sim.Chan[*sstable.Meta]
+	notifier *rpc.Notifier
+	wg       *sim.WaitGroup
+
+	// Snapshots for compaction safety (explicit snapshots and iterators).
+	snapMu sync.Mutex
+	snaps  map[keys.Seq]int
+
+	// Registered sessions, for the flush quiesce barrier.
+	sessMu   sync.Mutex
+	sessions []*Session
+
+	stats Stats
+}
+
+// Open creates a DB on compute node cn backed by the memory node server
+// srv. The server must already be started.
+func Open(cn *rdma.Node, srv *memnode.Server, opts Options) *DB {
+	opts = opts.withDefaults()
+	env := cn.Fabric().Env()
+	db := &DB{
+		instanceID: dbInstanceSeq.Add(1),
+		env:        env,
+		opts:       opts,
+		cn:         cn,
+		mn:         srv.Node(),
+		srv:        srv,
+		dataMR:     srv.DataMR(),
+		alloc:      srv.ComputeAlloc(),
+		mu:         sim.NewMutex(env),
+		writeMu:    sim.NewMutex(env),
+		flushCh:    sim.NewChan[*memtable.MemTable](env, 1024),
+		gcCh:       sim.NewChan[*sstable.Meta](env, 65536),
+		wg:         sim.NewWaitGroup(env),
+		snaps:      map[keys.Seq]int{},
+	}
+	db.bgCond = sim.NewNamedCond(env, db.mu, "engine.bg")
+	db.vs = version.New(db.onObsolete)
+	db.notifier = rpc.NotifierFor(cn)
+
+	first := memtable.New(1, 1, 1+keys.Seq(db.seqRangeLen()))
+	db.memID = 1
+	db.cur.Store(first)
+	db.recent = []*memtable.MemTable{first}
+
+	for i := 0; i < opts.FlushWorkers; i++ {
+		db.wg.Add(1)
+		db.env.Go(func() { defer db.wg.Done(); db.flusher() })
+	}
+	for i := 0; i < opts.CompactionWorkers; i++ {
+		db.wg.Add(1)
+		db.env.Go(func() { defer db.wg.Done(); db.compactionWorker() })
+	}
+	db.wg.Add(1)
+	db.env.Go(func() { defer db.wg.Done(); db.gcWorker() })
+	return db
+}
+
+// seqRangeLen is how many sequence numbers each MemTable owns: large enough
+// that a table fills by size at about the same point its range runs out, so
+// the switch lock is almost never contended (§IV).
+func (db *DB) seqRangeLen() uint64 {
+	if db.opts.SwitchPolicy == SwitchLocked {
+		// Conventional switching is size-driven only; ranges are
+		// effectively unbounded and truncated at each switch fence.
+		return 1 << 40
+	}
+	n := uint64(db.opts.MemTableSize) / uint64(db.opts.EntrySizeHint)
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// CurrentSeq returns the newest assigned sequence number.
+func (db *DB) CurrentSeq() keys.Seq { return keys.Seq(db.seq.Load()) }
+
+// Env returns the simulation environment.
+func (db *DB) Env() *sim.Env { return db.env }
+
+// Options returns the configuration (read-only).
+func (db *DB) Options() Options { return db.opts }
+
+// charge accounts CPU to the compute node.
+func (db *DB) charge(d sim.Duration) { db.cn.CPU.Use(d) }
+
+// broadcastLocked wakes stalled writers and idle compaction workers.
+// Caller holds db.mu.
+func (db *DB) broadcastLocked() {
+	db.workGen++
+	db.bgCond.Broadcast()
+}
+
+// onObsolete routes an unreachable table to the GC worker. It may run
+// under version-set or engine locks, so it only enqueues (§V-B).
+func (db *DB) onObsolete(m *sstable.Meta) {
+	if !db.gcCh.TrySend(m) {
+		panic("engine: gc queue overflow")
+	}
+}
+
+// registerSnapshot pins seq against compaction dropping versions <= seq.
+func (db *DB) registerSnapshot(seq keys.Seq) {
+	db.snapMu.Lock()
+	db.snaps[seq]++
+	db.snapMu.Unlock()
+}
+
+func (db *DB) releaseSnapshot(seq keys.Seq) {
+	db.snapMu.Lock()
+	db.snaps[seq]--
+	if db.snaps[seq] == 0 {
+		delete(db.snaps, seq)
+	}
+	db.snapMu.Unlock()
+}
+
+// smallestSnapshot is the oldest sequence any live reader may use.
+func (db *DB) smallestSnapshot() keys.Seq {
+	min := db.CurrentSeq()
+	db.snapMu.Lock()
+	for s := range db.snaps {
+		if s < min {
+			min = s
+		}
+	}
+	db.snapMu.Unlock()
+	return min
+}
+
+// Flush forces the current MemTable to remote memory and waits until the
+// flush queue drains — the transactionally consistent checkpoint boundary
+// of §VIII.
+func (db *DB) Flush() {
+	db.switchMu.Lock()
+	mt := db.cur.Load()
+	if !mt.Empty() {
+		db.switchLocked(mt)
+	}
+	db.switchMu.Unlock()
+
+	db.mu.Lock()
+	for len(db.imms) > 0 && !db.closed {
+		db.bgCond.Wait()
+	}
+	db.mu.Unlock()
+}
+
+// WaitForCompactions blocks until no compaction is runnable or running.
+// Used by read benchmarks that measure after the tree settles (§XI-C2).
+func (db *DB) WaitForCompactions() {
+	for {
+		db.mu.Lock()
+		if db.closed {
+			db.mu.Unlock()
+			return
+		}
+		gen := db.workGen
+		db.mu.Unlock()
+
+		if c := db.vs.PickCompaction(db.pickParams()); c != nil {
+			db.vs.Release(c)
+		} else if db.stats.CompactionsRunning.Load() == 0 {
+			return
+		}
+		db.mu.Lock()
+		if db.workGen == gen && !db.closed {
+			db.bgCond.Wait()
+		}
+		db.mu.Unlock()
+	}
+}
+
+// Close drains background work and stops all engine entities. Sessions
+// must be closed by their owners; the fabric is left running.
+func (db *DB) Close() {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return
+	}
+	db.closed = true
+	db.broadcastLocked()
+	db.mu.Unlock()
+
+	db.flushCh.Close()
+	db.gcCh.Close()
+	db.wg.Wait()
+}

@@ -1,0 +1,34 @@
+package engine
+
+import (
+	"testing"
+
+	"dlsm/internal/sstable"
+)
+
+// TestModelCheckMoreConfigs extends the model check across the remaining
+// format x compaction-site x subcompaction matrix. The block+subcompaction
+// cells are the regression net for a real bug found during development:
+// output rotation splitting one user key's versions across two tables,
+// which level point-lookups (one candidate file per level) cannot see.
+func TestModelCheckMoreConfigs(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"local-byteaddr", func(o *Options) { o.CompactionSite = CompactLocal }},
+		{"neardata-block", func(o *Options) { o.Format = sstable.Block; o.BlockSize = 2 << 10 }},
+		{"neardata-block-sub1", func(o *Options) { o.Format = sstable.Block; o.BlockSize = 2 << 10; o.Subcompactions = 1 }},
+		{"local-block-sub1", func(o *Options) {
+			o.Format = sstable.Block
+			o.BlockSize = 2 << 10
+			o.CompactionSite = CompactLocal
+			o.Subcompactions = 1
+		}},
+	} {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			runModelScenario(t, cfg.mut)
+		})
+	}
+}

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dlsm/internal/keys"
+	"dlsm/internal/sim"
+	"dlsm/internal/sstable"
+)
+
+// TestModelCheckRandomOps drives the engine with random Put/Delete/Get/scan
+// sequences and cross-checks every observation against an in-memory
+// reference model, including at historical snapshots. This is the
+// linearizability-style workhorse: it exercises MemTable switches, flushes,
+// near-data compaction, tombstones and snapshot isolation together.
+func TestModelCheckRandomOps(t *testing.T) {
+	configs := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"neardata-byteaddr", func(o *Options) {}},
+		{"local-block", func(o *Options) {
+			o.Format = sstable.Block
+			o.BlockSize = 2 << 10
+			o.CompactionSite = CompactLocal
+		}},
+		{"locked-fs", func(o *Options) {
+			o.Format = sstable.Block
+			o.Transport = TransportFS
+			o.SwitchPolicy = SwitchLocked
+			o.AsyncFlush = false
+			o.CompactionSite = CompactLocal
+		}},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) { runModelScenario(t, cfg.mut) })
+	}
+}
+
+// runModelScenario is the shared model-checking body.
+func runModelScenario(t *testing.T, mut func(*Options)) {
+	{
+		{
+			opts := smallOpts()
+			opts.MemTableSize = 16 << 10 // tiny: constant flushing/compaction
+			opts.TableSize = 16 << 10
+			opts.L1MaxBytes = 64 << 10
+			mut(&opts)
+			harness(t, opts, func(env *sim.Env, db *DB) {
+				model := map[string]string{}
+				type snap struct {
+					seq   keys.Seq
+					model map[string]string
+				}
+				var snaps []snap
+
+				s := db.NewSession()
+				defer s.Close()
+				rnd := rand.New(rand.NewSource(99))
+				const keySpace = 400
+				for step := 0; step < 6000; step++ {
+					k := fmt.Sprintf("key-%03d", rnd.Intn(keySpace))
+					switch op := rnd.Intn(10); {
+					case op < 5: // put
+						v := fmt.Sprintf("v%d", step)
+						s.Put([]byte(k), []byte(v))
+						model[k] = v
+					case op < 7: // delete
+						s.Delete([]byte(k))
+						delete(model, k)
+					default: // get
+						got, err := s.Get([]byte(k))
+						want, ok := model[k]
+						if ok != (err == nil) || (ok && string(got) != want) {
+							t.Fatalf("step %d: Get(%s) = (%q,%v), model (%q,%v)",
+								step, k, got, err, want, ok)
+						}
+					}
+					if step%1500 == 777 { // take a historical snapshot
+						m := make(map[string]string, len(model))
+						for k, v := range model {
+							m[k] = v
+						}
+						db.registerSnapshot(db.CurrentSeq())
+						snaps = append(snaps, snap{db.CurrentSeq(), m})
+					}
+				}
+
+				// Final state: every key matches the model.
+				for i := 0; i < keySpace; i++ {
+					k := fmt.Sprintf("key-%03d", i)
+					got, err := s.Get([]byte(k))
+					want, ok := model[k]
+					if ok != (err == nil) || (ok && string(got) != want) {
+						t.Fatalf("final Get(%s) = (%q,%v), model (%q,%v)", k, got, err, want, ok)
+					}
+				}
+
+				// Historical snapshots still read their frozen state even
+				// after flushes and compactions.
+				db.Flush()
+				db.WaitForCompactions()
+				for _, sn := range snaps {
+					for i := 0; i < keySpace; i += 3 {
+						k := fmt.Sprintf("key-%03d", i)
+						got, err := s.GetAt([]byte(k), sn.seq)
+						want, ok := sn.model[k]
+						if ok != (err == nil) || (ok && string(got) != want) {
+							for d := keys.Seq(0); d < 40; d++ {
+								if v2, e2 := s.GetAt([]byte(k), sn.seq-d); e2 == nil {
+									t.Logf("  GetAt(%s, %d) = %q", k, sn.seq-d, v2)
+									break
+								}
+							}
+							cur, ce := s.Get([]byte(k))
+							t.Logf("  current Get(%s) = (%q, %v)", k, cur, ce)
+							t.Fatalf("snapshot@%d Get(%s) = (%q,%v), model (%q,%v)",
+								sn.seq, k, got, err, want, ok)
+						}
+					}
+					db.releaseSnapshot(sn.seq)
+				}
+
+				// A full scan agrees with the model exactly.
+				it := s.NewIterator()
+				defer it.Close()
+				seen := map[string]string{}
+				for it.First(); it.Valid(); it.Next() {
+					seen[string(it.Key())] = string(it.Value())
+				}
+				if err := it.Error(); err != nil {
+					t.Fatal(err)
+				}
+				if len(seen) != len(model) {
+					t.Fatalf("scan saw %d keys, model has %d", len(seen), len(model))
+				}
+				for k, v := range model {
+					if seen[k] != v {
+						t.Fatalf("scan[%s] = %q, model %q", k, seen[k], v)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestModelCheckConcurrentReaders runs writers and validating readers
+// concurrently: every read must return either a value some Put wrote for
+// that key, never garbage, and scans must always be sorted.
+func TestModelCheckConcurrentReaders(t *testing.T) {
+	opts := smallOpts()
+	opts.MemTableSize = 32 << 10
+	opts.TableSize = 32 << 10
+	harness(t, opts, func(env *sim.Env, db *DB) {
+		const keySpace = 300
+		wg := sim.NewWaitGroup(env)
+		stop := false
+
+		for w := 0; w < 4; w++ {
+			w := w
+			wg.Add(1)
+			env.Go(func() {
+				defer wg.Done()
+				s := db.NewSession()
+				defer s.Close()
+				rnd := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < 2000; i++ {
+					k := fmt.Sprintf("key-%03d", rnd.Intn(keySpace))
+					s.Put([]byte(k), []byte(fmt.Sprintf("%s=%d.%d", k, w, i)))
+				}
+			})
+		}
+		for r := 0; r < 4; r++ {
+			r := r
+			wg.Add(1)
+			env.Go(func() {
+				defer wg.Done()
+				s := db.NewSession()
+				defer s.Close()
+				rnd := rand.New(rand.NewSource(int64(100 + r)))
+				for i := 0; i < 800 && !stop; i++ {
+					k := fmt.Sprintf("key-%03d", rnd.Intn(keySpace))
+					v, err := s.Get([]byte(k))
+					if err == nil {
+						// Value integrity: it must be a value written for
+						// exactly this key.
+						if len(v) < len(k) || string(v[:len(k)]) != k {
+							t.Errorf("Get(%s) returned foreign value %q", k, v)
+							stop = true
+						}
+					} else if err != ErrNotFound {
+						t.Errorf("Get(%s): %v", k, err)
+						stop = true
+					}
+				}
+			})
+		}
+		wg.Wait()
+	})
+}

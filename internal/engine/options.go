@@ -1,0 +1,199 @@
+// Package engine implements the dLSM storage engine on one compute node
+// backed by one memory node: the paper's write path with sequence-range
+// MemTable switching (§IV), asynchronous flushing (§X-C), near-data or
+// compute-side compaction (§V), byte-addressable or block SSTables (§VI),
+// snapshot-isolated reads and scans, stall control and ownership-aware
+// garbage collection (§V-B).
+//
+// dLSM proper and the LSM baselines (RocksDB-RDMA ports, Nova-LSM
+// adaptation, the dLSM-Block ablation) are configurations of this engine:
+// they differ only in table format, compaction site, flush I/O mode, the
+// MemTable switch protocol, and the storage transport.
+package engine
+
+import (
+	"time"
+
+	"dlsm/internal/sim"
+	"dlsm/internal/sstable"
+)
+
+// SwitchPolicy selects how writers decide when a MemTable becomes immutable.
+type SwitchPolicy int
+
+const (
+	// SwitchSeqRange is dLSM's protocol (§IV): each MemTable owns a
+	// pre-assigned sequence-number range; only boundary writers contend.
+	SwitchSeqRange SwitchPolicy = iota
+	// SwitchLocked is the conventional design: writers serialize sequence
+	// assignment and the full-table check through a global write mutex,
+	// paying SyncOverhead of CPU inside the critical section.
+	SwitchLocked
+)
+
+// CompactionSite selects where compaction executes.
+type CompactionSite int
+
+const (
+	// CompactNearData offloads compaction to the memory node (§V).
+	CompactNearData CompactionSite = iota
+	// CompactLocal merges on the compute node, fetching every input byte
+	// and writing back every output byte over the network.
+	CompactLocal
+)
+
+// Transport selects how table bytes reach the memory node.
+type Transport int
+
+const (
+	// TransportNative writes straight to pre-registered remote extents
+	// with one-sided verbs (dLSM).
+	TransportNative Transport = iota
+	// TransportFS goes through the RDMA-oriented file system used to port
+	// RocksDB (§XI-A): block-aligned, synchronous, one extra copy.
+	TransportFS
+	// TransportTmpfsRPC does file I/O via two-sided RPCs to a tmpfs
+	// service on the memory node (the Nova-LSM adaptation).
+	TransportTmpfsRPC
+)
+
+// Options configures a DB.
+type Options struct {
+	Format     sstable.Format
+	BlockSize  int // Block format target block size
+	BitsPerKey int // bloom filter bits per key (0 disables)
+
+	MemTableSize  int64 // switch threshold
+	EntrySizeHint int   // expected bytes/entry, sizes the seq range
+	TableSize     int64 // SSTable target size
+
+	L0CompactTrigger int // files in L0 triggering compaction
+	L0StopTrigger    int // files in L0 stalling writers; <=0 means never (bulkload)
+	MaxImmutables    int // immutable MemTables before writers stall
+	L1MaxBytes       int64
+	LevelMultiplier  int64
+
+	FlushWorkers      int
+	CompactionWorkers int
+	Subcompactions    int
+
+	SwitchPolicy   SwitchPolicy
+	CompactionSite CompactionSite
+	Transport      Transport
+	AsyncFlush     bool // overlap serialization with RDMA writes (§X-C)
+	FlushBufSize   int
+
+	PrefetchBytes int // range-scan read-ahead
+
+	// SyncOverhead is CPU charged inside the global write lock under
+	// SwitchLocked — the synchronization cost dLSM eliminates (§IV).
+	SyncOverhead time.Duration
+
+	// WritePathExtra is additional per-write CPU charged outside any lock,
+	// modeling the deeper write-path software stack of the ported systems
+	// (writer groups, format framing) that dLSM's lean path avoids (§IV).
+	WritePathExtra time.Duration
+
+	// ReplyBufSize bounds compaction RPC replies (new tables' metadata).
+	ReplyBufSize int
+
+	// GCBatch groups this many remote frees per "free" RPC (§V-B).
+	GCBatch int
+
+	Costs sim.CostModel
+}
+
+// DLSM returns dLSM's configuration at benchmark scale (sizes scaled from
+// the paper's 64MB tables per DESIGN.md §2).
+func DLSM() Options {
+	return Options{
+		Format:            sstable.ByteAddr,
+		BitsPerKey:        10,
+		MemTableSize:      4 << 20,
+		EntrySizeHint:     420,
+		TableSize:         4 << 20,
+		L0CompactTrigger:  4,
+		L0StopTrigger:     36,
+		MaxImmutables:     16,
+		L1MaxBytes:        32 << 20,
+		LevelMultiplier:   10,
+		FlushWorkers:      4,
+		CompactionWorkers: 12,
+		Subcompactions:    12,
+		SwitchPolicy:      SwitchSeqRange,
+		CompactionSite:    CompactNearData,
+		Transport:         TransportNative,
+		AsyncFlush:        true,
+		FlushBufSize:      1 << 20,
+		PrefetchBytes:     2 << 20,
+		SyncOverhead:      450 * time.Nanosecond,
+		ReplyBufSize:      16 << 20,
+		GCBatch:           8,
+		Costs:             sim.DefaultCosts(),
+	}
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	d := DLSM()
+	if o.BitsPerKey == 0 {
+		o.BitsPerKey = d.BitsPerKey
+	}
+	if o.MemTableSize == 0 {
+		o.MemTableSize = d.MemTableSize
+	}
+	if o.EntrySizeHint == 0 {
+		o.EntrySizeHint = d.EntrySizeHint
+	}
+	if o.TableSize == 0 {
+		o.TableSize = d.TableSize
+	}
+	if o.L0CompactTrigger == 0 {
+		o.L0CompactTrigger = d.L0CompactTrigger
+	}
+	if o.MaxImmutables == 0 {
+		o.MaxImmutables = d.MaxImmutables
+	}
+	if o.L1MaxBytes == 0 {
+		o.L1MaxBytes = d.L1MaxBytes
+	}
+	if o.LevelMultiplier == 0 {
+		o.LevelMultiplier = d.LevelMultiplier
+	}
+	if o.FlushWorkers == 0 {
+		o.FlushWorkers = d.FlushWorkers
+	}
+	if o.CompactionWorkers == 0 {
+		o.CompactionWorkers = d.CompactionWorkers
+	}
+	if o.Subcompactions == 0 {
+		o.Subcompactions = d.Subcompactions
+	}
+	if o.FlushBufSize == 0 {
+		o.FlushBufSize = d.FlushBufSize
+	}
+	if o.PrefetchBytes == 0 {
+		o.PrefetchBytes = d.PrefetchBytes
+	}
+	if o.SyncOverhead == 0 {
+		o.SyncOverhead = d.SyncOverhead
+	}
+	if o.ReplyBufSize == 0 {
+		o.ReplyBufSize = d.ReplyBufSize
+	}
+	if o.GCBatch == 0 {
+		o.GCBatch = d.GCBatch
+	}
+	if o.Costs == (sim.CostModel{}) {
+		o.Costs = d.Costs
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 8 << 10
+	}
+	// Writers must never stall below the compaction trigger, or L0 can
+	// never become compactable and the system wedges.
+	if o.L0StopTrigger > 0 && o.L0CompactTrigger > o.L0StopTrigger {
+		o.L0CompactTrigger = o.L0StopTrigger
+	}
+	return o
+}

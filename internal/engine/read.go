@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+
+	"dlsm/internal/keys"
+	"dlsm/internal/memtable"
+	"dlsm/internal/sstable"
+	"dlsm/internal/version"
+)
+
+// ErrNotFound is returned by Get when no visible version of a key exists.
+var ErrNotFound = errors.New("dlsm: key not found")
+
+// Get reads the newest visible value of key (snapshot = current sequence).
+func (s *Session) Get(key []byte) ([]byte, error) {
+	return s.GetAt(key, s.db.CurrentSeq())
+}
+
+// GetAt reads key at an explicit snapshot sequence.
+func (s *Session) GetAt(key []byte, snap keys.Seq) ([]byte, error) {
+	db := s.db
+	db.stats.Reads.Add(1)
+
+	// Pin a consistent view. The immutable list is captured BEFORE the
+	// version: flushers publish to L0 before removing from the list, so
+	// the union always covers every table (§III).
+	mem := db.cur.Load()
+	mem.Ref()
+	imms := db.pinImms()
+	v := db.vs.Current()
+	defer func() {
+		mem.Unref()
+		for _, m := range imms {
+			m.Unref()
+		}
+		v.Unref()
+	}()
+
+	// 1. MemTable, then immutable tables newest -> oldest.
+	db.charge(db.opts.Costs.MemProbe)
+	if val, found, deleted := mem.Get(key, snap); found {
+		return valueOrNotFound(val, deleted)
+	}
+	for i := len(imms) - 1; i >= 0; i-- {
+		db.charge(db.opts.Costs.MemProbe)
+		if val, found, deleted := imms[i].Get(key, snap); found {
+			return valueOrNotFound(val, deleted)
+		}
+	}
+
+	// 2. L0, newest -> oldest (files overlap).
+	for _, f := range v.Levels[0] {
+		if !keyInRange(key, f.Meta) {
+			continue
+		}
+		val, found, deleted, err := s.tableGet(f.Meta, key, snap)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			return valueOrNotFound(val, deleted)
+		}
+	}
+
+	// 3. Deeper levels: at most one candidate file per level.
+	for level := 1; level < version.NumLevels; level++ {
+		f := findFile(v.Levels[level], key)
+		if f == nil {
+			continue
+		}
+		val, found, deleted, err := s.tableGet(f.Meta, key, snap)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			return valueOrNotFound(val, deleted)
+		}
+	}
+	return nil, ErrNotFound
+}
+
+func (s *Session) tableGet(meta *sstable.Meta, key []byte, snap keys.Seq) ([]byte, bool, bool, error) {
+	r := sstable.NewReader(meta, s.fetcher(meta), sstable.Options{
+		Costs:  s.db.opts.Costs,
+		Charge: s.db.charge,
+	})
+	val, found, deleted, err := r.Get(key, snap)
+	if err != nil || !found || deleted {
+		return nil, found, deleted, err
+	}
+	// The fetcher's scratch is reused; hand the caller a stable copy.
+	return append([]byte(nil), val...), true, false, nil
+}
+
+// pinImms snapshots the immutable list with references held.
+func (db *DB) pinImms() []*memtable.MemTable {
+	db.mu.Lock()
+	out := make([]*memtable.MemTable, len(db.imms))
+	copy(out, db.imms)
+	for _, m := range out {
+		m.Ref()
+	}
+	db.mu.Unlock()
+	return out
+}
+
+func valueOrNotFound(val []byte, deleted bool) ([]byte, error) {
+	if deleted {
+		return nil, ErrNotFound
+	}
+	return val, nil
+}
+
+func keyInRange(key []byte, m *sstable.Meta) bool {
+	return bytes.Compare(key, keys.UserKey(m.Smallest)) >= 0 &&
+		bytes.Compare(key, keys.UserKey(m.Largest)) <= 0
+}
+
+// findFile binary-searches a sorted level for the file that may contain key.
+func findFile(files []*version.File, key []byte) *version.File {
+	lo, hi := 0, len(files)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys.UserKey(files[mid].Largest), key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(files) || bytes.Compare(key, keys.UserKey(files[lo].Smallest)) < 0 {
+		return nil
+	}
+	return files[lo]
+}

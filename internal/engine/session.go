@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dlsm/internal/rdma"
+	"dlsm/internal/rpc"
+	"dlsm/internal/sstable"
+)
+
+// Session is one application thread's handle to the DB. Per the paper's
+// RDMA manager (§X-B), every thread owns a thread-local queue pair and
+// buffers, so sessions must not be shared across concurrent entities.
+type Session struct {
+	db      *DB
+	qp      *rdma.QP
+	scratch *rdma.MemoryRegion
+	cli     *rpc.Client // lazily created; tmpfs transport reads
+
+	// claim is the sequence number this session is currently inserting
+	// (0 = none). Flushers quiesce a MemTable by waiting until no session
+	// holds a claim below the table's range end.
+	claim atomic.Uint64
+
+	pendingCPU time.Duration
+}
+
+// NewSession creates a thread-local handle.
+func (db *DB) NewSession() *Session {
+	s := &Session{db: db, qp: db.cn.NewQP(db.mn)}
+	db.sessMu.Lock()
+	db.sessions = append(db.sessions, s)
+	db.sessMu.Unlock()
+	return s
+}
+
+// Close releases the session's fabric resources and deregisters it.
+func (s *Session) Close() {
+	s.FlushCPU()
+	db := s.db
+	db.sessMu.Lock()
+	for i, x := range db.sessions {
+		if x == s {
+			db.sessions = append(db.sessions[:i], db.sessions[i+1:]...)
+			break
+		}
+	}
+	db.sessMu.Unlock()
+	s.qp.Close()
+	if s.cli != nil {
+		s.cli.Close()
+	}
+}
+
+// client returns the session's RPC client to the memory node.
+func (s *Session) client() *rpc.Client {
+	if s.cli == nil {
+		s.cli = rpc.NewClient(s.db.cn, s.db.mn, nil, 1<<20)
+	}
+	return s.cli
+}
+
+// noClaimsBelow reports whether no session is mid-insert with a sequence
+// the table at [_, hi) could own.
+func (db *DB) noClaimsBelow(hi uint64) bool {
+	db.sessMu.Lock()
+	defer db.sessMu.Unlock()
+	for _, s := range db.sessions {
+		if c := s.claim.Load(); c != 0 && c < hi {
+			return false
+		}
+	}
+	return true
+}
+
+// fetcher returns a Fetcher for the table through this session's QP,
+// honoring the engine transport (native one-sided reads, the RDMA file
+// system's extra copy, or tmpfs RPC).
+func (s *Session) fetcher(meta *sstable.Meta) sstable.Fetcher {
+	return s.db.newFetcher(meta, s.qp, &s.scratch, s.client)
+}

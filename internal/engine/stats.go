@@ -1,0 +1,54 @@
+package engine
+
+import "sync/atomic"
+
+// Stats holds the engine's observability counters. All fields are safe for
+// concurrent reads while the DB runs.
+type Stats struct {
+	Writes      atomic.Int64
+	Reads       atomic.Int64
+	MemSwitches atomic.Int64
+
+	Flushes      atomic.Int64
+	BytesFlushed atomic.Int64
+
+	RemoteCompactions  atomic.Int64
+	LocalCompactions   atomic.Int64
+	CompactionsRunning atomic.Int64
+	CompactionBytesIn  atomic.Int64
+	CompactionBytesOut atomic.Int64
+	CompactionTime     atomic.Int64 // virtual ns
+
+	Stalls       atomic.Int64
+	StallTime    atomic.Int64 // virtual ns
+	StallL0Time  atomic.Int64 // stalled on level0_stop_writes_trigger
+	StallImmTime atomic.Int64 // stalled on MaxImmutables (flush backlog)
+
+	TablesFreed    atomic.Int64
+	RemoteFreeRPCs atomic.Int64
+}
+
+// Stats exposes the live counters.
+func (db *DB) Stats() *Stats { return &db.stats }
+
+// SpaceUsed reports the remote-memory footprint: compute-controlled
+// allocations plus the memory node's self-controlled allocations plus
+// tmpfs files (§XI-C3's space comparison).
+func (db *DB) SpaceUsed() int64 {
+	return db.alloc.Used() + db.srv.SelfUsed() + db.srv.FSUsed()
+}
+
+// LevelSizes returns the current per-level (files, bytes).
+func (db *DB) LevelSizes() [][2]int64 {
+	v := db.vs.Current()
+	defer v.Unref()
+	out := make([][2]int64, len(v.Levels))
+	for i, level := range v.Levels {
+		var bytes int64
+		for _, f := range level {
+			bytes += f.Size
+		}
+		out[i] = [2]int64{int64(len(level)), bytes}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"time"
+
+	"dlsm/internal/keys"
+	"dlsm/internal/memtable"
+)
+
+// Put inserts key -> value through the session's thread context.
+func (s *Session) Put(key, value []byte) { s.write(keys.KindSet, key, value) }
+
+// Delete writes a tombstone for key.
+func (s *Session) Delete(key []byte) { s.write(keys.KindDelete, key, nil) }
+
+func (s *Session) write(kind keys.Kind, key, value []byte) {
+	db := s.db
+	db.maybeStall()
+
+	var seq keys.Seq
+	var mt *memtable.MemTable
+	switch db.opts.SwitchPolicy {
+	case SwitchSeqRange:
+		// dLSM (§IV): a lock-free fetch-and-add assigns the sequence; the
+		// table is determined by which range the sequence falls in, so
+		// only range-boundary writers ever touch the switch lock. The
+		// claim publishes the in-flight sequence so flushers quiesce
+		// straggler inserts into already-switched tables.
+		seq = keys.Seq(db.seq.Add(1))
+		s.claim.Store(uint64(seq))
+		mt = db.tableFor(seq)
+	case SwitchLocked:
+		// Conventional ports: sequence assignment and the full-table
+		// check are a critical section; the CPU burned while holding the
+		// lock caps aggregate write throughput regardless of threads.
+		db.writeMu.Lock()
+		db.charge(db.opts.SyncOverhead)
+		seq = keys.Seq(db.seq.Add(1))
+		s.claim.Store(uint64(seq))
+		mt = db.cur.Load()
+		if mt.ApproximateSize() >= db.opts.MemTableSize {
+			db.sizeSwitch(mt)
+			mt = db.cur.Load()
+		}
+		db.writeMu.Unlock()
+	}
+
+	mt.BeginWrite()
+	s.chargeBatched(db.opts.Costs.MemInsert + db.opts.WritePathExtra)
+	mt.Add(seq, kind, key, value)
+	mt.EndWrite()
+	s.claim.Store(0)
+	db.stats.Writes.Add(1)
+
+	// Size-triggered switch (SeqRange): burn one sequence number as a
+	// fence so every outstanding sequence still maps to the old table.
+	if db.opts.SwitchPolicy == SwitchSeqRange &&
+		mt.ApproximateSize() >= db.opts.MemTableSize && db.cur.Load() == mt {
+		db.sizeSwitch(mt)
+	}
+}
+
+// sizeSwitch retires mt because it reached its size limit, truncating its
+// sequence range at a freshly burned fence sequence.
+func (db *DB) sizeSwitch(mt *memtable.MemTable) {
+	db.switchMu.Lock()
+	if db.cur.Load() == mt {
+		fence := keys.Seq(db.seq.Add(1))
+		mt.TruncateHi(fence + 1)
+		db.switchLocked(mt)
+	}
+	db.switchMu.Unlock()
+}
+
+// tableFor resolves which MemTable owns seq, switching tables when seq runs
+// past the current range (the double-checked locking of §IV, entered only
+// by out-of-range writers).
+func (db *DB) tableFor(seq keys.Seq) *memtable.MemTable {
+	mt := db.cur.Load()
+	if mt.Owns(seq) {
+		return mt
+	}
+	db.switchMu.Lock()
+	defer db.switchMu.Unlock()
+	for {
+		mt = db.cur.Load()
+		if mt.Owns(seq) {
+			return mt
+		}
+		if _, hi := mt.SeqRange(); seq >= hi {
+			db.switchLocked(mt)
+			continue
+		}
+		// Straggler: seq belongs to an already-switched table.
+		for _, old := range db.recent {
+			if old.Owns(seq) {
+				return old
+			}
+		}
+		panic("engine: sequence number owned by no table")
+	}
+}
+
+// switchLocked makes mt immutable and installs a fresh MemTable owning the
+// next consecutive sequence range. Caller holds switchMu.
+func (db *DB) switchLocked(mt *memtable.MemTable) {
+	_, hi := mt.SeqRange()
+	db.memID++
+	next := memtable.New(db.memID, hi, hi+keys.Seq(db.seqRangeLen()))
+	db.cur.Store(next)
+	db.recent = append(db.recent, next)
+	// recent keeps only tables that can still receive straggler writes or
+	// serve reads before flushing: cap its growth.
+	if len(db.recent) > db.opts.MaxImmutables+4 {
+		db.recent = db.recent[1:]
+	}
+	db.stats.MemSwitches.Add(1)
+
+	db.mu.Lock()
+	db.imms = append(db.imms, mt)
+	db.immCount.Store(int32(len(db.imms)))
+	db.mu.Unlock()
+	if !db.flushCh.TrySend(mt) {
+		// Cannot happen: MaxImmutables stalls writers far below the
+		// queue capacity. Blocking here would hold switchMu across a
+		// sim wait, so fail loudly instead.
+		panic("engine: flush queue overflow")
+	}
+}
+
+// maybeStall blocks the writer while the LSM cannot absorb more writes:
+// too many immutable tables (flush behind) or too many L0 files
+// (level0_stop_writes_trigger, §XI-C1). Bulkload mode disables the latter.
+func (db *DB) maybeStall() {
+	if !db.shouldStall() {
+		return
+	}
+	l0 := db.opts.L0StopTrigger > 0 && int(db.l0count.Load()) >= db.opts.L0StopTrigger
+	start := db.env.Now()
+	db.mu.Lock()
+	for db.shouldStall() && !db.closed {
+		db.bgCond.Wait()
+	}
+	db.mu.Unlock()
+	d := int64(db.env.Now() - start)
+	db.stats.StallTime.Add(d)
+	db.stats.Stalls.Add(1)
+	if l0 {
+		db.stats.StallL0Time.Add(d)
+	} else {
+		db.stats.StallImmTime.Add(d)
+	}
+}
+
+// shouldStall uses atomic counters only, so it is safe both before and
+// while holding db.mu.
+func (db *DB) shouldStall() bool {
+	if db.opts.L0StopTrigger > 0 && int(db.l0count.Load()) >= db.opts.L0StopTrigger {
+		return true
+	}
+	return int(db.immCount.Load()) >= db.opts.MaxImmutables
+}
+
+// chargeBatched coalesces per-write CPU charges per session.
+func (s *Session) chargeBatched(d time.Duration) {
+	s.pendingCPU += d
+	if s.pendingCPU >= 20*time.Microsecond {
+		s.db.charge(s.pendingCPU)
+		s.pendingCPU = 0
+	}
+}
+
+// FlushCPU drains the session's batched CPU debt; benchmarks call it at
+// the end of a measured run.
+func (s *Session) FlushCPU() {
+	if s.pendingCPU > 0 {
+		s.db.charge(s.pendingCPU)
+		s.pendingCPU = 0
+	}
+}

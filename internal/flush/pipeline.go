@@ -1,0 +1,169 @@
+// Package flush implements dLSM's asynchronous MemTable-flushing pipeline
+// (§X-C, Fig 6). The flusher serializes table bytes straight into
+// registered write buffers; when a buffer fills, its RDMA write is posted
+// asynchronously and serialization continues into the next buffer without
+// blocking. In-flight buffers form a FIFO linked queue mirroring the QP's
+// send queue: because RDMA completions on one QP are FIFO, each completion
+// retires exactly the queue head, whose buffer is recycled.
+package flush
+
+import (
+	"fmt"
+
+	"dlsm/internal/rdma"
+)
+
+// DefaultBufSize is the per-buffer capacity of the pipeline.
+const DefaultBufSize = 1 << 20
+
+// DefaultMaxInflight bounds the number of posted-but-unfinished buffers.
+// When the producer outruns the NIC it blocks for the queue head to
+// complete — backpressure from the finite pool of registered buffers.
+const DefaultMaxInflight = 8
+
+// Pipeline is an sstable.Sink that streams a table into remote memory with
+// overlapping serialization and network transfer. It is owned by a single
+// flusher thread.
+type Pipeline struct {
+	node    *rdma.Node
+	qp      *rdma.QP
+	bufSize int
+
+	dst rdma.RemoteAddr // base of the destination extent
+	off int             // next write offset within the extent
+	cap int             // destination extent capacity
+
+	cur  *rdma.MemoryRegion // buffer being serialized into
+	curN int
+
+	// inflight is the FIFO of posted-but-unfinished buffers (Fig 6's
+	// linked list); free holds recycled buffers ready for reuse.
+	inflight []*rdma.MemoryRegion
+	free     []*rdma.MemoryRegion
+	nextCtx  uint64
+	err      error
+
+	buffersAllocated int // observability: how many buffers ever created
+}
+
+// NewPipeline creates a pipeline writing through qp (a thread-local QP of
+// the flusher). bufSize <= 0 selects DefaultBufSize.
+func NewPipeline(qp *rdma.QP, bufSize int) *Pipeline {
+	if bufSize <= 0 {
+		bufSize = DefaultBufSize
+	}
+	return &Pipeline{node: qp.Node(), qp: qp, bufSize: bufSize}
+}
+
+// Reset points the pipeline at a fresh destination extent of the given
+// capacity. Must not be called while writes are in flight.
+func (p *Pipeline) Reset(dst rdma.RemoteAddr, capacity int) {
+	if len(p.inflight) != 0 {
+		panic("flush: Reset with writes in flight")
+	}
+	p.dst, p.off, p.cap, p.curN, p.err = dst, 0, capacity, 0, nil
+}
+
+// Written returns the bytes submitted so far (including the current
+// partially filled buffer).
+func (p *Pipeline) Written() int { return p.off + p.curN }
+
+// BuffersAllocated reports how many distinct buffers the pipeline created;
+// effective recycling keeps this near (link latency x bandwidth)/bufSize
+// regardless of table size.
+func (p *Pipeline) BuffersAllocated() int { return p.buffersAllocated }
+
+// Write appends p's bytes to the table stream (sstable.Sink).
+func (pl *Pipeline) Write(b []byte) {
+	for len(b) > 0 {
+		if pl.cur == nil {
+			pl.cur = pl.takeBuffer()
+			pl.curN = 0
+		}
+		n := copy(pl.cur.Bytes(pl.curN, pl.bufSize-pl.curN), b)
+		pl.curN += n
+		b = b[n:]
+		if pl.curN == pl.bufSize {
+			pl.submit()
+		}
+	}
+}
+
+// submit posts the current buffer's RDMA write and appends it to the
+// in-flight FIFO; the thread does not wait for the transfer (step 2-3 of
+// Fig 6).
+func (pl *Pipeline) submit() {
+	if pl.curN == 0 {
+		return
+	}
+	if pl.off+pl.curN > pl.cap {
+		pl.err = fmt.Errorf("flush: table overflows extent (%d > %d)", pl.off+pl.curN, pl.cap)
+		pl.cur, pl.curN = nil, 0
+		return
+	}
+	pl.qp.Write(pl.cur, 0, pl.dst.Add(pl.off), pl.curN, pl.nextCtx)
+	pl.nextCtx++
+	pl.off += pl.curN
+	pl.inflight = append(pl.inflight, pl.cur)
+	pl.cur, pl.curN = nil, 0
+}
+
+// takeBuffer recycles a finished buffer if one is available, otherwise
+// allocates and registers a new one (step 4 of Fig 6), blocking only when
+// the in-flight cap is reached.
+func (pl *Pipeline) takeBuffer() *rdma.MemoryRegion {
+	pl.reap(false)
+	for len(pl.free) == 0 && len(pl.inflight) >= DefaultMaxInflight {
+		pl.reapOne()
+	}
+	if n := len(pl.free); n > 0 {
+		buf := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		return buf
+	}
+	pl.buffersAllocated++
+	return pl.node.Register(pl.bufSize)
+}
+
+// reapOne blocks for exactly one completion and retires the FIFO head.
+func (pl *Pipeline) reapOne() {
+	if len(pl.inflight) == 0 {
+		return
+	}
+	c := pl.qp.WaitCQ()
+	if c.Err != nil && pl.err == nil {
+		pl.err = c.Err
+	}
+	head := pl.inflight[0]
+	pl.inflight = pl.inflight[1:]
+	pl.free = append(pl.free, head)
+}
+
+// reap moves completed buffers from the in-flight FIFO to the free list.
+// With wait=true it blocks until everything in flight has completed.
+func (pl *Pipeline) reap(wait bool) {
+	for len(pl.inflight) > 0 {
+		var c rdma.Completion
+		var ok bool
+		if wait {
+			c, ok = pl.qp.WaitCQ(), true
+		} else if c, ok = pl.qp.PollCQ(); !ok {
+			return
+		}
+		if c.Err != nil && pl.err == nil {
+			pl.err = c.Err
+		}
+		// FIFO: this completion retires the queue head.
+		head := pl.inflight[0]
+		pl.inflight = pl.inflight[1:]
+		pl.free = append(pl.free, head)
+	}
+}
+
+// Finish submits any partial buffer and blocks until every in-flight write
+// has completed, after which the table bytes are durable in remote memory.
+func (pl *Pipeline) Finish() error {
+	pl.submit()
+	pl.reap(true)
+	return pl.err
+}

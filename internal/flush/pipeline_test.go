@@ -1,0 +1,159 @@
+package flush
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+)
+
+func testbed() (*sim.Env, *rdma.Fabric, *rdma.Node, *rdma.Node) {
+	env := sim.NewEnv()
+	f := rdma.NewFabric(env, rdma.EDR100())
+	return env, f, f.AddNode("compute", 24), f.AddNode("memory", 12)
+}
+
+func TestStreamsBytesCorrectly(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		dst := mn.Register(1 << 20)
+		qp := cn.NewQP(mn)
+		p := NewPipeline(qp, 4096)
+		p.Reset(dst.Addr(0), 1<<20)
+
+		var want []byte
+		for i := 0; i < 300; i++ { // ~300 x 1KB spans many 4KB buffers
+			chunk := bytes.Repeat([]byte{byte(i)}, 1000)
+			p.Write(chunk)
+			want = append(want, chunk...)
+		}
+		if err := p.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if got := dst.Bytes(0, len(want)); !bytes.Equal(got, want) {
+			t.Fatal("remote bytes differ from stream")
+		}
+		if p.Written() != len(want) {
+			t.Fatalf("Written = %d, want %d", p.Written(), len(want))
+		}
+	})
+	env.Wait()
+}
+
+func TestWriteLargerThanBuffer(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		dst := mn.Register(1 << 20)
+		p := NewPipeline(cn.NewQP(mn), 1024)
+		p.Reset(dst.Addr(0), 1<<20)
+		big := bytes.Repeat([]byte{0xAB}, 10_000) // ~10 buffers in one call
+		p.Write(big)
+		if err := p.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dst.Bytes(0, len(big)), big) {
+			t.Fatal("large write corrupted")
+		}
+	})
+	env.Wait()
+}
+
+func TestBufferRecycling(t *testing.T) {
+	// Streaming a large table must not allocate one buffer per submission:
+	// completed buffers are recycled from the FIFO head.
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		dst := mn.Register(16 << 20)
+		p := NewPipeline(cn.NewQP(mn), 64<<10)
+		p.Reset(dst.Addr(0), 16<<20)
+		chunk := make([]byte, 64<<10)
+		for i := 0; i < 256; i++ { // 16MB through 64KB buffers
+			p.Write(chunk)
+		}
+		if err := p.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if p.BuffersAllocated() > DefaultMaxInflight+1 {
+			t.Fatalf("allocated %d buffers for 256 submissions; recycling broken", p.BuffersAllocated())
+		}
+	})
+	env.Wait()
+}
+
+func TestAsyncOverlapsSerializationAndTransfer(t *testing.T) {
+	// With async I/O the producer should not pay full wire time per buffer:
+	// total time ~ serialization + wire time overlapped, which is strictly
+	// less than the sum of per-buffer (serialize + wait-for-wire) rounds.
+	env, f, cn, mn := testbed()
+	const total = 8 << 20
+	const bufSize = 1 << 20
+
+	elapsedAsync := time.Duration(0)
+	env.Run(func() {
+		defer f.Close()
+		dst := mn.Register(total)
+		p := NewPipeline(cn.NewQP(mn), bufSize)
+		p.Reset(dst.Addr(0), total)
+		chunk := make([]byte, bufSize)
+		start := env.Now()
+		for i := 0; i < total/bufSize; i++ {
+			cn.CPU.Use(200 * time.Microsecond) // model serialization work
+			p.Write(chunk)
+		}
+		if err := p.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		elapsedAsync = time.Duration(env.Now() - start)
+	})
+	env.Wait()
+
+	wirePerBuf := time.Duration(float64(bufSize) / rdma.EDR100().Bandwidth * 1e9)
+	syncLowerBound := 8 * (200*time.Microsecond + wirePerBuf) // serialized alternative
+	if elapsedAsync >= syncLowerBound {
+		t.Fatalf("async flush took %v, not faster than serialized bound %v", elapsedAsync, syncLowerBound)
+	}
+}
+
+func TestOverflowDetected(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		dst := mn.Register(4096)
+		p := NewPipeline(cn.NewQP(mn), 1024)
+		p.Reset(dst.Addr(0), 2048)
+		p.Write(make([]byte, 4096))
+		if err := p.Finish(); err == nil {
+			t.Fatal("overflowing the extent did not error")
+		}
+	})
+	env.Wait()
+}
+
+func TestResetReusesAcrossTables(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		dst := mn.Register(64 << 10)
+		p := NewPipeline(cn.NewQP(mn), 1024)
+		for table := 0; table < 4; table++ {
+			p.Reset(dst.Addr(table*16<<10), 16<<10)
+			payload := bytes.Repeat([]byte{byte(table + 1)}, 10_000)
+			p.Write(payload)
+			if err := p.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dst.Bytes(table*16<<10, 10_000), payload) {
+				t.Fatalf("table %d bytes wrong", table)
+			}
+		}
+		if p.BuffersAllocated() > 16 {
+			t.Fatalf("buffers not reused across Reset: %d", p.BuffersAllocated())
+		}
+	})
+	env.Wait()
+}

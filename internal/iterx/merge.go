@@ -1,0 +1,187 @@
+// Package iterx provides iterator combinators over the shared iterator
+// interface: heap-merging across sources (MemTables, immutable tables and
+// SSTables) and level concatenation for the sorted, non-overlapping levels.
+package iterx
+
+import (
+	"container/heap"
+
+	"dlsm/internal/sstable"
+)
+
+// Compare orders internal keys (keys.Compare in practice).
+type Compare func(a, b []byte) int
+
+// Merging merges children into one sorted stream. Ties (which cannot occur
+// with unique internal keys) favor earlier children.
+func Merging(cmp Compare, children ...sstable.Iterator) sstable.Iterator {
+	if len(children) == 1 {
+		return children[0]
+	}
+	return &mergeIter{cmp: cmp, children: children}
+}
+
+type mergeIter struct {
+	cmp      Compare
+	children []sstable.Iterator
+	h        mergeHeap
+	inited   bool
+}
+
+type heapItem struct {
+	it  sstable.Iterator
+	ord int
+}
+
+type mergeHeap struct {
+	cmp   Compare
+	items []heapItem
+}
+
+func (h mergeHeap) Len() int { return len(h.items) }
+func (h mergeHeap) Less(i, j int) bool {
+	c := h.cmp(h.items[i].it.Key(), h.items[j].it.Key())
+	if c != 0 {
+		return c < 0
+	}
+	return h.items[i].ord < h.items[j].ord
+}
+func (h mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)   { h.items = append(h.items, x.(heapItem)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+func (m *mergeIter) rebuild(position func(sstable.Iterator)) {
+	m.h = mergeHeap{cmp: m.cmp}
+	for ord, it := range m.children {
+		position(it)
+		if it.Valid() {
+			m.h.items = append(m.h.items, heapItem{it, ord})
+		}
+	}
+	heap.Init(&m.h)
+	m.inited = true
+}
+
+func (m *mergeIter) First() { m.rebuild(func(it sstable.Iterator) { it.First() }) }
+
+func (m *mergeIter) SeekGE(ikey []byte) {
+	m.rebuild(func(it sstable.Iterator) { it.SeekGE(ikey) })
+}
+
+func (m *mergeIter) Valid() bool { return m.inited && m.h.Len() > 0 }
+
+func (m *mergeIter) Next() {
+	top := &m.h.items[0]
+	top.it.Next()
+	if top.it.Valid() {
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+}
+
+func (m *mergeIter) Key() []byte   { return m.h.items[0].it.Key() }
+func (m *mergeIter) Value() []byte { return m.h.items[0].it.Value() }
+
+func (m *mergeIter) Error() error {
+	for _, it := range m.children {
+		if err := it.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Concat iterates a sequence of non-overlapping, key-ordered tables one at
+// a time (the classic "two-level iterator" for levels >= 1). open lazily
+// materializes the iterator for table i; bounds provide each table's
+// smallest/largest internal keys for seek routing.
+func Concat(cmp Compare, n int, bounds func(i int) (smallest, largest []byte), open func(i int) sstable.Iterator) sstable.Iterator {
+	return &concatIter{cmp: cmp, n: n, bounds: bounds, open: open, idx: -1}
+}
+
+type concatIter struct {
+	cmp    Compare
+	n      int
+	bounds func(i int) (smallest, largest []byte)
+	open   func(i int) sstable.Iterator
+	idx    int
+	cur    sstable.Iterator
+	err    error
+}
+
+func (c *concatIter) load(i int) {
+	c.idx = i
+	if i < 0 || i >= c.n {
+		c.cur = nil
+		return
+	}
+	c.cur = c.open(i)
+}
+
+func (c *concatIter) First() {
+	c.load(0)
+	if c.cur != nil {
+		c.cur.First()
+		c.skipExhausted()
+	}
+}
+
+func (c *concatIter) SeekGE(ikey []byte) {
+	// Find the first table whose largest key >= target.
+	lo, hi := 0, c.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		_, largest := c.bounds(mid)
+		if c.cmp(largest, ikey) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	c.load(lo)
+	if c.cur != nil {
+		c.cur.SeekGE(ikey)
+		c.skipExhausted()
+	}
+}
+
+func (c *concatIter) skipExhausted() {
+	for c.cur != nil && !c.cur.Valid() {
+		if err := c.cur.Error(); err != nil {
+			c.err = err
+			c.cur = nil
+			return
+		}
+		c.load(c.idx + 1)
+		if c.cur != nil {
+			c.cur.First()
+		}
+	}
+}
+
+func (c *concatIter) Valid() bool { return c.err == nil && c.cur != nil && c.cur.Valid() }
+
+func (c *concatIter) Next() {
+	c.cur.Next()
+	c.skipExhausted()
+}
+
+func (c *concatIter) Key() []byte   { return c.cur.Key() }
+func (c *concatIter) Value() []byte { return c.cur.Value() }
+
+func (c *concatIter) Error() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.cur != nil {
+		return c.cur.Error()
+	}
+	return nil
+}

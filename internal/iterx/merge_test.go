@@ -1,0 +1,186 @@
+package iterx
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dlsm/internal/sstable"
+)
+
+// sliceIter is a trivial in-memory iterator for combinator testing.
+type sliceIter struct {
+	keys []string
+	pos  int
+}
+
+func newSliceIter(keys ...string) *sliceIter {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	return &sliceIter{keys: sorted, pos: -1}
+}
+
+func (s *sliceIter) First() { s.pos = 0 }
+func (s *sliceIter) SeekGE(k []byte) {
+	s.pos = sort.SearchStrings(s.keys, string(k))
+}
+func (s *sliceIter) Valid() bool   { return s.pos >= 0 && s.pos < len(s.keys) }
+func (s *sliceIter) Next()         { s.pos++ }
+func (s *sliceIter) Key() []byte   { return []byte(s.keys[s.pos]) }
+func (s *sliceIter) Value() []byte { return []byte("v:" + s.keys[s.pos]) }
+func (s *sliceIter) Error() error  { return nil }
+
+func collect(it sstable.Iterator) []string {
+	var out []string
+	for it.First(); it.Valid(); it.Next() {
+		out = append(out, string(it.Key()))
+	}
+	return out
+}
+
+func TestMergingInterleaves(t *testing.T) {
+	m := Merging(bytes.Compare,
+		newSliceIter("a", "d", "g"),
+		newSliceIter("b", "e"),
+		newSliceIter("c", "f", "h"))
+	got := collect(m)
+	want := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("merged = %v", got)
+	}
+}
+
+func TestMergingSeekGE(t *testing.T) {
+	m := Merging(bytes.Compare, newSliceIter("a", "d"), newSliceIter("b", "e"))
+	m.SeekGE([]byte("c"))
+	if !m.Valid() || string(m.Key()) != "d" {
+		t.Fatalf("SeekGE(c) at %q", m.Key())
+	}
+	m.Next()
+	if string(m.Key()) != "e" {
+		t.Fatalf("Next = %q", m.Key())
+	}
+}
+
+func TestMergingSingleChildPassThrough(t *testing.T) {
+	child := newSliceIter("x", "y")
+	if Merging(bytes.Compare, child) != sstable.Iterator(child) {
+		t.Fatal("single child should pass through unwrapped")
+	}
+}
+
+func TestMergingEmptyChildren(t *testing.T) {
+	m := Merging(bytes.Compare, newSliceIter(), newSliceIter("a"), newSliceIter())
+	got := collect(m)
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("merged = %v", got)
+	}
+}
+
+func TestMergingQuickProperty(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		mk := func(raw []byte) (*sliceIter, []string) {
+			seen := map[string]bool{}
+			var ks []string
+			for _, x := range raw {
+				k := fmt.Sprintf("k%03d", x)
+				if !seen[k] {
+					seen[k] = true
+					ks = append(ks, k)
+				}
+			}
+			return newSliceIter(ks...), ks
+		}
+		// Distinct key spaces per child avoid duplicate keys (the engine
+		// guarantees unique internal keys).
+		i1, k1 := mk(a)
+		i2, k2 := mk(b)
+		i3, k3 := mk(c)
+		for i := range k2 {
+			k2[i] = "m" + k2[i]
+			i2.keys[i] = "m" + i2.keys[i]
+		}
+		for i := range k3 {
+			k3[i] = "z" + k3[i]
+			i3.keys[i] = "z" + i3.keys[i]
+		}
+		want := append(append(append([]string{}, k1...), k2...), k3...)
+		sort.Strings(want)
+		got := collect(Merging(bytes.Compare, i1, i2, i3))
+		return fmt.Sprint(got) == fmt.Sprint(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatIteratesAllTables(t *testing.T) {
+	tables := [][]string{{"a", "b"}, {"c"}, {"d", "e", "f"}}
+	it := Concat(bytes.Compare, len(tables),
+		func(i int) ([]byte, []byte) {
+			return []byte(tables[i][0]), []byte(tables[i][len(tables[i])-1])
+		},
+		func(i int) sstable.Iterator { return newSliceIter(tables[i]...) })
+	got := collect(it)
+	want := []string{"a", "b", "c", "d", "e", "f"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("concat = %v", got)
+	}
+}
+
+func TestConcatSeekRoutesToRightTable(t *testing.T) {
+	tables := [][]string{{"a", "b"}, {"d", "e"}, {"x", "y"}}
+	mk := func() sstable.Iterator {
+		return Concat(bytes.Compare, len(tables),
+			func(i int) ([]byte, []byte) {
+				return []byte(tables[i][0]), []byte(tables[i][len(tables[i])-1])
+			},
+			func(i int) sstable.Iterator { return newSliceIter(tables[i]...) })
+	}
+	cases := []struct{ seek, want string }{
+		{"a", "a"}, {"c", "d"}, {"e", "e"}, {"f", "x"}, {"z", ""},
+	}
+	for _, c := range cases {
+		it := mk()
+		it.SeekGE([]byte(c.seek))
+		if c.want == "" {
+			if it.Valid() {
+				t.Fatalf("SeekGE(%q) valid at %q", c.seek, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(it.Key()) != c.want {
+			t.Fatalf("SeekGE(%q) = %q, want %q", c.seek, it.Key(), c.want)
+		}
+	}
+}
+
+func TestConcatLazyOpen(t *testing.T) {
+	opened := 0
+	it := Concat(bytes.Compare, 3,
+		func(i int) ([]byte, []byte) {
+			lo := []byte{byte('a' + 2*i)}
+			return lo, []byte{byte('a' + 2*i + 1)}
+		},
+		func(i int) sstable.Iterator {
+			opened++
+			return newSliceIter(string(byte('a'+2*i)), string(byte('a'+2*i+1)))
+		})
+	it.SeekGE([]byte("e"))
+	if !it.Valid() || string(it.Key()) != "e" {
+		t.Fatalf("SeekGE(e) = %q", it.Key())
+	}
+	if opened != 1 {
+		t.Fatalf("opened %d tables for a point seek, want 1 (lazy)", opened)
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	it := Concat(bytes.Compare, 0, nil, nil)
+	it.First()
+	if it.Valid() {
+		t.Fatal("empty concat is valid")
+	}
+}

@@ -1,0 +1,76 @@
+// Package keys defines the internal key encoding shared by MemTables and
+// SSTables: a user key followed by an 8-byte trailer packing a sequence
+// number with the entry kind, ordered so that newer versions of a key sort
+// before older ones (as in LevelDB/RocksDB, whose layout dLSM reuses).
+package keys
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Seq is a global write sequence number. Sequence numbers implement snapshot
+// isolation: a reader at sequence s observes exactly the writes with
+// sequence <= s.
+type Seq uint64
+
+// MaxSeq is the largest representable sequence number (56 bits, as the
+// trailer packs kind into the low byte).
+const MaxSeq Seq = (1 << 56) - 1
+
+// Kind discriminates entry types within the LSM-tree.
+type Kind uint8
+
+// Entry kinds. Deletes are tombstones that shadow older values until
+// compaction drops both.
+const (
+	KindDelete Kind = 0
+	KindSet    Kind = 1
+)
+
+// TrailerLen is the byte length of the internal-key trailer.
+const TrailerLen = 8
+
+// Append appends the internal key (ukey, seq, kind) to dst.
+func Append(dst, ukey []byte, seq Seq, kind Kind) []byte {
+	dst = append(dst, ukey...)
+	return binary.LittleEndian.AppendUint64(dst, uint64(seq)<<8|uint64(kind))
+}
+
+// AppendLookup appends the "lookup key" for reading ukey at snapshot seq:
+// the internal key that sorts before every version of ukey newer than seq.
+func AppendLookup(dst, ukey []byte, seq Seq) []byte {
+	return Append(dst, ukey, seq, KindSet)
+}
+
+// Parse splits an internal key into its components.
+func Parse(ikey []byte) (ukey []byte, seq Seq, kind Kind, err error) {
+	if len(ikey) < TrailerLen {
+		return nil, 0, 0, fmt.Errorf("keys: internal key too short (%d bytes)", len(ikey))
+	}
+	n := len(ikey) - TrailerLen
+	t := binary.LittleEndian.Uint64(ikey[n:])
+	return ikey[:n], Seq(t >> 8), Kind(t & 0xff), nil
+}
+
+// UserKey returns the user-key prefix of an internal key.
+func UserKey(ikey []byte) []byte { return ikey[:len(ikey)-TrailerLen] }
+
+// Compare orders internal keys: user key ascending, then sequence number
+// descending (newer first), then kind descending.
+func Compare(a, b []byte) int {
+	au, bu := UserKey(a), UserKey(b)
+	if c := bytes.Compare(au, bu); c != 0 {
+		return c
+	}
+	at := binary.LittleEndian.Uint64(a[len(au):])
+	bt := binary.LittleEndian.Uint64(b[len(bu):])
+	switch {
+	case at > bt:
+		return -1
+	case at < bt:
+		return +1
+	}
+	return 0
+}

@@ -1,0 +1,85 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendParseRoundTrip(t *testing.T) {
+	f := func(ukey []byte, seq uint64, set bool) bool {
+		seq &= uint64(MaxSeq)
+		kind := KindDelete
+		if set {
+			kind = KindSet
+		}
+		ik := Append(nil, ukey, Seq(seq), kind)
+		gu, gs, gk, err := Parse(ik)
+		return err == nil && bytes.Equal(gu, ukey) && gs == Seq(seq) && gk == kind
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTooShort(t *testing.T) {
+	if _, _, _, err := Parse([]byte("short")); err == nil {
+		t.Fatal("Parse of 5-byte key should fail")
+	}
+}
+
+func TestCompareOrdersUserKeysAscending(t *testing.T) {
+	a := Append(nil, []byte("apple"), 5, KindSet)
+	b := Append(nil, []byte("banana"), 5, KindSet)
+	if Compare(a, b) >= 0 {
+		t.Fatal("apple should sort before banana")
+	}
+}
+
+func TestCompareOrdersSeqDescending(t *testing.T) {
+	older := Append(nil, []byte("k"), 5, KindSet)
+	newer := Append(nil, []byte("k"), 9, KindSet)
+	if Compare(newer, older) >= 0 {
+		t.Fatal("newer version must sort before older")
+	}
+}
+
+func TestCompareKindBreaksTies(t *testing.T) {
+	del := Append(nil, []byte("k"), 5, KindDelete)
+	set := Append(nil, []byte("k"), 5, KindSet)
+	if Compare(set, del) >= 0 {
+		t.Fatal("set (kind 1) must sort before delete (kind 0) at equal seq")
+	}
+}
+
+func TestLookupKeySortsBeforeVisibleVersions(t *testing.T) {
+	// The lookup key at snapshot s must sort <= every version with seq <= s
+	// and > every version with seq > s.
+	lookup := AppendLookup(nil, []byte("k"), 10)
+	visible := Append(nil, []byte("k"), 10, KindSet)
+	tooNew := Append(nil, []byte("k"), 11, KindSet)
+	if Compare(lookup, visible) > 0 {
+		t.Fatal("lookup must not sort after an equal-seq version")
+	}
+	if Compare(lookup, tooNew) <= 0 {
+		t.Fatal("lookup must sort after newer-than-snapshot versions")
+	}
+}
+
+func TestCompareConsistencyProperty(t *testing.T) {
+	f := func(ka, kb []byte, sa, sb uint64) bool {
+		ia := Append(nil, ka, Seq(sa&uint64(MaxSeq)), KindSet)
+		ib := Append(nil, kb, Seq(sb&uint64(MaxSeq)), KindSet)
+		return Compare(ia, ib) == -Compare(ib, ia)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserKey(t *testing.T) {
+	ik := Append(nil, []byte("user"), 1, KindSet)
+	if string(UserKey(ik)) != "user" {
+		t.Fatalf("UserKey = %q", UserKey(ik))
+	}
+}

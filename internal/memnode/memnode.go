@@ -1,0 +1,384 @@
+// Package memnode implements the memory-node side of dLSM: a large
+// registered data region split into a compute-controlled area (MemTable
+// flush targets, allocated remotely by the compute node with zero network
+// round trips) and a self-controlled area (near-data compaction output,
+// §V-A), plus the RPC services the compute node drives:
+//
+//   - "compact": near-data compaction (§V). Inputs are read from local
+//     memory, merged by a pool of subcompaction workers bounded by the
+//     node's (weak) CPU, and written to the self-controlled area; only the
+//     new tables' metadata crosses the network back.
+//   - "free": batched reclamation of self-allocated extents (§V-B).
+//   - "fs_read"/"fs_write"/"fs_free": a tmpfs-like byte service used by the
+//     Nova-LSM baseline, which does file I/O through two-sided RPCs.
+package memnode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"dlsm/internal/compactor"
+	"dlsm/internal/keys"
+	"dlsm/internal/rdma"
+	"dlsm/internal/remote"
+	"dlsm/internal/rpc"
+	"dlsm/internal/sim"
+	"dlsm/internal/sstable"
+)
+
+// Config sizes the server.
+type Config struct {
+	// ComputeRegionSize is the area the compute node allocates from.
+	ComputeRegionSize int64
+	// SelfRegionSize is the area this node allocates compaction output in.
+	SelfRegionSize int64
+	// RPCWorkers is the RPC worker pool size.
+	RPCWorkers int
+	// Subcompactions caps the parallel subcompaction workers per job.
+	Subcompactions int
+	// Costs is the CPU cost model charged against this node's cores.
+	Costs sim.CostModel
+}
+
+// DefaultConfig returns sizes suitable for the benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		ComputeRegionSize: 1 << 30,
+		SelfRegionSize:    1 << 30,
+		RPCWorkers:        4,
+		Subcompactions:    12,
+		Costs:             sim.DefaultCosts(),
+	}
+}
+
+// Server is one memory node's software.
+type Server struct {
+	env  *sim.Env
+	node *rdma.Node
+	cfg  Config
+
+	dataMR       *rdma.MemoryRegion
+	selfBase     int64
+	selfAlloc    *remote.Allocator
+	computeAlloc *remote.Allocator
+	rpc          *rpc.Server
+
+	fsOnce  sync.Once
+	fsState *tmpfs
+}
+
+// NewServer allocates the data region on node and wires up the RPC
+// handlers. Call Start to begin serving.
+func NewServer(node *rdma.Node, cfg Config) *Server {
+	s := &Server{
+		env:       node.Fabric().Env(),
+		node:      node,
+		cfg:       cfg,
+		dataMR:    node.Register(int(cfg.ComputeRegionSize + cfg.SelfRegionSize)),
+		selfBase:  cfg.ComputeRegionSize,
+		selfAlloc: remote.NewAllocator(cfg.SelfRegionSize),
+		rpc:       rpc.NewServer(node, cfg.Costs, cfg.RPCWorkers),
+	}
+	s.computeAlloc = remote.NewAllocator(cfg.ComputeRegionSize)
+	s.rpc.HandleDedicated("compact", s.handleCompact, 12)
+	s.rpc.Handle("free", s.handleFree)
+	s.rpc.Handle("fs_read", s.handleFSRead)
+	s.rpc.Handle("fs_write", s.handleFSWrite)
+	s.rpc.Handle("fs_free", s.handleFSFree)
+	return s
+}
+
+// Start launches the RPC service entities.
+func (s *Server) Start() { s.rpc.Start() }
+
+// Node returns the underlying fabric node.
+func (s *Server) Node() *rdma.Node { return s.node }
+
+// DataMR returns the registered data region. The compute node addresses it
+// through rkeys; local compaction reads it directly.
+func (s *Server) DataMR() *rdma.MemoryRegion { return s.dataMR }
+
+// ComputeRegionSize returns the size of the compute-controlled area, which
+// occupies [0, ComputeRegionSize) of the data region.
+func (s *Server) ComputeRegionSize() int64 { return s.cfg.ComputeRegionSize }
+
+// ComputeAlloc is the allocator over the compute-controlled area. It is
+// logically owned and driven by compute-side code (§V-A); the single shared
+// instance keeps the many engines (shards, or multiple compute nodes) that
+// target one memory node from handing out overlapping extents.
+func (s *Server) ComputeAlloc() *remote.Allocator { return s.computeAlloc }
+
+// ComputeUsed returns bytes allocated in the compute-controlled area.
+func (s *Server) ComputeUsed() int64 { return s.computeAlloc.Used() }
+
+// SelfUsed returns bytes allocated in the self-controlled area.
+func (s *Server) SelfUsed() int64 { return s.selfAlloc.Used() }
+
+// charge accounts CPU time to this node's core pool.
+func (s *Server) charge(d sim.Duration) { s.node.CPU.Use(d) }
+
+// --- near-data compaction -------------------------------------------------
+
+// CompactArgs is the large RPC argument for near-data compaction: the
+// compute node picks the inputs and ships only their metadata (§V-A).
+type CompactArgs struct {
+	Inputs           []*sstable.Meta
+	SmallestSnapshot uint64
+	DropTombstones   bool
+	Subcompactions   int
+	TableSize        int64 // per-output data budget
+	ExtentCap        int64 // per-output extent size (data + footer)
+	Format           sstable.Format
+	BlockSize        int
+	BitsPerKey       int
+}
+
+// EncodeCompactArgs serializes args for transport.
+func EncodeCompactArgs(a *CompactArgs) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(len(a.Inputs)))
+	for _, m := range a.Inputs {
+		// Slim metadata: the index and filter stay out of the RPC; the
+		// responder reloads them from the table footers in its own DRAM.
+		enc := sstable.EncodeMetaSlim(m)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(enc)))
+		b = append(b, enc...)
+	}
+	b = binary.LittleEndian.AppendUint64(b, a.SmallestSnapshot)
+	b = append(b, boolByte(a.DropTombstones))
+	b = binary.LittleEndian.AppendUint32(b, uint32(a.Subcompactions))
+	b = binary.LittleEndian.AppendUint64(b, uint64(a.TableSize))
+	b = binary.LittleEndian.AppendUint64(b, uint64(a.ExtentCap))
+	b = append(b, byte(a.Format))
+	b = binary.LittleEndian.AppendUint32(b, uint32(a.BlockSize))
+	b = binary.LittleEndian.AppendUint32(b, uint32(a.BitsPerKey))
+	return b
+}
+
+// DecodeCompactArgs parses EncodeCompactArgs output.
+func DecodeCompactArgs(b []byte) (*CompactArgs, error) {
+	a := &CompactArgs{}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("memnode: short compact args")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("memnode: truncated input %d", i)
+		}
+		sz := int(binary.LittleEndian.Uint32(b))
+		if len(b) < 4+sz {
+			return nil, fmt.Errorf("memnode: truncated input meta %d", i)
+		}
+		m, _, err := sstable.DecodeMeta(b[4 : 4+sz])
+		if err != nil {
+			return nil, err
+		}
+		a.Inputs = append(a.Inputs, m)
+		b = b[4+sz:]
+	}
+	if len(b) < 8+1+4+8+8+1+4+4 {
+		return nil, fmt.Errorf("memnode: short compact args tail")
+	}
+	a.SmallestSnapshot = binary.LittleEndian.Uint64(b)
+	a.DropTombstones = b[8] != 0
+	a.Subcompactions = int(binary.LittleEndian.Uint32(b[9:]))
+	a.TableSize = int64(binary.LittleEndian.Uint64(b[13:]))
+	a.ExtentCap = int64(binary.LittleEndian.Uint64(b[21:]))
+	a.Format = sstable.Format(b[29])
+	a.BlockSize = int(binary.LittleEndian.Uint32(b[30:]))
+	a.BitsPerKey = int(binary.LittleEndian.Uint32(b[34:]))
+	return a, nil
+}
+
+// EncodeMetas serializes a list of table metas (the compaction reply).
+func EncodeMetas(metas []*sstable.Meta) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(len(metas)))
+	for _, m := range metas {
+		enc := sstable.EncodeMeta(m)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(enc)))
+		b = append(b, enc...)
+	}
+	return b
+}
+
+// DecodeMetas parses EncodeMetas output.
+func DecodeMetas(b []byte) ([]*sstable.Meta, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("memnode: short metas")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	out := make([]*sstable.Meta, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("memnode: truncated meta %d", i)
+		}
+		sz := int(binary.LittleEndian.Uint32(b))
+		if len(b) < 4+sz {
+			return nil, fmt.Errorf("memnode: truncated meta body %d", i)
+		}
+		m, _, err := sstable.DecodeMeta(b[4 : 4+sz])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+		b = b[4+sz:]
+	}
+	return out, nil
+}
+
+// handleCompact executes one near-data compaction job.
+func (s *Server) handleCompact(from int, argBytes []byte) ([]byte, error) {
+	args, err := DecodeCompactArgs(argBytes)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range args.Inputs {
+		if m.Data.Node != s.node.ID {
+			return nil, fmt.Errorf("memnode: input table %d not resident on node %d", m.ID, s.node.ID)
+		}
+		// Reload the index (and filter, unused during merge) from the
+		// table footer: a local memory read, no network traffic.
+		if m.Index.NumRecords() == 0 && m.IndexLen > 0 {
+			raw := append([]byte(nil), s.dataMR.Bytes(m.Data.Off+int(m.Size), m.IndexLen)...)
+			m.Index = sstable.NewIndexFromRaw(raw, m.Format)
+		}
+	}
+
+	k := args.Subcompactions
+	if k > s.cfg.Subcompactions {
+		k = s.cfg.Subcompactions
+	}
+	if k < 1 {
+		k = 1
+	}
+	ranges := compactor.SplitRanges(args.Inputs, k, args.TableSize)
+
+	type result struct {
+		idx   int
+		metas []*sstable.Meta
+		err   error
+	}
+	results := make([]result, len(ranges))
+	wg := sim.NewWaitGroup(s.env)
+	for i, r := range ranges {
+		i, r := i, r
+		wg.Add(1)
+		run := func() {
+			defer wg.Done()
+			metas, err := s.runSubcompaction(args, r[0], r[1])
+			results[i] = result{i, metas, err}
+		}
+		if i == len(ranges)-1 {
+			run() // run the last range on this worker
+		} else {
+			s.env.Go(run)
+		}
+	}
+	wg.Wait()
+
+	var outputs []*sstable.Meta
+	for _, r := range results {
+		if r.err != nil {
+			// Free any extents the successful subcompactions allocated.
+			for _, rr := range results {
+				for _, m := range rr.metas {
+					s.freeSelf(m)
+				}
+			}
+			return nil, r.err
+		}
+		outputs = append(outputs, r.metas...)
+	}
+	return EncodeMetas(outputs), nil
+}
+
+// runSubcompaction merges one key subrange locally.
+func (s *Server) runSubcompaction(args *CompactArgs, lo, hi []byte) ([]*sstable.Meta, error) {
+	inputs := make([]compactor.Input, len(args.Inputs))
+	for i, m := range args.Inputs {
+		inputs[i] = compactor.Input{Meta: m, Fetch: sstable.NewLocalFetcher(s.dataMR, m.Data.Off)}
+	}
+	factory := func(capacity int64) (sstable.Sink, compactor.Commit, error) {
+		off, err := s.selfAlloc.Alloc(int(capacity))
+		if err != nil {
+			return nil, nil, err
+		}
+		abs := int(s.selfBase + off)
+		commit := func(res sstable.BuildResult, maxSeq uint64) (*sstable.Meta, error) {
+			// Shrink to the shared extent class (see engine.shrinkExtent):
+			// uniform classes keep the region fragmentation-free.
+			actual := int(res.Size) + res.IndexLen + res.FilterLen
+			if class := int(remote.ClassSize(int(args.ExtentCap))); args.ExtentCap > 0 && actual < class {
+				actual = class
+			}
+			extent := s.selfAlloc.Shrink(off, actual)
+			return &sstable.Meta{
+				// IDs are assigned by the compute node on receipt.
+				Size: res.Size, Extent: extent,
+				IndexLen: res.IndexLen, FilterLen: res.FilterLen, Count: res.Count,
+				Smallest: res.Smallest, Largest: res.Largest, MaxSeq: maxSeq,
+				Data:        s.dataMR.Addr(abs),
+				CreatorNode: s.node.ID,
+				Format:      args.Format, BlockSize: args.BlockSize,
+				Index: res.Index, Filter: res.Filter,
+			}, nil
+		}
+		return sstable.NewLocalSink(s.dataMR, abs), commit, nil
+	}
+	return compactor.Run(inputs, compactor.Params{
+		Format:           args.Format,
+		BlockSize:        args.BlockSize,
+		BitsPerKey:       args.BitsPerKey,
+		TableSize:        args.TableSize,
+		ExtentCap:        args.ExtentCap,
+		SmallestSnapshot: keys.Seq(args.SmallestSnapshot),
+		DropTombstones:   args.DropTombstones,
+		Lo:               lo,
+		Hi:               hi,
+		Opts:             sstable.Options{Costs: s.cfg.Costs, Charge: s.charge},
+	}, factory)
+}
+
+// freeSelf releases a self-allocated output extent.
+func (s *Server) freeSelf(m *sstable.Meta) {
+	s.selfAlloc.Free(int64(m.Data.Off)-s.selfBase, int(m.Extent))
+}
+
+// --- batched garbage collection (§V-B) -------------------------------------
+
+// EncodeFrees serializes a batch of (absolute offset, extent) pairs.
+func EncodeFrees(frees [][2]int64) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(len(frees)))
+	for _, f := range frees {
+		b = binary.LittleEndian.AppendUint64(b, uint64(f[0]))
+		b = binary.LittleEndian.AppendUint64(b, uint64(f[1]))
+	}
+	return b
+}
+
+func (s *Server) handleFree(from int, args []byte) ([]byte, error) {
+	if len(args) < 4 {
+		return nil, fmt.Errorf("memnode: short free batch")
+	}
+	n := int(binary.LittleEndian.Uint32(args))
+	args = args[4:]
+	if len(args) < 16*n {
+		return nil, fmt.Errorf("memnode: truncated free batch")
+	}
+	for i := 0; i < n; i++ {
+		off := int64(binary.LittleEndian.Uint64(args[16*i:]))
+		ext := int64(binary.LittleEndian.Uint64(args[16*i+8:]))
+		s.selfAlloc.Free(off-s.selfBase, int(ext))
+	}
+	return nil, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,154 @@
+// Package memtable implements dLSM's in-memory write buffer: a lock-free
+// skiplist over arena-allocated internal keys. Each MemTable owns a
+// pre-assigned, contiguous range of sequence numbers; the engine's
+// range-based switch protocol (§IV) uses it to decide, without locking,
+// which table a write belongs to.
+package memtable
+
+import (
+	"sync/atomic"
+
+	"dlsm/internal/arena"
+	"dlsm/internal/keys"
+	"dlsm/internal/skiplist"
+)
+
+// MemTable is a sorted in-memory buffer of writes.
+type MemTable struct {
+	id    uint64
+	lo    keys.Seq      // first sequence number owned by this table
+	hi    atomic.Uint64 // one past the last; shrinks on size-triggered switch
+	arena *arena.Arena
+	list  *skiplist.List
+	refs  atomic.Int32
+
+	// pending counts writers that claimed a sequence in [lo,hi) but have
+	// not finished inserting; flush waits for it to drain to zero so the
+	// flushed table is complete.
+	pending atomic.Int64
+
+	// keyBytes tracks total internal-key bytes, letting the flusher size
+	// the SSTable extent (data + index footer) exactly.
+	keyBytes atomic.Int64
+}
+
+// New creates a MemTable owning sequence range [lo, hi).
+func New(id uint64, lo, hi keys.Seq) *MemTable {
+	a := arena.New()
+	m := &MemTable{id: id, lo: lo, arena: a, list: skiplist.New(keys.Compare, a)}
+	m.hi.Store(uint64(hi))
+	m.refs.Store(1)
+	return m
+}
+
+// ID returns the table's creation-ordered id.
+func (m *MemTable) ID() uint64 { return m.id }
+
+// SeqRange returns the table's owned range [lo, hi).
+func (m *MemTable) SeqRange() (lo, hi keys.Seq) { return m.lo, keys.Seq(m.hi.Load()) }
+
+// Owns reports whether seq falls in the table's assigned range.
+func (m *MemTable) Owns(seq keys.Seq) bool {
+	return seq >= m.lo && seq < keys.Seq(m.hi.Load())
+}
+
+// TruncateHi shrinks the owned range to [lo, hi) during a size-triggered
+// switch; the engine guarantees hi exceeds every sequence already handed
+// out (the fence, see DESIGN.md).
+func (m *MemTable) TruncateHi(hi keys.Seq) { m.hi.Store(uint64(hi)) }
+
+// BeginWrite registers an in-flight writer; EndWrite completes it.
+func (m *MemTable) BeginWrite() { m.pending.Add(1) }
+
+// EndWrite marks a writer finished.
+func (m *MemTable) EndWrite() { m.pending.Add(-1) }
+
+// QuiesceDone reports whether no writers are mid-insert. The flusher spins
+// on this (in virtual time) before serializing the table.
+func (m *MemTable) QuiesceDone() bool { return m.pending.Load() == 0 }
+
+// Add inserts an entry. Key and value bytes are copied into the arena.
+func (m *MemTable) Add(seq keys.Seq, kind keys.Kind, ukey, value []byte) {
+	m.keyBytes.Add(int64(len(ukey) + keys.TrailerLen))
+	ik := m.arena.Alloc(len(ukey) + keys.TrailerLen)
+	ik = keys.Append(ik[:0], ukey, seq, kind)
+	var v []byte
+	if len(value) > 0 {
+		v = m.arena.Append(value)
+	}
+	m.list.Insert(ik, v)
+}
+
+// Get looks up ukey at snapshot seq. Returns:
+//   - value, true, false: a live value was found
+//   - nil, true, true: a tombstone shadows the key at this snapshot
+//   - nil, false, false: the table has no visible version of the key
+func (m *MemTable) Get(ukey []byte, seq keys.Seq) (value []byte, found, deleted bool) {
+	lookup := keys.AppendLookup(make([]byte, 0, len(ukey)+keys.TrailerLen), ukey, seq)
+	it := m.list.NewIterator()
+	it.SeekGE(lookup)
+	if !it.Valid() {
+		return nil, false, false
+	}
+	uk, _, kind, err := keys.Parse(it.Key())
+	if err != nil || string(uk) != string(ukey) {
+		return nil, false, false
+	}
+	if kind == keys.KindDelete {
+		return nil, true, true
+	}
+	return it.Value(), true, false
+}
+
+// ApproximateSize returns the bytes consumed by the table's arena,
+// compared against the MemTable size limit to trigger switching.
+func (m *MemTable) ApproximateSize() int64 { return m.arena.Used() }
+
+// KeyBytes returns the total internal-key bytes inserted.
+func (m *MemTable) KeyBytes() int64 { return m.keyBytes.Load() }
+
+// Len returns the number of entries.
+func (m *MemTable) Len() int { return m.list.Len() }
+
+// Empty reports whether no entries were inserted.
+func (m *MemTable) Empty() bool { return m.list.Len() == 0 }
+
+// Ref increments the reference count (snapshot readers pin tables).
+func (m *MemTable) Ref() { m.refs.Add(1) }
+
+// Unref decrements the reference count. Arena memory is reclaimed by GC
+// when the last reference drops and the table becomes unreachable.
+func (m *MemTable) Unref() {
+	if m.refs.Add(-1) < 0 {
+		panic("memtable: negative refcount")
+	}
+}
+
+// Iterator walks internal entries in order; used by reads (merged views)
+// and by the flusher to serialize the table.
+type Iterator struct{ it *skiplist.Iterator }
+
+// NewIterator returns an iterator over the table.
+func (m *MemTable) NewIterator() *Iterator { return &Iterator{it: m.list.NewIterator()} }
+
+// Valid reports whether the iterator is positioned.
+func (it *Iterator) Valid() bool { return it.it.Valid() }
+
+// First positions at the smallest internal key.
+func (it *Iterator) First() { it.it.First() }
+
+// SeekGE positions at the first internal key >= target.
+func (it *Iterator) SeekGE(target []byte) { it.it.SeekGE(target) }
+
+// Next advances.
+func (it *Iterator) Next() { it.it.Next() }
+
+// Key returns the current internal key.
+func (it *Iterator) Key() []byte { return it.it.Key() }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.it.Value() }
+
+// Error always returns nil; in-memory iteration cannot fail. It satisfies
+// the shared iterator interface.
+func (it *Iterator) Error() error { return nil }

@@ -1,0 +1,138 @@
+package memtable
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dlsm/internal/keys"
+)
+
+func TestAddGet(t *testing.T) {
+	m := New(1, 0, 1000)
+	m.Add(1, keys.KindSet, []byte("k"), []byte("v1"))
+	m.Add(5, keys.KindSet, []byte("k"), []byte("v2"))
+
+	v, found, deleted := m.Get([]byte("k"), 10)
+	if !found || deleted || string(v) != "v2" {
+		t.Fatalf("Get@10 = (%q,%v,%v), want v2", v, found, deleted)
+	}
+	// Snapshot at seq 3 sees only the first version.
+	v, found, deleted = m.Get([]byte("k"), 3)
+	if !found || deleted || string(v) != "v1" {
+		t.Fatalf("Get@3 = (%q,%v,%v), want v1", v, found, deleted)
+	}
+	// Snapshot before any write sees nothing.
+	if _, found, _ := m.Get([]byte("k"), 0); found {
+		t.Fatal("Get@0 found a write from seq 1")
+	}
+}
+
+func TestTombstoneShadows(t *testing.T) {
+	m := New(1, 0, 1000)
+	m.Add(1, keys.KindSet, []byte("k"), []byte("v"))
+	m.Add(2, keys.KindDelete, []byte("k"), nil)
+	_, found, deleted := m.Get([]byte("k"), 10)
+	if !found || !deleted {
+		t.Fatalf("tombstone not observed: found=%v deleted=%v", found, deleted)
+	}
+	// Older snapshot still sees the live value.
+	v, found, deleted := m.Get([]byte("k"), 1)
+	if !found || deleted || string(v) != "v" {
+		t.Fatalf("Get@1 = (%q,%v,%v)", v, found, deleted)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	m := New(1, 0, 1000)
+	m.Add(1, keys.KindSet, []byte("aa"), []byte("v"))
+	m.Add(2, keys.KindSet, []byte("cc"), []byte("v"))
+	if _, found, _ := m.Get([]byte("bb"), 10); found {
+		t.Fatal("found a key that was never written")
+	}
+}
+
+func TestOwns(t *testing.T) {
+	m := New(3, 4000, 5000)
+	for seq, want := range map[keys.Seq]bool{3999: false, 4000: true, 4999: true, 5000: false} {
+		if m.Owns(seq) != want {
+			t.Fatalf("Owns(%d) = %v, want %v", seq, !want, want)
+		}
+	}
+}
+
+func TestValueBytesCopied(t *testing.T) {
+	m := New(1, 0, 1000)
+	buf := []byte("value")
+	m.Add(1, keys.KindSet, []byte("k"), buf)
+	copy(buf, "XXXXX")
+	v, _, _ := m.Get([]byte("k"), 10)
+	if string(v) != "value" {
+		t.Fatalf("value aliased caller buffer: %q", v)
+	}
+}
+
+func TestApproximateSizeGrows(t *testing.T) {
+	m := New(1, 0, 100000)
+	if m.ApproximateSize() != 0 {
+		t.Fatal("fresh table has nonzero size")
+	}
+	for i := 0; i < 100; i++ {
+		m.Add(keys.Seq(i), keys.KindSet, []byte(fmt.Sprintf("key%04d", i)), make([]byte, 100))
+	}
+	if m.ApproximateSize() < 100*100 {
+		t.Fatalf("ApproximateSize = %d, want >= 10000", m.ApproximateSize())
+	}
+}
+
+func TestIteratorOrderedBySeqWithinKey(t *testing.T) {
+	m := New(1, 0, 1000)
+	m.Add(1, keys.KindSet, []byte("k"), []byte("old"))
+	m.Add(9, keys.KindSet, []byte("k"), []byte("new"))
+	it := m.NewIterator()
+	it.First()
+	_, seq1, _, _ := keys.Parse(it.Key())
+	it.Next()
+	_, seq2, _, _ := keys.Parse(it.Key())
+	if seq1 != 9 || seq2 != 1 {
+		t.Fatalf("versions out of order: %d then %d, want 9 then 1", seq1, seq2)
+	}
+}
+
+func TestConcurrentWritersDistinctSeqs(t *testing.T) {
+	m := New(1, 0, 1<<20)
+	const writers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seq := keys.Seq(w*per + i)
+				m.BeginWrite()
+				m.Add(seq, keys.KindSet, []byte(fmt.Sprintf("k%d-%d", w, i)), []byte("v"))
+				m.EndWrite()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !m.QuiesceDone() {
+		t.Fatal("pending writers after completion")
+	}
+	if m.Len() != writers*per {
+		t.Fatalf("Len = %d, want %d", m.Len(), writers*per)
+	}
+}
+
+func TestRefUnref(t *testing.T) {
+	m := New(1, 0, 10)
+	m.Ref()
+	m.Unref()
+	m.Unref()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative refcount did not panic")
+		}
+	}()
+	m.Unref()
+}

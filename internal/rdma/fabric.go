@@ -1,0 +1,135 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+
+	"dlsm/internal/sim"
+)
+
+// Fabric is the network connecting all nodes of one simulated deployment.
+type Fabric struct {
+	env    *sim.Env
+	params LinkParams
+
+	mu    sync.Mutex
+	nodes []*Node
+	links map[[2]int]*link
+}
+
+// NewFabric creates a fabric whose links default to params.
+func NewFabric(env *sim.Env, params LinkParams) *Fabric {
+	return &Fabric{env: env, params: params, links: make(map[[2]int]*link)}
+}
+
+// Env returns the simulation environment the fabric lives in.
+func (f *Fabric) Env() *sim.Env { return f.env }
+
+// AddNode creates a node with the given number of CPU cores and attaches it
+// to the fabric. Links to existing nodes use the fabric default parameters.
+func (f *Fabric) AddNode(name string, cores int) *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := newNode(f, len(f.nodes), name, cores)
+	f.nodes = append(f.nodes, n)
+	return n
+}
+
+// Node returns the node with the given id.
+func (f *Fabric) Node(id int) *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if id < 0 || id >= len(f.nodes) {
+		panic(fmt.Sprintf("rdma: unknown node %d", id))
+	}
+	return f.nodes[id]
+}
+
+// linkFor returns the directed link from node a to node b, creating it on
+// first use.
+func (f *Fabric) linkFor(a, b int) *link {
+	key := [2]int{a, b}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	l, ok := f.links[key]
+	if !ok {
+		l = &link{params: f.params}
+		f.links[key] = l
+	}
+	return l
+}
+
+// SetLinkParams overrides the parameters of the directed links between a and
+// b (both directions).
+func (f *Fabric) SetLinkParams(a, b *Node, p LinkParams) {
+	for _, key := range [][2]int{{a.ID, b.ID}, {b.ID, a.ID}} {
+		f.mu.Lock()
+		l, ok := f.links[key]
+		if !ok {
+			l = &link{}
+			f.links[key] = l
+		}
+		l.mu.Lock()
+		l.params = p
+		l.mu.Unlock()
+		f.mu.Unlock()
+	}
+}
+
+// Close shuts down every node (and thus every queue-pair worker entity).
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	nodes := append([]*Node(nil), f.nodes...)
+	f.mu.Unlock()
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+// link models one direction of a point-to-point connection. Latency is
+// pipelined (concurrent small ops overlap); bandwidth is serialized (bulk
+// transfers queue behind each other).
+type link struct {
+	mu        sync.Mutex
+	params    LinkParams
+	busyUntil sim.Time
+	bytes     int64 // cumulative payload bytes (observability)
+	ops       int64
+}
+
+// schedule reserves wire time for n bytes starting no earlier than now and
+// returns the virtual completion time of the operation (including latency).
+func (l *link) schedule(now sim.Time, n int, extra sim.Duration) sim.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	l.busyUntil = start + sim.Time(l.params.transferTime(n))
+	l.bytes += int64(n)
+	l.ops++
+	return l.busyUntil + sim.Time(l.params.Latency) + sim.Time(extra)
+}
+
+// LinkStats reports the cumulative payload bytes and operations sent from
+// node a to node b.
+func (f *Fabric) LinkStats(a, b *Node) (bytes, ops int64) {
+	l := f.linkFor(a.ID, b.ID)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes, l.ops
+}
+
+// scheduleAtomic reserves an atomic operation slot.
+func (l *link) scheduleAtomic(now sim.Time) sim.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	l.ops++
+	// Atomics occupy negligible wire time but pay their own latency.
+	return start + sim.Time(l.params.AtomicLatency)
+}

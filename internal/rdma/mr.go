@@ -1,0 +1,117 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemoryRegion is a pinned, NIC-registered buffer. Remote peers address it
+// with a (node, rkey, offset) triple; one-sided verbs copy bytes directly
+// into or out of it without involving the owning node's CPU.
+//
+// Synchronization contract: remote writes happen under the region's host
+// mutex and bump a generation counter; pollers that observe an update via
+// Await* therefore also observe the payload bytes written before it. Code
+// that reads region bytes directly (Bytes) must have established visibility
+// through some other channel (an RPC reply, a completion event, engine-level
+// immutability), exactly like real RDMA programs must.
+type MemoryRegion struct {
+	node *Node
+	rkey uint32
+	buf  []byte
+
+	mu       sync.Mutex
+	gen      uint64
+	watchers []chan struct{}
+}
+
+// RemoteAddr is a wire-transferable pointer into a registered region.
+type RemoteAddr struct {
+	Node int
+	RKey uint32
+	Off  int
+}
+
+// Add returns the address displaced by n bytes.
+func (a RemoteAddr) Add(n int) RemoteAddr {
+	a.Off += n
+	return a
+}
+
+func (a RemoteAddr) String() string {
+	return fmt.Sprintf("node%d/rkey%d+%d", a.Node, a.RKey, a.Off)
+}
+
+// Size returns the region length in bytes.
+func (r *MemoryRegion) Size() int { return len(r.buf) }
+
+// RKey returns the remote-access key peers use to address this region.
+func (r *MemoryRegion) RKey() uint32 { return r.rkey }
+
+// Node returns the owning node's id.
+func (r *MemoryRegion) Node() int { return r.node.ID }
+
+// Addr returns the remote address of offset off within the region.
+func (r *MemoryRegion) Addr(off int) RemoteAddr {
+	return RemoteAddr{Node: r.node.ID, RKey: r.rkey, Off: off}
+}
+
+// Bytes returns the slice [off, off+n) of the region for direct local
+// access. See the type comment for the visibility contract.
+func (r *MemoryRegion) Bytes(off, n int) []byte {
+	return r.buf[off : off+n]
+}
+
+// write is a remote one-sided write into the region (QP worker only).
+func (r *MemoryRegion) write(off int, src []byte) {
+	r.mu.Lock()
+	copy(r.buf[off:off+len(src)], src)
+	r.gen++
+	watchers := r.watchers
+	r.watchers = nil
+	r.mu.Unlock()
+	for _, ch := range watchers {
+		r.node.env().Clock().Unblock("mr.poll")
+		close(ch)
+	}
+}
+
+// read is a remote one-sided read out of the region (QP worker only).
+func (r *MemoryRegion) read(off int, dst []byte) {
+	r.mu.Lock()
+	copy(dst, r.buf[off:off+len(dst)])
+	r.mu.Unlock()
+}
+
+// AwaitByte parks the calling entity until the byte at off equals want.
+// This is the simulation analog of CPU-polling a flag that a one-sided
+// remote write will set (the paper's general-purpose RPC reply path).
+func (r *MemoryRegion) AwaitByte(off int, want byte) {
+	for {
+		r.mu.Lock()
+		if r.buf[off] == want {
+			r.mu.Unlock()
+			return
+		}
+		ch := make(chan struct{})
+		r.watchers = append(r.watchers, ch)
+		r.mu.Unlock()
+		r.node.env().Clock().Block("mr.poll")
+		<-ch
+	}
+}
+
+// SetByte writes a single byte locally under the region lock, waking
+// pollers. Used to reset flags between RPCs.
+func (r *MemoryRegion) SetByte(off int, b byte) {
+	r.mu.Lock()
+	r.buf[off] = b
+	r.gen++
+	watchers := r.watchers
+	r.watchers = nil
+	r.mu.Unlock()
+	for _, ch := range watchers {
+		r.node.env().Clock().Unblock("mr.poll")
+		close(ch)
+	}
+}

@@ -1,0 +1,153 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+
+	"dlsm/internal/sim"
+)
+
+// Message is a two-sided SEND delivered to an endpoint on the target node,
+// or an immediate-data notification from WRITE_WITH_IMM.
+type Message struct {
+	From    int    // sender node id
+	Payload []byte // copied payload (nil for pure imm notifications)
+	Imm     uint32 // immediate data (WRITE_WITH_IMM, or app-level tag)
+}
+
+// Node is one machine attached to the fabric: a CPU core pool plus
+// registered memory regions. Compute nodes and memory nodes are both Nodes;
+// they differ only in core count, memory size and the software run on them.
+type Node struct {
+	ID     int
+	Name   string
+	CPU    *sim.CPU
+	fabric *Fabric
+
+	userData sync.Map // per-node extension slots (e.g. the RPC notifier)
+
+	mu        sync.Mutex
+	nextRKey  uint32
+	mrs       map[uint32]*MemoryRegion
+	endpoints map[string]*sim.Chan[Message]
+	immQueue  *sim.Chan[Message]
+	qps       []*QP
+	closed    bool
+}
+
+func newNode(f *Fabric, id int, name string, cores int) *Node {
+	return &Node{
+		ID:        id,
+		Name:      name,
+		CPU:       sim.NewCPU(f.env, cores),
+		fabric:    f,
+		nextRKey:  1,
+		mrs:       make(map[uint32]*MemoryRegion),
+		endpoints: make(map[string]*sim.Chan[Message]),
+		immQueue:  sim.NewChan[Message](f.env, 4096),
+	}
+}
+
+func (n *Node) env() *sim.Env { return n.fabric.env }
+
+// Fabric returns the fabric the node is attached to.
+func (n *Node) Fabric() *Fabric { return n.fabric }
+
+// UserData is a per-node extension map for higher layers that need one
+// instance of something per node (e.g. the RPC thread notifier). Scoping
+// such singletons to the node keeps dead deployments collectible.
+func (n *Node) UserData() *sync.Map { return &n.userData }
+
+// Register allocates and registers a memory region of the given size,
+// modeling ibv_reg_mr over a freshly allocated pinned buffer. dLSM
+// pre-registers large regions and sub-allocates in user space (§X-B);
+// internal/remote implements those sub-allocators.
+func (n *Node) Register(size int) *MemoryRegion {
+	return n.RegisterBuf(make([]byte, size))
+}
+
+// RegisterBuf registers an existing buffer.
+func (n *Node) RegisterBuf(buf []byte) *MemoryRegion {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	mr := &MemoryRegion{node: n, rkey: n.nextRKey, buf: buf}
+	n.nextRKey++
+	n.mrs[mr.rkey] = mr
+	return mr
+}
+
+// Deregister removes a region from the NIC; subsequent remote access to its
+// rkey fails.
+func (n *Node) Deregister(mr *MemoryRegion) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.mrs, mr.rkey)
+}
+
+// lookupMR resolves an rkey, as the NIC does for incoming one-sided ops.
+func (n *Node) lookupMR(rkey uint32) (*MemoryRegion, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	mr, ok := n.mrs[rkey]
+	if !ok {
+		return nil, fmt.Errorf("rdma: node %d: invalid rkey %d", n.ID, rkey)
+	}
+	return mr, nil
+}
+
+// Endpoint returns the named receive queue for two-sided messages,
+// creating it on first use. It models a shared receive queue feeding a
+// message dispatcher.
+func (n *Node) Endpoint(name string) *sim.Chan[Message] {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.endpoints[name]
+	if !ok {
+		ep = sim.NewChan[Message](n.env(), 4096)
+		n.endpoints[name] = ep
+	}
+	return ep
+}
+
+// ImmQueue is where WRITE_WITH_IMM notifications targeting this node are
+// delivered; dLSM's thread notifier consumes it to wake sleeping RPC
+// requesters (§X-D).
+func (n *Node) ImmQueue() *sim.Chan[Message] { return n.immQueue }
+
+// NewQP creates a queue pair from this node to peer with its own send queue,
+// completion queue and worker. Per the paper's RDMA manager, each thread
+// creates a thread-local QP so completions are never mixed across threads.
+func (n *Node) NewQP(peer *Node) *QP {
+	qp := newQP(n, peer)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		panic("rdma: NewQP on closed node")
+	}
+	n.qps = append(n.qps, qp)
+	n.mu.Unlock()
+	return qp
+}
+
+// Close tears down all queue pairs and receive queues of the node.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	qps := n.qps
+	eps := make([]*sim.Chan[Message], 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, qp := range qps {
+		qp.Close()
+	}
+	for _, ep := range eps {
+		ep.Close()
+	}
+	n.immQueue.Close()
+}

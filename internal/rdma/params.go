@@ -1,0 +1,59 @@
+// Package rdma simulates an RDMA fabric connecting the nodes of a
+// disaggregated-memory deployment. It models the ibverbs surface dLSM's
+// RDMA manager is built on: registered memory regions addressed by rkeys,
+// per-thread queue pairs with FIFO send queues and completion queues, and
+// the verbs READ, WRITE, WRITE_WITH_IMM, SEND/RECV, FETCH_ADD and CAS.
+//
+// Transfers physically copy bytes between Go buffers; their *timing* is
+// virtual (see internal/sim): an operation completes after the link's base
+// latency plus its bytes serialized at the link bandwidth, with bandwidth
+// shared per direction across all queue pairs. This reproduces the
+// latency-vs-bandwidth asymmetry that motivates the paper's design: tiny
+// transfers are latency-bound (~27 ns/B at 64 B) while multi-MB transfers
+// approach wire speed (~0.08 ns/B), a >100x per-byte gap.
+package rdma
+
+import "time"
+
+// LinkParams describes one network link between two nodes.
+type LinkParams struct {
+	// Latency is the completion latency of a one-sided verb, i.e. the
+	// time from posting a small READ/WRITE to its completion event.
+	Latency time.Duration
+	// TwoSidedExtra is added to SEND/RECV operations for the receive-side
+	// dispatch that one-sided verbs avoid.
+	TwoSidedExtra time.Duration
+	// AtomicLatency is the completion latency of FETCH_ADD / CAS.
+	AtomicLatency time.Duration
+	// Bandwidth is the per-direction link bandwidth in bytes/second.
+	Bandwidth float64
+}
+
+// EDR100 models the paper's Mellanox EDR ConnectX-4 (100 Gb/s) testbed link.
+func EDR100() LinkParams {
+	return LinkParams{
+		Latency:       1700 * time.Nanosecond,
+		TwoSidedExtra: 1000 * time.Nanosecond,
+		AtomicLatency: 2000 * time.Nanosecond,
+		Bandwidth:     12.5e9, // 100 Gb/s
+	}
+}
+
+// FDR56 models the CloudLab c6220 Mellanox FDR ConnectX-3 (56 Gb/s) link
+// used in the paper's multi-node experiments.
+func FDR56() LinkParams {
+	return LinkParams{
+		Latency:       2100 * time.Nanosecond,
+		TwoSidedExtra: 1200 * time.Nanosecond,
+		AtomicLatency: 2500 * time.Nanosecond,
+		Bandwidth:     7.0e9, // 56 Gb/s
+	}
+}
+
+// transferTime returns the wire time for n payload bytes (excluding latency).
+func (p LinkParams) transferTime(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / p.Bandwidth * 1e9)
+}

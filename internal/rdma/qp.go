@@ -1,0 +1,298 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"dlsm/internal/sim"
+)
+
+// OpCode identifies an RDMA verb.
+type OpCode int
+
+// Verbs supported by the fabric.
+const (
+	OpRead OpCode = iota
+	OpWrite
+	OpWriteImm
+	OpSend
+	OpFetchAdd
+	OpCompareSwap
+)
+
+func (o OpCode) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpWriteImm:
+		return "WRITE_IMM"
+	case OpSend:
+		return "SEND"
+	case OpFetchAdd:
+		return "FETCH_ADD"
+	case OpCompareSwap:
+		return "CMP_SWAP"
+	}
+	return "UNKNOWN"
+}
+
+// Completion is a work-completion entry polled from a CQ.
+type Completion struct {
+	Ctx     uint64 // caller-supplied work-request id
+	Op      OpCode
+	N       int    // bytes transferred
+	Old     uint64 // prior value, for atomics
+	Swapped bool   // CAS success
+	Err     error
+}
+
+// ErrQPClosed is reported by operations on a closed queue pair.
+var ErrQPClosed = errors.New("rdma: queue pair closed")
+
+type workRequest struct {
+	op       OpCode
+	lmr      *MemoryRegion // local buffer (READ dst / WRITE src)
+	loff, n  int
+	payload  []byte // SEND payload (owned by the request)
+	remote   RemoteAddr
+	imm      uint32
+	endpoint string // SEND target endpoint
+	add      uint64 // FETCH_ADD operand
+	expect   uint64 // CAS operands
+	swap     uint64
+	ctx      uint64
+	done     sim.Time // wire completion, scheduled at post time
+}
+
+// QP is a queue pair: an ordered send queue from one node to a peer plus a
+// private completion queue. Operations are posted asynchronously; wire time
+// is reserved at post (so back-to-back posts pipeline their latencies, as a
+// real NIC does) and completions surface in FIFO order.
+type QP struct {
+	node *Node
+	peer *Node
+	env  *sim.Env
+
+	mu     sync.Mutex
+	closed bool
+	wrs    *sim.Chan[workRequest]
+	cq     *sim.Chan[Completion]
+	last   sim.Time // completion time of the most recently posted WR
+}
+
+func newQP(n *Node, peer *Node) *QP {
+	qp := &QP{
+		node: n,
+		peer: peer,
+		env:  n.env(),
+		wrs:  sim.NewChan[workRequest](n.env(), 4096),
+		cq:   sim.NewChan[Completion](n.env(), 4096),
+	}
+	n.env().Go(qp.worker)
+	return qp
+}
+
+// Node returns the owning node.
+func (q *QP) Node() *Node { return q.node }
+
+// Peer returns the remote node.
+func (q *QP) Peer() *Node { return q.peer }
+
+// post schedules wire time for the request and hands it to the worker.
+func (q *QP) post(wr workRequest, bytes int, twoSided bool, atomic bool) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		panic("rdma: post on closed QP")
+	}
+	now := q.env.Now()
+	var done sim.Time
+	switch {
+	case atomic:
+		done = q.node.fabric.linkFor(q.node.ID, q.peer.ID).scheduleAtomic(now)
+	case wr.op == OpRead:
+		// Data flows peer -> node: bandwidth is consumed on that direction.
+		l := q.node.fabric.linkFor(q.peer.ID, q.node.ID)
+		done = l.schedule(now, bytes, 0)
+	default:
+		l := q.node.fabric.linkFor(q.node.ID, q.peer.ID)
+		var extra sim.Duration
+		if twoSided {
+			extra = l.params.TwoSidedExtra
+		}
+		done = l.schedule(now, bytes, extra)
+	}
+	// FIFO completion ordering within one QP.
+	if done < q.last {
+		done = q.last
+	}
+	q.last = done
+	wr.done = done
+	q.mu.Unlock()
+	q.wrs.Send(wr)
+}
+
+// Read posts a one-sided read of n bytes from remote into (lmr, loff).
+func (q *QP) Read(lmr *MemoryRegion, loff int, remote RemoteAddr, n int, ctx uint64) {
+	q.post(workRequest{op: OpRead, lmr: lmr, loff: loff, n: n, remote: remote, ctx: ctx}, n, false, false)
+}
+
+// Write posts a one-sided write of n bytes from (lmr, loff) to remote.
+func (q *QP) Write(lmr *MemoryRegion, loff int, remote RemoteAddr, n int, ctx uint64) {
+	q.post(workRequest{op: OpWrite, lmr: lmr, loff: loff, n: n, remote: remote, ctx: ctx}, n, false, false)
+}
+
+// WriteImm is Write plus an immediate value delivered to the peer's
+// immediate queue, waking its thread notifier.
+func (q *QP) WriteImm(lmr *MemoryRegion, loff int, remote RemoteAddr, n int, imm uint32, ctx uint64) {
+	q.post(workRequest{op: OpWriteImm, lmr: lmr, loff: loff, n: n, remote: remote, imm: imm, ctx: ctx}, n, false, false)
+}
+
+// Send posts a two-sided send of payload to the peer's named endpoint.
+// The payload is copied at post time.
+func (q *QP) Send(endpoint string, payload []byte, ctx uint64) {
+	p := append([]byte(nil), payload...)
+	q.post(workRequest{op: OpSend, payload: p, n: len(p), endpoint: endpoint, ctx: ctx}, len(p), true, false)
+}
+
+// FetchAdd posts an 8-byte remote fetch-and-add; the completion's Old field
+// carries the prior value.
+func (q *QP) FetchAdd(remote RemoteAddr, add uint64, ctx uint64) {
+	q.post(workRequest{op: OpFetchAdd, remote: remote, add: add, ctx: ctx, n: 8}, 8, false, true)
+}
+
+// CompareSwap posts an 8-byte remote compare-and-swap.
+func (q *QP) CompareSwap(remote RemoteAddr, expect, swap uint64, ctx uint64) {
+	q.post(workRequest{op: OpCompareSwap, remote: remote, expect: expect, swap: swap, ctx: ctx, n: 8}, 8, false, true)
+}
+
+// PollCQ returns one completion if available without blocking.
+func (q *QP) PollCQ() (Completion, bool) { return q.cq.TryRecv() }
+
+// WaitCQ parks the entity until a completion is available. A closed QP
+// yields a completion with Err = ErrQPClosed.
+func (q *QP) WaitCQ() Completion {
+	c, ok := q.cq.Recv()
+	if !ok {
+		return Completion{Err: ErrQPClosed}
+	}
+	return c
+}
+
+// ReadSync performs a blocking one-sided read. The QP must have no other
+// outstanding requests (thread-local QP discipline, as in the paper).
+func (q *QP) ReadSync(lmr *MemoryRegion, loff int, remote RemoteAddr, n int) error {
+	q.Read(lmr, loff, remote, n, 0)
+	return q.WaitCQ().Err
+}
+
+// WriteSync performs a blocking one-sided write.
+func (q *QP) WriteSync(lmr *MemoryRegion, loff int, remote RemoteAddr, n int) error {
+	q.Write(lmr, loff, remote, n, 0)
+	return q.WaitCQ().Err
+}
+
+// SendSync performs a blocking two-sided send.
+func (q *QP) SendSync(endpoint string, payload []byte) error {
+	q.Send(endpoint, payload, 0)
+	return q.WaitCQ().Err
+}
+
+// FetchAddSync performs a blocking fetch-and-add, returning the old value.
+func (q *QP) FetchAddSync(remote RemoteAddr, add uint64) (uint64, error) {
+	q.FetchAdd(remote, add, 0)
+	c := q.WaitCQ()
+	return c.Old, c.Err
+}
+
+// CompareSwapSync performs a blocking compare-and-swap, returning the old
+// value and whether the swap applied.
+func (q *QP) CompareSwapSync(remote RemoteAddr, expect, swap uint64) (uint64, bool, error) {
+	q.CompareSwap(remote, expect, swap, 0)
+	c := q.WaitCQ()
+	return c.Old, c.Swapped, c.Err
+}
+
+// Close shuts the QP down; the worker drains outstanding requests first.
+func (q *QP) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	q.wrs.Close()
+}
+
+// worker executes posted work requests in FIFO order at their scheduled
+// virtual completion times.
+func (q *QP) worker() {
+	for {
+		wr, ok := q.wrs.Recv()
+		if !ok {
+			q.cq.Close()
+			return
+		}
+		q.env.WaitUntil(wr.done)
+		comp := Completion{Ctx: wr.ctx, Op: wr.op, N: wr.n}
+		switch wr.op {
+		case OpRead:
+			mr, err := q.peer.lookupMR(wr.remote.RKey)
+			if err != nil {
+				comp.Err = err
+				break
+			}
+			mr.read(wr.remote.Off, wr.lmr.buf[wr.loff:wr.loff+wr.n])
+		case OpWrite, OpWriteImm:
+			mr, err := q.peer.lookupMR(wr.remote.RKey)
+			if err != nil {
+				comp.Err = err
+				break
+			}
+			mr.write(wr.remote.Off, wr.lmr.buf[wr.loff:wr.loff+wr.n])
+			if wr.op == OpWriteImm {
+				q.peer.immQueue.Send(Message{From: q.node.ID, Imm: wr.imm})
+			}
+		case OpSend:
+			q.peer.Endpoint(wr.endpoint).Send(Message{From: q.node.ID, Payload: wr.payload})
+		case OpFetchAdd:
+			mr, err := q.peer.lookupMR(wr.remote.RKey)
+			if err != nil {
+				comp.Err = err
+				break
+			}
+			comp.Old = atomicFetchAdd(mr, wr.remote.Off, wr.add)
+		case OpCompareSwap:
+			mr, err := q.peer.lookupMR(wr.remote.RKey)
+			if err != nil {
+				comp.Err = err
+				break
+			}
+			comp.Old, comp.Swapped = atomicCompareSwap(mr, wr.remote.Off, wr.expect, wr.swap)
+		}
+		q.cq.Send(comp)
+	}
+}
+
+func atomicFetchAdd(mr *MemoryRegion, off int, add uint64) uint64 {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	old := binary.LittleEndian.Uint64(mr.buf[off:])
+	binary.LittleEndian.PutUint64(mr.buf[off:], old+add)
+	return old
+}
+
+func atomicCompareSwap(mr *MemoryRegion, off int, expect, swap uint64) (uint64, bool) {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	old := binary.LittleEndian.Uint64(mr.buf[off:])
+	if old == expect {
+		binary.LittleEndian.PutUint64(mr.buf[off:], swap)
+		return old, true
+	}
+	return old, false
+}

@@ -1,0 +1,217 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+)
+
+// Client issues RPCs from one requester thread to one responder node. It is
+// not safe for concurrent use: like the paper's design, every thread owns a
+// thread-local QP, reply buffer and (for large calls) argument buffer.
+type Client struct {
+	env      *sim.Env
+	node     *rdma.Node
+	peer     *rdma.Node
+	qp       *rdma.QP
+	reply    *rdma.MemoryRegion
+	args     *rdma.MemoryRegion
+	notifier *Notifier
+	wakeID   uint32
+}
+
+// DefaultReplyBuf is the reply buffer size when none is specified.
+const DefaultReplyBuf = 1 << 20
+
+// NewClient creates a client from node to peer. notifier may be nil if
+// CallLarge is never used. replyBuf is the reply buffer capacity.
+func NewClient(node, peer *rdma.Node, notifier *Notifier, replyBuf int) *Client {
+	if replyBuf <= 0 {
+		replyBuf = DefaultReplyBuf
+	}
+	c := &Client{
+		env:      node.Fabric().Env(),
+		node:     node,
+		peer:     peer,
+		qp:       node.NewQP(peer),
+		reply:    node.Register(replyBuf),
+		notifier: notifier,
+	}
+	if notifier != nil {
+		c.wakeID = notifier.NewID()
+	}
+	return c
+}
+
+// Call performs a general-purpose RPC: SEND the request with the reply
+// buffer's address attached, then poll the flag byte at the end of the
+// buffer until the responder's one-sided write lands.
+func (c *Client) Call(method string, args []byte) ([]byte, error) {
+	flagOff := c.reply.Size() - 1
+	c.reply.SetByte(flagOff, 0)
+
+	req := make([]byte, 0, len(args)+len(method)+64)
+	req = putU32(req, kindInline)
+	req = putBytes(req, []byte(method))
+	req = c.appendReplyAddr(req)
+	req = putBytes(req, args)
+
+	if err := c.qp.SendSync(EndpointName, req); err != nil {
+		return nil, err
+	}
+	c.reply.AwaitByte(flagOff, 1)
+	return c.parseReply()
+}
+
+// CallLarge performs the near-data-compaction RPC: args are serialized into
+// a registered buffer and pulled by the responder via RDMA READ; the caller
+// sleeps until the reply's WRITE_WITH_IMMEDIATE wakes it through the node's
+// thread notifier.
+func (c *Client) CallLarge(method string, args []byte) ([]byte, error) {
+	if c.notifier == nil {
+		return nil, errors.New("rpc: CallLarge requires a notifier")
+	}
+	if c.args == nil || c.args.Size() < len(args) {
+		c.args = c.node.Register(max(len(args), 64<<10))
+	}
+	copy(c.args.Bytes(0, len(args)), args)
+
+	req := make([]byte, 0, len(method)+64)
+	req = putU32(req, kindRemote)
+	req = putBytes(req, []byte(method))
+	req = c.appendReplyAddr(req)
+	argAddr := c.args.Addr(0)
+	req = putU32(req, uint32(argAddr.Node))
+	req = putU32(req, argAddr.RKey)
+	req = putU64(req, uint64(argAddr.Off))
+	req = putU32(req, uint32(len(args)))
+	req = putU32(req, c.wakeID)
+
+	wake := c.notifier.Arm(c.wakeID)
+	if err := c.qp.SendSync(EndpointName, req); err != nil {
+		return nil, err
+	}
+	c.notifier.Wait(wake) // sleep until the reply's immediate wakes us
+	return c.parseReply()
+}
+
+func (c *Client) appendReplyAddr(req []byte) []byte {
+	addr := c.reply.Addr(0)
+	req = putU32(req, uint32(addr.Node))
+	req = putU32(req, addr.RKey)
+	req = putU64(req, uint64(addr.Off))
+	req = putU32(req, uint32(c.reply.Size()))
+	return req
+}
+
+func (c *Client) parseReply() ([]byte, error) {
+	buf := c.reply.Bytes(0, c.reply.Size())
+	r := &reader{b: buf, off: 1}
+	payload := r.bytes()
+	if r.err {
+		return nil, errors.New("rpc: malformed reply")
+	}
+	if buf[0] == statusErr {
+		return nil, fmt.Errorf("rpc: remote error: %s", payload)
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, nil
+}
+
+// Close releases the client's QP.
+func (c *Client) Close() { c.qp.Close() }
+
+// Notifier is the per-node thread notifier (§X-D2): a single entity drains
+// the node's immediate queue and wakes the requester registered under each
+// wake-up id.
+type Notifier struct {
+	env  *sim.Env
+	node *rdma.Node
+
+	mu     sync.Mutex
+	nextID uint32
+	armed  map[uint32]chan struct{}
+}
+
+// notifierKey indexes the per-node notifier in Node.UserData.
+type notifierKey struct{}
+
+// NotifierFor returns the node's thread notifier, creating and starting it
+// on first use. The notifier is a per-node singleton because WRITE_WITH_IMM
+// notifications arrive on one queue per node: multiple drainers would steal
+// each other's wake-ups, and wake ids must be unique node-wide.
+func NotifierFor(node *rdma.Node) *Notifier {
+	if v, ok := node.UserData().Load(notifierKey{}); ok {
+		return v.(*Notifier)
+	}
+	n := &Notifier{
+		env:   node.Fabric().Env(),
+		node:  node,
+		armed: make(map[uint32]chan struct{}),
+	}
+	if actual, loaded := node.UserData().LoadOrStore(notifierKey{}, n); loaded {
+		return actual.(*Notifier)
+	}
+	n.env.Go(n.loop)
+	return n
+}
+
+// NewID allocates a unique wake-up id for a requester thread.
+func (n *Notifier) NewID() uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextID++
+	return n.nextID
+}
+
+// Arm registers the calling requester to be woken when a reply with its id
+// arrives. Arm before issuing the request; then block with Wait.
+func (n *Notifier) Arm(id uint32) <-chan struct{} {
+	ch := make(chan struct{})
+	n.mu.Lock()
+	n.armed[id] = ch
+	n.mu.Unlock()
+	return ch
+}
+
+// Wait parks the calling entity until the armed channel is signaled.
+func (n *Notifier) Wait(ch <-chan struct{}) {
+	n.env.Clock().Block("rpc.sleep")
+	<-ch
+}
+
+func (n *Notifier) loop() {
+	q := n.node.ImmQueue()
+	for {
+		msg, ok := q.Recv()
+		if !ok {
+			n.drain()
+			return
+		}
+		n.mu.Lock()
+		ch := n.armed[msg.Imm]
+		delete(n.armed, msg.Imm)
+		n.mu.Unlock()
+		if ch != nil {
+			n.env.Clock().Unblock("rpc.sleep")
+			close(ch)
+		}
+	}
+}
+
+// drain wakes any still-armed requesters during shutdown so they do not
+// leak as blocked entities.
+func (n *Notifier) drain() {
+	n.mu.Lock()
+	armed := n.armed
+	n.armed = make(map[uint32]chan struct{})
+	n.mu.Unlock()
+	for _, ch := range armed {
+		n.env.Clock().Unblock("rpc.sleep")
+		close(ch)
+	}
+}

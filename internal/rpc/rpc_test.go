@@ -1,0 +1,217 @@
+package rpc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+)
+
+func testbed() (*sim.Env, *rdma.Fabric, *rdma.Node, *rdma.Node) {
+	env := sim.NewEnv()
+	f := rdma.NewFabric(env, rdma.EDR100())
+	cn := f.AddNode("compute", 24)
+	mn := f.AddNode("memory", 12)
+	return env, f, cn, mn
+}
+
+func TestGeneralRPCEcho(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 2)
+		srv.Handle("echo", func(from int, args []byte) ([]byte, error) {
+			return append([]byte("echo:"), args...), nil
+		})
+		srv.Start()
+
+		cli := NewClient(cn, mn, nil, 4096)
+		got, err := cli.Call("echo", []byte("hello"))
+		if err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+		if string(got) != "echo:hello" {
+			t.Fatalf("reply = %q", got)
+		}
+	})
+	env.Wait()
+}
+
+func TestRPCSequentialCallsReuseBuffers(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 2)
+		srv.Handle("double", func(from int, args []byte) ([]byte, error) {
+			return append(args, args...), nil
+		})
+		srv.Start()
+		cli := NewClient(cn, mn, nil, 4096)
+		for i := 0; i < 20; i++ {
+			in := bytes.Repeat([]byte{byte(i)}, i+1)
+			got, err := cli.Call("double", in)
+			if err != nil {
+				t.Fatalf("call %d: %v", i, err)
+			}
+			if !bytes.Equal(got, append(append([]byte{}, in...), in...)) {
+				t.Fatalf("call %d: wrong reply", i)
+			}
+		}
+	})
+	env.Wait()
+}
+
+func TestRPCUnknownMethod(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 1)
+		srv.Start()
+		cli := NewClient(cn, mn, nil, 4096)
+		_, err := cli.Call("nope", nil)
+		if err == nil || !strings.Contains(err.Error(), "unknown method") {
+			t.Fatalf("err = %v, want unknown method", err)
+		}
+	})
+	env.Wait()
+}
+
+func TestRPCHandlerError(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 1)
+		srv.Handle("fail", func(from int, args []byte) ([]byte, error) {
+			return nil, errTest
+		})
+		srv.Start()
+		cli := NewClient(cn, mn, nil, 4096)
+		_, err := cli.Call("fail", nil)
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("err = %v, want remote boom", err)
+		}
+	})
+	env.Wait()
+}
+
+var errTest = errorString("boom")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestLargeArgRPCWithImmediateWakeup(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 2)
+		srv.Handle("sum", func(from int, args []byte) ([]byte, error) {
+			var s int
+			for _, b := range args {
+				s += int(b)
+			}
+			return []byte{byte(s), byte(s >> 8), byte(s >> 16)}, nil
+		})
+		srv.Start()
+
+		notifier := NotifierFor(cn)
+		cli := NewClient(cn, mn, notifier, 4096)
+		args := bytes.Repeat([]byte{3}, 100_000) // 100KB argument
+		got, err := cli.CallLarge("sum", args)
+		if err != nil {
+			t.Fatalf("CallLarge: %v", err)
+		}
+		want := 300_000
+		if got[0] != byte(want) || got[1] != byte(want>>8) || got[2] != byte(want>>16) {
+			t.Fatalf("sum reply = %v", got)
+		}
+	})
+	env.Wait()
+}
+
+func TestLargeArgRPCChargesTransferTime(t *testing.T) {
+	// The 1MB argument must be pulled over the wire: the call cannot finish
+	// faster than the wire time of the argument.
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 1)
+		srv.Handle("noop", func(from int, args []byte) ([]byte, error) { return nil, nil })
+		srv.Start()
+		notifier := NotifierFor(cn)
+		cli := NewClient(cn, mn, notifier, 4096)
+		args := make([]byte, 1<<20)
+		start := env.Now()
+		if _, err := cli.CallLarge("noop", args); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Duration(env.Now() - start)
+		wire := time.Duration(float64(1<<20) / rdma.EDR100().Bandwidth * 1e9)
+		if elapsed < wire {
+			t.Fatalf("CallLarge(1MB) took %v, faster than wire time %v", elapsed, wire)
+		}
+	})
+	env.Wait()
+}
+
+func TestConcurrentClientsParallelWorkers(t *testing.T) {
+	// With 4 workers, 4 concurrent slow calls (1ms of handler CPU on a
+	// 12-core node) should overlap rather than serialize.
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 4)
+		srv.Handle("slow", func(from int, args []byte) ([]byte, error) {
+			mn.CPU.Use(time.Millisecond)
+			return []byte("ok"), nil
+		})
+		srv.Start()
+
+		wg := sim.NewWaitGroup(env)
+		start := env.Now()
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			env.Go(func() {
+				defer wg.Done()
+				cli := NewClient(cn, mn, nil, 4096)
+				if _, err := cli.Call("slow", nil); err != nil {
+					t.Errorf("call: %v", err)
+				}
+			})
+		}
+		wg.Wait()
+		elapsed := time.Duration(env.Now() - start)
+		if elapsed > 2*time.Millisecond {
+			t.Fatalf("4 concurrent 1ms calls took %v, want ~1ms (workers must parallelize)", elapsed)
+		}
+	})
+	env.Wait()
+}
+
+func TestRPCReplyBypassesDispatcherOnWire(t *testing.T) {
+	// A general call's reply arrives via one-sided write: total time should
+	// be about one two-sided send + handler + one-sided write, i.e. well
+	// under two full two-sided round trips.
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 1)
+		srv.Handle("ping", func(from int, args []byte) ([]byte, error) { return []byte("pong"), nil })
+		srv.Start()
+		cli := NewClient(cn, mn, nil, 4096)
+		start := env.Now()
+		if _, err := cli.Call("ping", nil); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Duration(env.Now() - start)
+		p := rdma.EDR100()
+		budget := (p.Latency + p.TwoSidedExtra) + sim.DefaultCosts().RPCHandle + 3*p.Latency
+		if elapsed > budget {
+			t.Fatalf("ping took %v, want <= %v", elapsed, budget)
+		}
+	})
+	env.Wait()
+}

@@ -1,0 +1,285 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+)
+
+// EndpointName is the receive endpoint RPC requests arrive on.
+const EndpointName = "rpc"
+
+// Handler processes one call. args is only valid for the duration of the
+// call. Returned bytes are copied into the requester's reply buffer.
+type Handler func(fromNode int, args []byte) ([]byte, error)
+
+// request kinds.
+const (
+	kindInline = 0 // args inline in the SEND payload
+	kindRemote = 1 // args pulled from the requester via RDMA READ
+)
+
+// reply status bytes.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// Server dispatches RPC requests arriving at a node to a pool of worker
+// entities and returns replies via one-sided writes (general case) or
+// write-with-immediate (large-argument case).
+type Server struct {
+	env   *sim.Env
+	node  *rdma.Node
+	costs sim.CostModel
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	qps      map[[2]int]*rdma.QP // per (worker, requester node): thread-local QPs
+	argBufs  map[int]*rdma.MemoryRegion
+
+	work      *sim.Chan[rdma.Message]
+	workers   int
+	dedicated map[string]*dedicatedPool
+	nextWID   int
+	started   bool
+}
+
+// dedicatedPool gives one method its own worker pool so long-running calls
+// (near-data compaction) never starve short ones (allocation frees).
+type dedicatedPool struct {
+	work    *sim.Chan[rdma.Message]
+	workers int
+}
+
+// NewServer creates an RPC server on node with the given worker pool size.
+func NewServer(node *rdma.Node, costs sim.CostModel, workers int) *Server {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Server{
+		env:       nodeEnv(node),
+		node:      node,
+		costs:     costs,
+		handlers:  make(map[string]Handler),
+		qps:       make(map[[2]int]*rdma.QP),
+		argBufs:   make(map[int]*rdma.MemoryRegion),
+		work:      sim.NewChan[rdma.Message](nodeEnv(node), 4096),
+		workers:   workers,
+		dedicated: make(map[string]*dedicatedPool),
+	}
+}
+
+func nodeEnv(n *rdma.Node) *sim.Env { return n.Fabric().Env() }
+
+// Handle registers a handler for method. Must be called before Start.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// HandleDedicated registers a handler served by its own pool of workers,
+// isolating long-running calls from the shared pool.
+func (s *Server) HandleDedicated(method string, h Handler, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+	s.dedicated[method] = &dedicatedPool{
+		work:    sim.NewChan[rdma.Message](s.env, 4096),
+		workers: workers,
+	}
+}
+
+// Start launches the dispatcher and worker entities.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	ep := s.node.Endpoint(EndpointName)
+	s.env.Go(func() { // message dispatcher
+		for {
+			msg, ok := ep.Recv()
+			if !ok {
+				s.work.Close()
+				for _, p := range s.dedicated {
+					p.work.Close()
+				}
+				return
+			}
+			if p, ok := s.dedicated[peekMethod(msg.Payload)]; ok {
+				p.work.Send(msg)
+				continue
+			}
+			s.work.Send(msg)
+		}
+	})
+	for i := 0; i < s.workers; i++ {
+		id := s.allocWorkerID()
+		s.env.Go(func() { s.pump(s.work, id) })
+	}
+	for _, p := range s.dedicated {
+		p := p
+		for i := 0; i < p.workers; i++ {
+			id := s.allocWorkerID()
+			s.env.Go(func() { s.pump(p.work, id) })
+		}
+	}
+}
+
+func (s *Server) allocWorkerID() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextWID++
+	return s.nextWID
+}
+
+// peekMethod extracts the method name from a request without consuming it.
+func peekMethod(payload []byte) string {
+	r := &reader{b: payload}
+	r.u32() // kind
+	m := r.bytes()
+	if r.err {
+		return ""
+	}
+	return string(m)
+}
+
+func (s *Server) pump(work *sim.Chan[rdma.Message], id int) {
+	for {
+		msg, ok := work.Recv()
+		if !ok {
+			return
+		}
+		s.serve(id, msg)
+	}
+}
+
+// qpTo returns this worker's QP to the requester node, creating it on first
+// use. QPs are thread-local so workers never mix completions (§X-B).
+func (s *Server) qpTo(worker, nodeID int) *rdma.QP {
+	key := [2]int{worker, nodeID}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	qp, ok := s.qps[key]
+	if !ok {
+		qp = s.node.NewQP(s.node.Fabric().Node(nodeID))
+		s.qps[key] = qp
+	}
+	return qp
+}
+
+// argBuf returns a per-worker staging buffer for pulled arguments.
+func (s *Server) argBuf(worker, size int) *rdma.MemoryRegion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mr := s.argBufs[worker]
+	if mr == nil || mr.Size() < size {
+		mr = s.node.Register(max(size, 64<<10))
+		s.argBufs[worker] = mr
+	}
+	return mr
+}
+
+func (s *Server) serve(workerID int, msg rdma.Message) {
+	s.node.CPU.Use(s.costs.RPCHandle)
+
+	r := &reader{b: msg.Payload}
+	kind := r.u32()
+	method := string(r.bytes())
+	replyAddr := rdma.RemoteAddr{Node: int(r.u32()), RKey: r.u32(), Off: int(r.u64())}
+	replyLen := int(r.u32())
+
+	var args []byte
+	var wakeID uint32
+	switch kind {
+	case kindInline:
+		args = r.bytes()
+	case kindRemote:
+		argAddr := rdma.RemoteAddr{Node: int(r.u32()), RKey: r.u32(), Off: int(r.u64())}
+		argLen := int(r.u32())
+		wakeID = r.u32()
+		if r.err {
+			return
+		}
+		// Pull the large argument from the requester with an RDMA READ
+		// (paper §X-D2), staging it in a pre-registered worker buffer.
+		buf := s.argBuf(workerID, argLen)
+		qp := s.qpTo(workerID, msg.From)
+		if err := qp.ReadSync(buf, 0, argAddr, argLen); err != nil {
+			return
+		}
+		args = buf.Bytes(0, argLen)
+	default:
+		return
+	}
+	if r.err {
+		return
+	}
+
+	s.mu.Lock()
+	h := s.handlers[method]
+	s.mu.Unlock()
+
+	var result []byte
+	var err error
+	if h == nil {
+		err = fmt.Errorf("rpc: unknown method %q", method)
+	} else {
+		result, err = h(msg.From, args)
+	}
+
+	// Encode the reply: [status][payload]; the general path appends a
+	// ready flag as the final byte of the reply buffer.
+	reply := make([]byte, 0, len(result)+16)
+	if err != nil {
+		reply = append(reply, statusErr)
+		reply = putBytes(reply, []byte(err.Error()))
+	} else {
+		reply = append(reply, statusOK)
+		reply = putBytes(reply, result)
+	}
+	if len(reply) > replyLen-1 {
+		// Reply would overflow the requester's buffer: report the error
+		// in-band instead (it always fits a sane minimum buffer).
+		reply = reply[:0]
+		reply = append(reply, statusErr)
+		reply = putBytes(reply, []byte("rpc: reply buffer too small"))
+	}
+
+	qp := s.qpTo(workerID, msg.From)
+	lmr := s.node.RegisterBuf(reply) // small, per-reply staging
+	defer s.node.Deregister(lmr)
+	if kind == kindRemote {
+		// Large-argument path: wake the sleeping requester via the
+		// immediate value routed by its thread notifier.
+		qp.WriteImm(lmr, 0, replyAddr, len(reply), wakeID, 0)
+		qp.WaitCQ()
+		return
+	}
+	// General path: write payload, then set the flag byte at the end of
+	// the reply buffer; the requester is spin-polling it.
+	qp.Write(lmr, 0, replyAddr, len(reply), 0)
+	flag := s.node.RegisterBuf([]byte{1})
+	defer s.node.Deregister(flag)
+	qp.Write(flag, 0, replyAddr.Add(replyLen-1), 1, 1)
+	qp.WaitCQ()
+	qp.WaitCQ()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

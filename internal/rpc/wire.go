@@ -1,0 +1,68 @@
+// Package rpc implements dLSM's two RPC flavors over the RDMA fabric
+// (paper §X-D):
+//
+//   - General-purpose RPC: the requester attaches the address and rkey of a
+//     reply buffer to a two-sided SEND; the responder processes the call and
+//     returns results with a one-sided WRITE into that buffer; the requester
+//     polls a flag at the end of the buffer, so the reply bypasses the
+//     message dispatcher entirely.
+//   - Large-argument RPC (near-data compaction): arguments are serialized
+//     into a registered buffer on the requester and only their address is
+//     sent; the responder pulls them with an RDMA READ. The reply is a
+//     WRITE_WITH_IMMEDIATE whose immediate value is a wake-up id; a per-node
+//     thread notifier routes it to the sleeping requester.
+package rpc
+
+import "encoding/binary"
+
+// Wire format helpers: all integers little-endian, length-prefixed bytes.
+
+func putU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func putU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func putBytes(b, p []byte) []byte {
+	b = putU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (r *reader) u32() uint32 {
+	if r.err || r.off+4 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err || r.off+8 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err || r.off+n > len(r.b) {
+		r.err = true
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}

@@ -1,0 +1,209 @@
+// Package sim implements a discrete-event simulation kernel with a virtual
+// clock. Simulated threads ("entities") are real goroutines executing real
+// code; only *time* is virtual. An entity is either running (executing Go
+// code on the host) or blocked (waiting on the virtual clock or on a
+// sim-aware synchronization primitive). The clock advances to the next
+// pending wakeup only when every entity is blocked, so virtual timestamps
+// are consistent regardless of how many physical cores the host has.
+//
+// Rules for code running under the simulator:
+//
+//   - All cross-entity blocking must use sim primitives (Mutex, Cond, Chan,
+//     Semaphore, WaitGroup) or clock waits. Host sync primitives may be used
+//     only for critical sections that never block on a sim primitive while
+//     held.
+//   - Every goroutine that touches sim primitives must be spawned with
+//     Env.Go (or registered with Env.Enter/Exit).
+//
+// Virtual time is int64 nanoseconds since simulation start.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = time.Duration
+
+type waiter struct {
+	at    Time
+	seq   uint64 // tie-break so equal timestamps wake FIFO
+	ch    chan struct{}
+	where string // description for deadlock reports
+}
+
+type waitHeap []*waiter
+
+func (h waitHeap) Len() int { return len(h) }
+func (h waitHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *waitHeap) Push(x any)   { *h = append(*h, x.(*waiter)) }
+func (h *waitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Clock is the virtual clock shared by all entities of one simulation.
+type Clock struct {
+	mu      sync.Mutex
+	now     Time
+	runners int // entities currently executing host code
+	blocked int // entities blocked on non-clock sim primitives
+	seq     uint64
+	heap    waitHeap
+	stalled map[string]int // where -> count, for deadlock diagnostics
+	active  int            // drivers currently inside Env.Run
+	dead    bool
+}
+
+// NewClock returns a fresh virtual clock at time zero.
+func NewClock() *Clock {
+	return &Clock{stalled: make(map[string]int)}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// enter registers one more running entity. Must be paired with exit.
+func (c *Clock) enter() {
+	c.mu.Lock()
+	c.runners++
+	c.mu.Unlock()
+}
+
+// exit deregisters a running entity, possibly advancing the clock.
+func (c *Clock) exit() {
+	c.mu.Lock()
+	c.runners--
+	dead := c.maybeAdvanceLocked()
+	c.mu.Unlock()
+	if dead != "" {
+		panic("sim: deadlock — all entities blocked: " + dead)
+	}
+}
+
+// Sleep blocks the calling entity for d of virtual time.
+func (c *Clock) Sleep(d Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.sleepUntilLocked(c.now+Time(d), "sleep")
+}
+
+// WaitUntil blocks the calling entity until virtual time t.
+func (c *Clock) WaitUntil(t Time) {
+	c.mu.Lock()
+	if t <= c.now {
+		c.mu.Unlock()
+		return
+	}
+	c.sleepUntilLocked(t, "waitUntil")
+}
+
+// sleepUntilLocked enqueues the caller on the wait heap and releases the
+// clock lock. The caller must hold c.mu.
+func (c *Clock) sleepUntilLocked(t Time, where string) {
+	w := &waiter{at: t, seq: c.seq, ch: make(chan struct{}), where: where}
+	c.seq++
+	heap.Push(&c.heap, w)
+	c.runners--
+	dead := c.maybeAdvanceLocked()
+	c.mu.Unlock()
+	if dead != "" {
+		panic("sim: deadlock — all entities blocked: " + dead)
+	}
+	<-w.ch
+}
+
+// block parks the calling entity on an external primitive (mutex queue,
+// channel, ...). The primitive wakes it via unblock. where describes the
+// wait site for deadlock reports.
+func (c *Clock) Block(where string) {
+	c.mu.Lock()
+	c.runners--
+	c.blocked++
+	c.stalled[where]++
+	dead := c.maybeAdvanceLocked()
+	c.mu.Unlock()
+	if dead != "" {
+		panic("sim: deadlock — all entities blocked: " + dead)
+	}
+}
+
+// unblock marks one entity previously parked with block as runnable again.
+// It is called by the waker *before* signaling the waiter's channel.
+func (c *Clock) Unblock(where string) {
+	c.mu.Lock()
+	c.runners++
+	c.blocked--
+	c.stalled[where]--
+	if c.stalled[where] == 0 {
+		delete(c.stalled, where)
+	}
+	c.mu.Unlock()
+}
+
+// maybeAdvanceLocked advances virtual time to the earliest pending wakeup if
+// no entity is running. It returns a non-empty diagnostic when the
+// simulation is deadlocked; the caller must release c.mu before panicking.
+// Caller holds c.mu.
+func (c *Clock) maybeAdvanceLocked() (deadlock string) {
+	if c.runners > 0 || c.dead {
+		return ""
+	}
+	if len(c.heap) == 0 {
+		if c.blocked > 0 && c.active > 0 {
+			// A driver is inside Run, every entity is parked on a
+			// primitive, and nothing is scheduled to wake: the
+			// simulation cannot make progress. (With no active driver,
+			// parked service entities are just idle, not deadlocked.)
+			c.dead = true
+			return c.stallReportLocked()
+		}
+		return ""
+	}
+	next := c.heap[0].at
+	c.now = next
+	// Wake every waiter scheduled for this instant. Each wakes as a runner.
+	for len(c.heap) > 0 && c.heap[0].at == next {
+		w := heap.Pop(&c.heap).(*waiter)
+		c.runners++
+		close(w.ch)
+	}
+	return ""
+}
+
+func (c *Clock) stallReportLocked() string {
+	keys := make([]string, 0, len(c.stalled))
+	for k := range c.stalled {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s×%d ", k, c.stalled[k])
+	}
+	return b.String()
+}

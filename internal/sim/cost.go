@@ -1,0 +1,50 @@
+package sim
+
+import "time"
+
+// CostModel holds the calibrated virtual CPU costs charged by the storage
+// engines. The real data-structure work still executes on the host; these
+// constants determine how much *virtual* time that work occupies on a
+// simulated node's core pool. See DESIGN.md §5 for the calibration story.
+type CostModel struct {
+	// MemTable operations.
+	MemInsert Duration // one skiplist insert (includes key encode)
+	MemProbe  Duration // one MemTable/immutable-table lookup
+
+	// Read path.
+	IndexSearch Duration // binary search of a cached SSTable index
+	BloomProbe  Duration // one bloom-filter membership test
+	EntryParse  Duration // decode one KV during iteration
+
+	// Bulk byte processing (per byte).
+	SerializeByte float64 // ns/B: building SSTable bytes from entries
+	MergeEntry    Duration
+	BlockByte     float64  // ns/B: wrapping/unwrapping block formats
+	BlockTouch    Duration // fixed cost per block wrap/unwrap
+	MemcpyByte    float64  // ns/B: extra buffer copies (file systems, RPC)
+
+	// RPC / misc.
+	RPCHandle Duration // server-side dispatch + handler entry
+}
+
+// DefaultCosts is the calibration used throughout the benchmarks.
+func DefaultCosts() CostModel {
+	return CostModel{
+		MemInsert:     1800 * time.Nanosecond,
+		MemProbe:      700 * time.Nanosecond,
+		IndexSearch:   600 * time.Nanosecond,
+		BloomProbe:    150 * time.Nanosecond,
+		EntryParse:    120 * time.Nanosecond,
+		SerializeByte: 0.55,
+		MergeEntry:    900 * time.Nanosecond,
+		BlockByte:     0.8,
+		BlockTouch:    1200 * time.Nanosecond,
+		MemcpyByte:    0.25,
+		RPCHandle:     1000 * time.Nanosecond,
+	}
+}
+
+// Bytes returns the CPU duration for processing n bytes at nsPerByte.
+func Bytes(n int, nsPerByte float64) Duration {
+	return Duration(float64(n) * nsPerByte)
+}

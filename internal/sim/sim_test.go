@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	e := NewEnv()
+	var got Time
+	e.Run(func() {
+		e.Sleep(5 * time.Millisecond)
+		got = e.Now()
+	})
+	if got != Time(5*time.Millisecond) {
+		t.Fatalf("Now = %d, want %d", got, 5*time.Millisecond)
+	}
+}
+
+func TestConcurrentSleepersShareVirtualTime(t *testing.T) {
+	// 10 entities each sleeping 1ms concurrently must finish at t=1ms,
+	// not 10ms: virtual time models parallelism regardless of host cores.
+	e := NewEnv()
+	var done atomic.Int32
+	e.Run(func() {
+		wg := NewWaitGroup(e)
+		for i := 0; i < 10; i++ {
+			wg.Add(1)
+			e.Go(func() {
+				defer wg.Done()
+				e.Sleep(time.Millisecond)
+				done.Add(1)
+			})
+		}
+		wg.Wait()
+		if now := e.Now(); now != Time(time.Millisecond) {
+			t.Errorf("Now = %v, want 1ms", now)
+		}
+	})
+	e.Wait()
+	if done.Load() != 10 {
+		t.Fatalf("done = %d, want 10", done.Load())
+	}
+}
+
+func TestWaitUntilPastIsNoop(t *testing.T) {
+	e := NewEnv()
+	e.Run(func() {
+		e.Sleep(time.Millisecond)
+		e.WaitUntil(0) // already passed
+		if e.Now() != Time(time.Millisecond) {
+			t.Errorf("Now moved backwards or stalled: %v", e.Now())
+		}
+	})
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	e := NewEnv()
+	var inside, max atomic.Int32
+	e.Run(func() {
+		m := NewMutex(e)
+		wg := NewWaitGroup(e)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			e.Go(func() {
+				defer wg.Done()
+				for j := 0; j < 50; j++ {
+					m.Lock()
+					n := inside.Add(1)
+					for {
+						old := max.Load()
+						if n <= old || max.CompareAndSwap(old, n) {
+							break
+						}
+					}
+					e.Sleep(time.Microsecond)
+					inside.Add(-1)
+					m.Unlock()
+				}
+			})
+		}
+		wg.Wait()
+	})
+	e.Wait()
+	if max.Load() != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", max.Load())
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	e := NewEnv()
+	e.Run(func() {
+		m := NewMutex(e)
+		if !m.TryLock() {
+			t.Fatal("TryLock on free mutex failed")
+		}
+		if m.TryLock() {
+			t.Fatal("TryLock on held mutex succeeded")
+		}
+		m.Unlock()
+		if !m.TryLock() {
+			t.Fatal("TryLock after unlock failed")
+		}
+		m.Unlock()
+	})
+}
+
+func TestCondSignalWakesWaiter(t *testing.T) {
+	e := NewEnv()
+	var woke bool
+	e.Run(func() {
+		m := NewMutex(e)
+		c := NewCond(e, m)
+		ready := false
+		e.Go(func() {
+			e.Sleep(time.Millisecond)
+			m.Lock()
+			ready = true
+			m.Unlock()
+			c.Signal()
+		})
+		m.Lock()
+		for !ready {
+			c.Wait()
+		}
+		woke = true
+		m.Unlock()
+	})
+	e.Wait()
+	if !woke {
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	e := NewEnv()
+	var woke atomic.Int32
+	e.Run(func() {
+		m := NewMutex(e)
+		c := NewCond(e, m)
+		go_ := false
+		wg := NewWaitGroup(e)
+		for i := 0; i < 5; i++ {
+			wg.Add(1)
+			e.Go(func() {
+				defer wg.Done()
+				m.Lock()
+				for !go_ {
+					c.Wait()
+				}
+				m.Unlock()
+				woke.Add(1)
+			})
+		}
+		e.Sleep(time.Millisecond)
+		m.Lock()
+		go_ = true
+		m.Unlock()
+		c.Broadcast()
+		wg.Wait()
+	})
+	e.Wait()
+	if woke.Load() != 5 {
+		t.Fatalf("woke = %d, want 5", woke.Load())
+	}
+}
+
+func TestChanFIFOAndBlocking(t *testing.T) {
+	e := NewEnv()
+	var got []int
+	e.Run(func() {
+		ch := NewChan[int](e, 2)
+		wg := NewWaitGroup(e)
+		wg.Add(1)
+		e.Go(func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				ch.Send(i) // blocks when buffer full
+			}
+			ch.Close()
+		})
+		for {
+			v, ok := ch.Recv()
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		wg.Wait()
+	})
+	e.Wait()
+	if len(got) != 10 {
+		t.Fatalf("received %d values, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+func TestChanRendezvous(t *testing.T) {
+	e := NewEnv()
+	var v int
+	e.Run(func() {
+		ch := NewChan[int](e, 0)
+		e.Go(func() { ch.Send(42) })
+		v, _ = ch.Recv()
+	})
+	e.Wait()
+	if v != 42 {
+		t.Fatalf("v = %d, want 42", v)
+	}
+}
+
+func TestChanTryOps(t *testing.T) {
+	e := NewEnv()
+	e.Run(func() {
+		ch := NewChan[int](e, 1)
+		if _, ok := ch.TryRecv(); ok {
+			t.Fatal("TryRecv on empty chan succeeded")
+		}
+		if !ch.TrySend(1) {
+			t.Fatal("TrySend on empty chan failed")
+		}
+		if ch.TrySend(2) {
+			t.Fatal("TrySend on full chan succeeded")
+		}
+		v, ok := ch.TryRecv()
+		if !ok || v != 1 {
+			t.Fatalf("TryRecv = (%d,%v), want (1,true)", v, ok)
+		}
+	})
+}
+
+func TestCPUSingleCoreSerializes(t *testing.T) {
+	e := NewEnv()
+	e.Run(func() {
+		cpu := NewCPU(e, 1)
+		wg := NewWaitGroup(e)
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			e.Go(func() {
+				defer wg.Done()
+				cpu.Use(time.Millisecond)
+			})
+		}
+		wg.Wait()
+		if now := e.Now(); now != Time(4*time.Millisecond) {
+			t.Errorf("1-core: Now = %v, want 4ms", time.Duration(now))
+		}
+	})
+	e.Wait()
+}
+
+func TestCPUMultiCoreParallelizes(t *testing.T) {
+	e := NewEnv()
+	e.Run(func() {
+		cpu := NewCPU(e, 4)
+		wg := NewWaitGroup(e)
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			e.Go(func() {
+				defer wg.Done()
+				cpu.Use(time.Millisecond)
+			})
+		}
+		wg.Wait()
+		if now := e.Now(); now != Time(time.Millisecond) {
+			t.Errorf("4-core: Now = %v, want 1ms", time.Duration(now))
+		}
+	})
+	e.Wait()
+}
+
+func TestCPUUtilization(t *testing.T) {
+	e := NewEnv()
+	e.Run(func() {
+		cpu := NewCPU(e, 2)
+		cpu.ResetStats()
+		cpu.Use(time.Millisecond)
+		// 1ms busy on one of two cores over a 1ms window => 50%.
+		u := cpu.Utilization()
+		if u < 0.49 || u > 0.51 {
+			t.Errorf("utilization = %f, want 0.5", u)
+		}
+	})
+	e.Wait()
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEnv()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e.Run(func() {
+		m := NewMutex(e)
+		m.Lock()
+		m.Lock() // self-deadlock: sole entity blocks forever
+	})
+}
+
+func TestWaitGroupZeroWaitReturnsImmediately(t *testing.T) {
+	e := NewEnv()
+	e.Run(func() {
+		wg := NewWaitGroup(e)
+		wg.Wait() // must not block
+	})
+}

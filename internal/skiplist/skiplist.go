@@ -1,0 +1,168 @@
+// Package skiplist implements the lock-free concurrent skip list used for
+// dLSM MemTables (§IV). Writers insert with per-level CAS splices and never
+// take a lock; readers traverse atomically published pointers. Nodes and
+// payload bytes live in an arena owned by the enclosing MemTable.
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"dlsm/internal/arena"
+)
+
+const maxHeight = 18
+
+// List is a concurrent sorted map from byte keys to byte values.
+// Keys must be unique (dLSM guarantees this: every entry carries a distinct
+// sequence number in its internal key). There is no delete: LSM deletes are
+// tombstone inserts.
+type List struct {
+	cmp    func(a, b []byte) int
+	arena  *arena.Arena
+	head   *node
+	height atomic.Int32
+	count  atomic.Int64
+	rnd    atomic.Uint64
+}
+
+type node struct {
+	key, val []byte
+	next     []atomic.Pointer[node]
+}
+
+// New creates an empty list ordered by cmp, allocating from a.
+func New(cmp func(a, b []byte) int, a *arena.Arena) *List {
+	l := &List{cmp: cmp, arena: a, head: &node{next: make([]atomic.Pointer[node], maxHeight)}}
+	l.height.Store(1)
+	l.rnd.Store(0x9E3779B97F4A7C15)
+	return l
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return int(l.count.Load()) }
+
+// randomHeight draws a geometric height with p = 1/4 (LevelDB's choice).
+func (l *List) randomHeight() int {
+	// xorshift64*; contention on the CAS is acceptable as the loop is tiny.
+	for {
+		old := l.rnd.Load()
+		x := old
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		if l.rnd.CompareAndSwap(old, x) {
+			h := 1
+			v := x * 0x2545F4914F6CDD1D
+			for h < maxHeight && v&3 == 0 {
+				h++
+				v >>= 2
+			}
+			return h
+		}
+	}
+}
+
+// findSplice fills prev/next with the nodes straddling key at every level.
+func (l *List) findSplice(key []byte, prev, next *[maxHeight]*node) {
+	x := l.head
+	for level := maxHeight - 1; level >= 0; level-- {
+		for {
+			nx := x.next[level].Load()
+			if nx == nil || l.cmp(nx.key, key) >= 0 {
+				prev[level], next[level] = x, nx
+				break
+			}
+			x = nx
+		}
+	}
+}
+
+// Insert adds (key, value). Both slices are retained; callers should pass
+// arena-stable bytes. Inserting a key that is already present panics — the
+// engine's unique sequence numbers make that a logic error.
+func (l *List) Insert(key, val []byte) {
+	var prev, next [maxHeight]*node
+	l.findSplice(key, &prev, &next)
+	if next[0] != nil && l.cmp(next[0].key, key) == 0 {
+		panic("skiplist: duplicate internal key")
+	}
+
+	h := l.randomHeight()
+	for {
+		lh := l.height.Load()
+		if int(lh) >= h || l.height.CompareAndSwap(lh, int32(h)) {
+			break
+		}
+	}
+
+	n := &node{key: key, val: val, next: make([]atomic.Pointer[node], h)}
+	for level := 0; level < h; level++ {
+		for {
+			p, nx := prev[level], next[level]
+			n.next[level].Store(nx)
+			if p.next[level].CompareAndSwap(nx, n) {
+				break
+			}
+			// Lost a race at this level: recompute the splice from p.
+			p, nx = l.findSpliceForLevel(key, p, level)
+			prev[level], next[level] = p, nx
+		}
+	}
+	l.count.Add(1)
+}
+
+// findSpliceForLevel recomputes the splice at one level starting from a
+// known-preceding node.
+func (l *List) findSpliceForLevel(key []byte, start *node, level int) (*node, *node) {
+	x := start
+	for {
+		nx := x.next[level].Load()
+		if nx == nil || l.cmp(nx.key, key) >= 0 {
+			return x, nx
+		}
+		x = nx
+	}
+}
+
+// seekGE returns the first node with key >= target, or nil.
+func (l *List) seekGE(target []byte) *node {
+	x := l.head
+	for level := int(l.height.Load()) - 1; level >= 0; level-- {
+		for {
+			nx := x.next[level].Load()
+			if nx == nil || l.cmp(nx.key, target) >= 0 {
+				break
+			}
+			x = nx
+		}
+	}
+	return x.next[0].Load()
+}
+
+// Iterator walks the list in key order. Concurrent inserts may or may not
+// be observed; entries never disappear.
+type Iterator struct {
+	l *List
+	n *node
+}
+
+// NewIterator returns an unpositioned iterator.
+func (l *List) NewIterator() *Iterator { return &Iterator{l: l} }
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.n != nil }
+
+// Key returns the current entry's key. Valid only.
+func (it *Iterator) Key() []byte { return it.n.key }
+
+// Value returns the current entry's value. Valid only.
+func (it *Iterator) Value() []byte { return it.n.val }
+
+// First positions at the smallest entry.
+func (it *Iterator) First() { it.n = it.l.head.next[0].Load() }
+
+// SeekGE positions at the first entry with key >= target.
+func (it *Iterator) SeekGE(target []byte) { it.n = it.l.seekGE(target) }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() { it.n = it.n.next[0].Load() }

@@ -1,0 +1,194 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dlsm/internal/arena"
+)
+
+func newList() *List { return New(bytes.Compare, arena.New()) }
+
+func TestInsertAndIterateSorted(t *testing.T) {
+	l := newList()
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for _, k := range keys {
+		l.Insert([]byte(k), []byte("v-"+k))
+	}
+	it := l.NewIterator()
+	var got []string
+	for it.First(); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+		if want := "v-" + string(it.Key()); string(it.Value()) != want {
+			t.Fatalf("value for %s = %q, want %q", it.Key(), it.Value(), want)
+		}
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("iteration order %v, want %v", got, want)
+	}
+	if l.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(keys))
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	l := newList()
+	for _, k := range []string{"b", "d", "f"} {
+		l.Insert([]byte(k), nil)
+	}
+	cases := []struct{ target, want string }{
+		{"a", "b"}, {"b", "b"}, {"c", "d"}, {"f", "f"}, {"g", ""},
+	}
+	for _, c := range cases {
+		it := l.NewIterator()
+		it.SeekGE([]byte(c.target))
+		if c.want == "" {
+			if it.Valid() {
+				t.Fatalf("SeekGE(%q) found %q, want none", c.target, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(it.Key()) != c.want {
+			t.Fatalf("SeekGE(%q) = %v, want %q", c.target, it, c.want)
+		}
+	}
+}
+
+func TestEmptyListIterator(t *testing.T) {
+	l := newList()
+	it := l.NewIterator()
+	it.First()
+	if it.Valid() {
+		t.Fatal("iterator on empty list is valid")
+	}
+	it.SeekGE([]byte("x"))
+	if it.Valid() {
+		t.Fatal("SeekGE on empty list is valid")
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	l := newList()
+	l.Insert([]byte("k"), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate insert did not panic")
+		}
+	}()
+	l.Insert([]byte("k"), nil)
+}
+
+func TestConcurrentInsertsAllVisible(t *testing.T) {
+	l := newList()
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("w%02d-k%05d", w, i)
+				l.Insert([]byte(k), []byte(k))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", l.Len(), writers*perWriter)
+	}
+	it := l.NewIterator()
+	n, prev := 0, []byte(nil)
+	for it.First(); it.Valid(); it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatalf("order violated: %q then %q", prev, it.Key())
+		}
+		prev = append(prev[:0], it.Key()...)
+		n++
+	}
+	if n != writers*perWriter {
+		t.Fatalf("iterated %d entries, want %d", n, writers*perWriter)
+	}
+}
+
+func TestQuickPropertySortedAndComplete(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		// Deduplicate inputs (duplicates panic by design).
+		seen := map[string]bool{}
+		var ks [][]byte
+		for _, k := range raw {
+			if !seen[string(k)] {
+				seen[string(k)] = true
+				ks = append(ks, k)
+			}
+		}
+		l := newList()
+		for _, k := range ks {
+			l.Insert(append([]byte(nil), k...), nil)
+		}
+		want := make([]string, 0, len(ks))
+		for k := range seen {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		it := l.NewIterator()
+		i := 0
+		for it.First(); it.Valid(); it.Next() {
+			if i >= len(want) || string(it.Key()) != want[i] {
+				return false
+			}
+			i++
+		}
+		return i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomHeightDistribution(t *testing.T) {
+	l := newList()
+	counts := map[int]int{}
+	for i := 0; i < 100000; i++ {
+		counts[l.randomHeight()]++
+	}
+	if counts[1] < 60000 || counts[1] > 90000 {
+		t.Fatalf("height-1 fraction %d/100000, want ~75000", counts[1])
+	}
+	for h, c := range counts {
+		if h > 1 && c > counts[h-1] {
+			t.Fatalf("height %d count %d exceeds height %d count %d", h, c, h-1, counts[h-1])
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	l := newList()
+	rnd := rand.New(rand.NewSource(1))
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%016x", rnd.Uint64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(keys[i], keys[i])
+	}
+}
+
+func BenchmarkSeekGE(b *testing.B) {
+	l := newList()
+	for i := 0; i < 100000; i++ {
+		l.Insert([]byte(fmt.Sprintf("%08d", i*2)), nil)
+	}
+	b.ResetTimer()
+	it := l.NewIterator()
+	for i := 0; i < b.N; i++ {
+		it.SeekGE([]byte(fmt.Sprintf("%08d", (i*7919)%200000)))
+	}
+}

@@ -1,0 +1,200 @@
+// Package sstable implements dLSM's sorted string tables in two on-"disk"
+// (remote memory) formats:
+//
+//   - Byte-addressable (§VI): the data region is nothing but concatenated
+//     [internal key][value] entries. A per-entry index (key, offset,
+//     lengths) and a bloom filter live on the compute node, so a point read
+//     fetches exactly one value with one RDMA read and a range scan slices
+//     entries out of large prefetched chunks with no block unwrapping.
+//   - Block-based (RocksDB-style): entries are wrapped into fixed-target
+//     blocks with an in-block offset table; a block index maps each block's
+//     last key to its extent. Point reads must fetch a whole block (read
+//     amplification) and pay per-block wrap/unwrap CPU — the costs dLSM's
+//     format eliminates. Used by the RocksDB-RDMA baselines and the
+//     dLSM-Block ablation (Fig 13).
+//
+// Writers stream bytes through a Sink (the async flush pipeline, or the
+// memory node's local copier during near-data compaction); readers pull
+// bytes through a Fetcher (one-sided RDMA reads, or local slices on the
+// memory node).
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dlsm/internal/bloom"
+	"dlsm/internal/rdma"
+)
+
+// Format selects the table layout.
+type Format int
+
+// Table formats.
+const (
+	ByteAddr Format = iota // dLSM's block-free layout
+	Block                  // RocksDB-style blocks
+)
+
+func (f Format) String() string {
+	if f == ByteAddr {
+		return "byteaddr"
+	}
+	return "block"
+}
+
+// Meta describes one SSTable. The data bytes live in remote memory at Data;
+// the index and filter are the compute-side cached metadata (§VI), also
+// shipped inside near-data compaction RPC replies.
+type Meta struct {
+	ID          uint64
+	Size        int64 // bytes of the data region
+	Extent      int64 // bytes of the allocated extent (>= Size+IndexLen+FilterLen)
+	IndexLen    int   // serialized index bytes stored at Data+Size (footer)
+	FilterLen   int   // bloom bytes stored at Data+Size+IndexLen
+	Count       int   // entries
+	Smallest    []byte
+	Largest     []byte // internal keys
+	MaxSeq      uint64 // newest sequence number in the table (L0 ordering)
+	Data        rdma.RemoteAddr
+	CreatorNode int // node that allocated the extent (GC routing, §V-B)
+	Format      Format
+	BlockSize   int // target block size (Block format only)
+	Index       Index
+	Filter      bloom.Filter
+}
+
+// Overlaps reports whether the table's key range intersects [lo, hi] in
+// user-key space. nil bounds are unbounded.
+func (m *Meta) Overlaps(cmpUser func(a, b []byte) int, lo, hi []byte) bool {
+	if lo != nil && cmpUser(userKeyOf(m.Largest), lo) < 0 {
+		return false
+	}
+	if hi != nil && cmpUser(userKeyOf(m.Smallest), hi) > 0 {
+		return false
+	}
+	return true
+}
+
+func userKeyOf(ikey []byte) []byte { return ikey[:len(ikey)-8] }
+
+// EncodeMeta serializes a Meta including the index and filter bodies, for
+// compaction replies (the compute node caches them, §VI).
+func EncodeMeta(m *Meta) []byte { return encodeMeta(m, true) }
+
+// EncodeMetaSlim omits the index and filter bodies. Used for compaction
+// arguments: the memory node reloads both from the table footer in its own
+// memory, so they never cross the network (§V-A).
+func EncodeMetaSlim(m *Meta) []byte { return encodeMeta(m, false) }
+
+func encodeMeta(m *Meta, full bool) []byte {
+	b := make([]byte, 0, 96+len(m.Index.raw)+len(m.Filter))
+	if full {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint64(b, m.ID)
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Size))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Extent))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.IndexLen))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.FilterLen))
+	b = binary.LittleEndian.AppendUint64(b, m.MaxSeq)
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Count))
+	b = appendBytes16(b, m.Smallest)
+	b = appendBytes16(b, m.Largest)
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Data.Node))
+	b = binary.LittleEndian.AppendUint32(b, m.Data.RKey)
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Data.Off))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.CreatorNode))
+	b = append(b, byte(m.Format))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.BlockSize))
+	if full {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Index.raw)))
+		b = append(b, m.Index.raw...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Filter)))
+		b = append(b, m.Filter...)
+	}
+	return b
+}
+
+// DecodeMeta parses a Meta produced by EncodeMeta, returning the remainder
+// of the buffer.
+func DecodeMeta(b []byte) (*Meta, []byte, error) {
+	m := &Meta{}
+	var ok bool
+	if len(b) < 57 {
+		return nil, nil, fmt.Errorf("sstable: short meta")
+	}
+	full := b[0] == 1
+	b = b[1:]
+	m.ID = binary.LittleEndian.Uint64(b)
+	m.Size = int64(binary.LittleEndian.Uint64(b[8:]))
+	m.Extent = int64(binary.LittleEndian.Uint64(b[16:]))
+	m.IndexLen = int(binary.LittleEndian.Uint64(b[24:]))
+	m.FilterLen = int(binary.LittleEndian.Uint64(b[32:]))
+	m.MaxSeq = binary.LittleEndian.Uint64(b[40:])
+	m.Count = int(binary.LittleEndian.Uint64(b[48:]))
+	b = b[56:]
+	if m.Smallest, b, ok = takeBytes16(b); !ok {
+		return nil, nil, fmt.Errorf("sstable: bad smallest key")
+	}
+	if m.Largest, b, ok = takeBytes16(b); !ok {
+		return nil, nil, fmt.Errorf("sstable: bad largest key")
+	}
+	if len(b) < 21 {
+		return nil, nil, fmt.Errorf("sstable: short meta tail")
+	}
+	m.Data.Node = int(binary.LittleEndian.Uint32(b))
+	m.Data.RKey = binary.LittleEndian.Uint32(b[4:])
+	m.Data.Off = int(binary.LittleEndian.Uint64(b[8:]))
+	m.CreatorNode = int(binary.LittleEndian.Uint32(b[16:]))
+	m.Format = Format(b[20])
+	b = b[21:]
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("sstable: short meta blocksize")
+	}
+	m.BlockSize = int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if !full {
+		return m, b, nil
+	}
+	var raw []byte
+	if raw, b, ok = takeBytes32(b); !ok {
+		return nil, nil, fmt.Errorf("sstable: bad index")
+	}
+	m.Index = NewIndexFromRaw(append([]byte(nil), raw...), m.Format)
+	var filt []byte
+	if filt, b, ok = takeBytes32(b); !ok {
+		return nil, nil, fmt.Errorf("sstable: bad filter")
+	}
+	m.Filter = bloom.Filter(append([]byte(nil), filt...))
+	return m, b, nil
+}
+
+func appendBytes16(b, p []byte) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(p)))
+	return append(b, p...)
+}
+
+func takeBytes16(b []byte) ([]byte, []byte, bool) {
+	if len(b) < 2 {
+		return nil, nil, false
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+n {
+		return nil, nil, false
+	}
+	return append([]byte(nil), b[2:2+n]...), b[2+n:], true
+}
+
+func takeBytes32(b []byte) ([]byte, []byte, bool) {
+	if len(b) < 4 {
+		return nil, nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if len(b) < 4+n {
+		return nil, nil, false
+	}
+	return b[4 : 4+n], b[4+n:], true
+}

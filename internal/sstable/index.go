@@ -1,0 +1,119 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Index is the compute-side lookup structure for one SSTable (§VI).
+// For ByteAddr tables there is one record per entry: (internal key, entry
+// offset, key length, value length) — enough to address a single key-value
+// pair with one RDMA read. For Block tables there is one record per block:
+// (last internal key, block offset, block length, entry count).
+type Index struct {
+	raw    []byte
+	format Format
+	keys   [][]byte
+	offs   []uint32
+	aux1   []uint32 // byteaddr: klen; block: block length
+	aux2   []uint32 // byteaddr: vlen; block: entry count
+}
+
+// NewIndexFromRaw reconstructs an index from its serialized form (e.g. a
+// table footer read from the memory node's own DRAM).
+func NewIndexFromRaw(raw []byte, format Format) Index {
+	ix := Index{raw: raw, format: format}
+	ix.parse()
+	return ix
+}
+
+// Raw returns the serialized index bytes.
+func (ix *Index) Raw() []byte { return ix.raw }
+
+// NumRecords returns the number of index records.
+func (ix *Index) NumRecords() int { return len(ix.keys) }
+
+// RawLen returns the serialized index size in bytes (what the compute node
+// caches in local memory).
+func (ix *Index) RawLen() int { return len(ix.raw) }
+
+// Record returns the i-th record's fields.
+func (ix *Index) Record(i int) (key []byte, off, a, b uint32) {
+	return ix.keys[i], ix.offs[i], ix.aux1[i], ix.aux2[i]
+}
+
+// SeekGE returns the position of the first record with key >= target under
+// cmp, or NumRecords() if none. For Block format, records are block last
+// keys, so the result is the first block that could contain target.
+func (ix *Index) SeekGE(target []byte, cmp func(a, b []byte) int) int {
+	return sort.Search(len(ix.keys), func(i int) bool {
+		return cmp(ix.keys[i], target) >= 0
+	})
+}
+
+// parse materializes the search arrays from the raw serialization.
+func (ix *Index) parse() {
+	b := ix.raw
+	if len(b) < 4 {
+		return
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	// Defensive bound: a record is at least 14 bytes, so a count beyond
+	// len/14 means corruption; parse what fits instead of pre-allocating
+	// for a lie.
+	if maxN := len(b) / 14; n > maxN {
+		n = maxN
+	}
+	ix.keys = make([][]byte, 0, n)
+	ix.offs = make([]uint32, 0, n)
+	ix.aux1 = make([]uint32, 0, n)
+	ix.aux2 = make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return
+		}
+		kl := int(binary.LittleEndian.Uint16(b))
+		if len(b) < 2+kl+12 {
+			return
+		}
+		ix.keys = append(ix.keys, b[2:2+kl])
+		rest := b[2+kl:]
+		ix.offs = append(ix.offs, binary.LittleEndian.Uint32(rest))
+		ix.aux1 = append(ix.aux1, binary.LittleEndian.Uint32(rest[4:]))
+		ix.aux2 = append(ix.aux2, binary.LittleEndian.Uint32(rest[8:]))
+		b = rest[12:]
+	}
+}
+
+// IndexBuilder accumulates records during table construction.
+type IndexBuilder struct {
+	format Format
+	raw    []byte
+	count  uint32
+}
+
+// NewIndexBuilder returns a builder for the given format.
+func NewIndexBuilder(format Format) *IndexBuilder {
+	b := &IndexBuilder{format: format}
+	b.raw = binary.LittleEndian.AppendUint32(nil, 0) // count patched in Finish
+	return b
+}
+
+// Add appends a record. Keys must arrive in ascending order.
+func (b *IndexBuilder) Add(key []byte, off, a1, a2 uint32) {
+	b.raw = binary.LittleEndian.AppendUint16(b.raw, uint16(len(key)))
+	b.raw = append(b.raw, key...)
+	b.raw = binary.LittleEndian.AppendUint32(b.raw, off)
+	b.raw = binary.LittleEndian.AppendUint32(b.raw, a1)
+	b.raw = binary.LittleEndian.AppendUint32(b.raw, a2)
+	b.count++
+}
+
+// Finish returns the completed, parsed index.
+func (b *IndexBuilder) Finish() Index {
+	binary.LittleEndian.PutUint32(b.raw, b.count)
+	ix := Index{raw: b.raw, format: b.format}
+	ix.parse()
+	return ix
+}

@@ -1,0 +1,211 @@
+package sstable
+
+import (
+	"time"
+
+	"dlsm/internal/keys"
+)
+
+// Iterator is the common scan interface over MemTables, SSTables and merged
+// views. Key returns an internal key; Value is valid until the next
+// positioning call (fetch buffers are reused).
+type Iterator interface {
+	First()
+	SeekGE(ikey []byte)
+	Valid() bool
+	Next()
+	Key() []byte
+	Value() []byte
+	Error() error
+}
+
+// NewIterator returns a scan iterator for the table. prefetch is the
+// sequential read-ahead in bytes (§VI: dLSM prefetches multi-MB chunks so
+// range scans do one large RDMA read instead of many small ones); 0 fetches
+// one entry/block at a time.
+func (r *Reader) NewIterator(prefetch int) Iterator {
+	if r.meta.Format == ByteAddr {
+		return &byteAddrIter{r: r, prefetch: prefetch, pos: -1}
+	}
+	return &blockIter{r: r, prefetch: prefetch, bi: -1}
+}
+
+// byteAddrIter walks the per-entry index; keys come from the local index
+// for free, values are sliced out of the prefetched chunk with no block
+// unwrapping.
+type byteAddrIter struct {
+	r        *Reader
+	prefetch int
+	pos      int
+	chunk    []byte
+	chunkLo  int
+	chunkHi  int
+	err      error
+}
+
+func (it *byteAddrIter) First() { it.setPos(0) }
+
+func (it *byteAddrIter) SeekGE(ikey []byte) {
+	it.setPos(it.r.meta.Index.SeekGE(ikey, keys.Compare))
+}
+
+func (it *byteAddrIter) Valid() bool {
+	return it.err == nil && it.pos >= 0 && it.pos < it.r.meta.Index.NumRecords()
+}
+
+func (it *byteAddrIter) Next() { it.setPos(it.pos + 1) }
+
+func (it *byteAddrIter) setPos(pos int) {
+	it.pos = pos
+	if !it.Valid() {
+		return
+	}
+	it.r.charge(it.r.opts.Costs.EntryParse)
+}
+
+func (it *byteAddrIter) Key() []byte {
+	k, _, _, _ := it.r.meta.Index.Record(it.pos)
+	return k
+}
+
+func (it *byteAddrIter) Value() []byte {
+	_, off, klen, vlen := it.r.meta.Index.Record(it.pos)
+	lo, hi := int(off)+int(klen), int(off)+int(klen)+int(vlen)
+	if err := it.ensure(lo, hi); err != nil {
+		it.err = err
+		return nil
+	}
+	return it.chunk[lo-it.chunkLo : hi-it.chunkLo]
+}
+
+// ensure makes [lo, hi) resident in the chunk, reading ahead by the
+// prefetch window.
+func (it *byteAddrIter) ensure(lo, hi int) error {
+	if lo >= it.chunkLo && hi <= it.chunkHi {
+		return nil
+	}
+	n := hi - lo
+	if n < it.prefetch {
+		n = it.prefetch
+	}
+	if max := int(it.r.meta.Size) - lo; n > max {
+		n = max
+	}
+	b, err := it.r.fetch.ReadAt(lo, n)
+	if err != nil {
+		return err
+	}
+	it.chunk, it.chunkLo, it.chunkHi = b, lo, lo+n
+	return nil
+}
+
+func (it *byteAddrIter) Error() error { return it.err }
+
+// blockIter walks block-format tables: every block crossing pays a fetch
+// (or a slice of the prefetched run) plus unwrap CPU.
+type blockIter struct {
+	r        *Reader
+	prefetch int
+	bi       int // current block index, -1 unpositioned
+	ei       int // entry index within block
+	blk      *block
+	chunk    []byte
+	chunkLo  int
+	chunkHi  int
+	err      error
+}
+
+func (it *blockIter) First() {
+	if it.r.meta.Index.NumRecords() == 0 {
+		it.bi = 0
+		return
+	}
+	if it.loadBlock(0) {
+		it.ei = 0
+	}
+}
+
+func (it *blockIter) SeekGE(ikey []byte) {
+	bi := it.r.meta.Index.SeekGE(ikey, keys.Compare)
+	if bi >= it.r.meta.Index.NumRecords() {
+		it.bi = bi
+		return
+	}
+	if !it.loadBlock(bi) {
+		return
+	}
+	it.ei = it.blk.seekGE(ikey)
+	if it.ei >= it.blk.count {
+		// Target sorts after this block's last key only when the index
+		// pointed us at the final block; advance (possibly to invalid).
+		it.advanceBlock()
+	}
+}
+
+func (it *blockIter) Valid() bool {
+	return it.err == nil && it.blk != nil && it.bi < it.r.meta.Index.NumRecords() && it.ei < it.blk.count
+}
+
+func (it *blockIter) Next() {
+	it.ei++
+	it.r.charge(it.r.opts.Costs.EntryParse)
+	if it.blk != nil && it.ei >= it.blk.count {
+		it.advanceBlock()
+	}
+}
+
+func (it *blockIter) advanceBlock() {
+	if it.loadBlock(it.bi + 1) {
+		it.ei = 0
+	}
+}
+
+// loadBlock makes block bi current, fetching (with read-ahead) and parsing
+// it. Returns false when bi is out of range or on error.
+func (it *blockIter) loadBlock(bi int) bool {
+	it.bi = bi
+	it.blk = nil
+	ix := &it.r.meta.Index
+	if bi < 0 || bi >= ix.NumRecords() {
+		return false
+	}
+	_, off, blen, _ := ix.Record(bi)
+	lo, hi := int(off), int(off)+int(blen)
+	if lo < it.chunkLo || hi > it.chunkHi {
+		n := hi - lo
+		if n < it.prefetch {
+			n = it.prefetch
+		}
+		if max := int(it.r.meta.Size) - lo; n > max {
+			n = max
+		}
+		b, err := it.r.fetch.ReadAt(lo, n)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.chunk, it.chunkLo, it.chunkHi = b, lo, lo+n
+	}
+	raw := it.chunk[lo-it.chunkLo : hi-it.chunkLo]
+	blk, err := parseBlock(raw)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	c := it.r.opts.Costs
+	it.r.charge(c.BlockTouch + time.Duration(float64(blen)*c.BlockByte))
+	it.blk = blk
+	return true
+}
+
+func (it *blockIter) Key() []byte {
+	k, _ := it.blk.entry(it.ei)
+	return k
+}
+
+func (it *blockIter) Value() []byte {
+	_, v := it.blk.entry(it.ei)
+	return v
+}
+
+func (it *blockIter) Error() error { return it.err }

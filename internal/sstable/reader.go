@@ -1,0 +1,166 @@
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"dlsm/internal/keys"
+)
+
+// Reader serves point lookups and scans over one SSTable through a Fetcher.
+// Readers are thread-local (they share the fetcher's scratch buffer).
+type Reader struct {
+	meta  *Meta
+	fetch Fetcher
+	opts  Options
+}
+
+// NewReader creates a reader for the table described by meta.
+func NewReader(meta *Meta, fetch Fetcher, opts Options) *Reader {
+	return &Reader{meta: meta, fetch: fetch, opts: opts}
+}
+
+// Meta returns the table metadata.
+func (r *Reader) Meta() *Meta { return r.meta }
+
+func (r *Reader) charge(d time.Duration) {
+	if r.opts.Charge != nil && d > 0 {
+		r.opts.Charge(d)
+	}
+}
+
+// Get looks up ukey at snapshot seq.
+// Returns (value, found, deleted): found=false means the table has no
+// visible version; deleted=true means a tombstone shadows the key.
+func (r *Reader) Get(ukey []byte, seq keys.Seq) (value []byte, found, deleted bool, err error) {
+	c := r.opts.Costs
+	if r.meta.Filter != nil {
+		r.charge(c.BloomProbe)
+		if !r.meta.Filter.MayContain(ukey) {
+			return nil, false, false, nil
+		}
+	}
+	lookup := keys.AppendLookup(make([]byte, 0, len(ukey)+keys.TrailerLen), ukey, seq)
+	r.charge(c.IndexSearch)
+	if r.meta.Format == ByteAddr {
+		return r.getByteAddr(ukey, lookup)
+	}
+	return r.getBlock(ukey, lookup)
+}
+
+// getByteAddr resolves the entry from the per-entry index and fetches
+// exactly the value bytes — one small RDMA read, no read amplification.
+func (r *Reader) getByteAddr(ukey, lookup []byte) (value []byte, found, deleted bool, err error) {
+	ix := &r.meta.Index
+	i := ix.SeekGE(lookup, keys.Compare)
+	if i >= ix.NumRecords() {
+		return nil, false, false, nil
+	}
+	key, off, klen, vlen := ix.Record(i)
+	if !bytes.Equal(keys.UserKey(key), ukey) {
+		return nil, false, false, nil
+	}
+	_, _, kind, perr := keys.Parse(key)
+	if perr != nil {
+		return nil, false, false, perr
+	}
+	if kind == keys.KindDelete {
+		// Tombstones need no data fetch: the index alone answers them.
+		return nil, true, true, nil
+	}
+	b, err := r.fetch.ReadAt(int(off)+int(klen), int(vlen))
+	if err != nil {
+		return nil, false, false, err
+	}
+	r.charge(r.opts.Costs.EntryParse)
+	return b, true, false, nil
+}
+
+// getBlock fetches the whole candidate block and searches inside it — the
+// read amplification the byte-addressable layout removes (Fig 13).
+func (r *Reader) getBlock(ukey, lookup []byte) (value []byte, found, deleted bool, err error) {
+	ix := &r.meta.Index
+	bi := ix.SeekGE(lookup, keys.Compare)
+	if bi >= ix.NumRecords() {
+		return nil, false, false, nil
+	}
+	_, off, blen, _ := ix.Record(bi)
+	raw, err := r.fetch.ReadAt(int(off), int(blen))
+	if err != nil {
+		return nil, false, false, err
+	}
+	blk, err := parseBlock(raw)
+	if err != nil {
+		return nil, false, false, err
+	}
+	c := r.opts.Costs
+	r.charge(c.BlockTouch + time.Duration(float64(blen)*c.BlockByte))
+	j := blk.seekGE(lookup)
+	if j >= blk.count {
+		return nil, false, false, nil
+	}
+	ikey, val := blk.entry(j)
+	if !bytes.Equal(keys.UserKey(ikey), ukey) {
+		return nil, false, false, nil
+	}
+	_, _, kind, perr := keys.Parse(ikey)
+	if perr != nil {
+		return nil, false, false, perr
+	}
+	if kind == keys.KindDelete {
+		return nil, true, true, nil
+	}
+	return val, true, false, nil
+}
+
+// block is a parsed in-memory view of one data block.
+type block struct {
+	data    []byte
+	offsets []byte // u32 array region
+	count   int
+}
+
+func parseBlock(raw []byte) (*block, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("sstable: short block (%d bytes)", len(raw))
+	}
+	count := int(binary.LittleEndian.Uint32(raw[len(raw)-4:]))
+	tail := 4 + 4*count
+	if count < 0 || len(raw) < tail {
+		return nil, fmt.Errorf("sstable: corrupt block trailer (count=%d len=%d)", count, len(raw))
+	}
+	return &block{
+		data:    raw[:len(raw)-tail],
+		offsets: raw[len(raw)-tail : len(raw)-4],
+		count:   count,
+	}, nil
+}
+
+func (b *block) entryOff(i int) int {
+	return int(binary.LittleEndian.Uint32(b.offsets[4*i:]))
+}
+
+func (b *block) entry(i int) (ikey, value []byte) {
+	off := b.entryOff(i)
+	kl := int(binary.LittleEndian.Uint16(b.data[off:]))
+	vl := int(binary.LittleEndian.Uint32(b.data[off+2:]))
+	off += 6
+	return b.data[off : off+kl], b.data[off+kl : off+kl+vl]
+}
+
+// seekGE returns the first in-block position with key >= target.
+func (b *block) seekGE(target []byte) int {
+	lo, hi := 0, b.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k, _ := b.entry(mid)
+		if keys.Compare(k, target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

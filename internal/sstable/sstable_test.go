@@ -1,0 +1,285 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dlsm/internal/keys"
+)
+
+// memSink/memFetcher run tables fully in host memory for format testing.
+type memSink struct{ buf *[]byte }
+
+func (s memSink) Write(p []byte) { *s.buf = append(*s.buf, p...) }
+func (s memSink) Finish() error  { return nil }
+
+type memFetcher struct{ buf *[]byte }
+
+func (f memFetcher) ReadAt(off, n int) ([]byte, error) {
+	b := *f.buf
+	if off+n > len(b) {
+		return nil, fmt.Errorf("memFetcher: read [%d,+%d) beyond %d", off, n, len(b))
+	}
+	return b[off : off+n], nil
+}
+
+// buildTable writes n entries "key-%06d" -> "value-%06d" (every key at seq
+// i+1) in the given format and returns a reader over it.
+func buildTable(t *testing.T, format Format, blockSize, n int) (*Reader, *Meta) {
+	t.Helper()
+	var buf []byte
+	w := NewWriter(format, memSink{&buf}, blockSize, 10, Options{})
+	for i := 0; i < n; i++ {
+		ik := keys.Append(nil, []byte(fmt.Sprintf("key-%06d", i)), keys.Seq(i+1), keys.KindSet)
+		w.Add(ik, []byte(fmt.Sprintf("value-%06d", i)))
+	}
+	res, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != n {
+		t.Fatalf("Count = %d, want %d", res.Count, n)
+	}
+	if want := res.Size + int64(res.IndexLen) + int64(res.FilterLen); int64(len(buf)) != want {
+		t.Fatalf("emitted %d bytes, want data+footer = %d", len(buf), want)
+	}
+	meta := &Meta{
+		ID: 1, Size: res.Size, Count: res.Count,
+		Smallest: res.Smallest, Largest: res.Largest,
+		Format: format, BlockSize: blockSize,
+		Index: res.Index, Filter: res.Filter,
+	}
+	return NewReader(meta, memFetcher{&buf}, Options{}), meta
+}
+
+func testGetAllFormats(t *testing.T, format Format, blockSize int) {
+	r, _ := buildTable(t, format, blockSize, 1000)
+	for _, i := range []int{0, 1, 499, 998, 999} {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v, found, deleted, err := r.Get(k, keys.MaxSeq)
+		if err != nil || !found || deleted {
+			t.Fatalf("%v Get(%s) = found=%v deleted=%v err=%v", format, k, found, deleted, err)
+		}
+		if want := fmt.Sprintf("value-%06d", i); string(v) != want {
+			t.Fatalf("%v Get(%s) = %q, want %q", format, k, v, want)
+		}
+	}
+	// Missing keys: before, between, after.
+	for _, k := range []string{"key-", "key-000500x", "zzz"} {
+		_, found, _, err := r.Get([]byte(k), keys.MaxSeq)
+		if err != nil || found {
+			t.Fatalf("%v Get(%q) found=%v err=%v, want miss", format, k, found, err)
+		}
+	}
+}
+
+func TestGetByteAddr(t *testing.T) { testGetAllFormats(t, ByteAddr, 0) }
+func TestGetBlock8K(t *testing.T)  { testGetAllFormats(t, Block, 8<<10) }
+func TestGetBlock2K(t *testing.T)  { testGetAllFormats(t, Block, 2<<10) }
+func TestGetBlockTiny(t *testing.T) {
+	// Entry-sized blocks: the Memory-RocksDB-RDMA configuration.
+	testGetAllFormats(t, Block, 1)
+}
+
+func TestSnapshotVisibility(t *testing.T) {
+	for _, format := range []Format{ByteAddr, Block} {
+		var buf []byte
+		w := NewWriter(format, memSink{&buf}, 4096, 10, Options{})
+		ik1 := keys.Append(nil, []byte("k"), 10, keys.KindSet) // newer first
+		ik2 := keys.Append(nil, []byte("k"), 5, keys.KindSet)
+		w.Add(ik1, []byte("new"))
+		w.Add(ik2, []byte("old"))
+		res, _ := w.Finish()
+		meta := &Meta{Size: res.Size, Count: res.Count, Format: format, BlockSize: 4096, Index: res.Index, Filter: res.Filter}
+		r := NewReader(meta, memFetcher{&buf}, Options{})
+
+		v, found, _, _ := r.Get([]byte("k"), keys.MaxSeq)
+		if !found || string(v) != "new" {
+			t.Fatalf("%v: Get@max = %q, want new", format, v)
+		}
+		v, found, _, _ = r.Get([]byte("k"), 7)
+		if !found || string(v) != "old" {
+			t.Fatalf("%v: Get@7 = %q, want old", format, v)
+		}
+		_, found, _, _ = r.Get([]byte("k"), 3)
+		if found {
+			t.Fatalf("%v: Get@3 should miss", format)
+		}
+	}
+}
+
+func TestTombstoneNeedsNoFetch(t *testing.T) {
+	for _, format := range []Format{ByteAddr, Block} {
+		var buf []byte
+		w := NewWriter(format, memSink{&buf}, 4096, 10, Options{})
+		w.Add(keys.Append(nil, []byte("dead"), 5, keys.KindDelete), nil)
+		res, _ := w.Finish()
+		meta := &Meta{Size: res.Size, Count: res.Count, Format: format, BlockSize: 4096, Index: res.Index, Filter: res.Filter}
+		r := NewReader(meta, memFetcher{&buf}, Options{})
+		_, found, deleted, err := r.Get([]byte("dead"), keys.MaxSeq)
+		if err != nil || !found || !deleted {
+			t.Fatalf("%v: tombstone = found=%v deleted=%v err=%v", format, found, deleted, err)
+		}
+	}
+}
+
+func testIterate(t *testing.T, format Format, blockSize, prefetch int) {
+	r, _ := buildTable(t, format, blockSize, 500)
+	it := r.NewIterator(prefetch)
+	i := 0
+	for it.First(); it.Valid(); it.Next() {
+		wantK := fmt.Sprintf("key-%06d", i)
+		if string(keys.UserKey(it.Key())) != wantK {
+			t.Fatalf("%v/%d: key[%d] = %q, want %q", format, prefetch, i, it.Key(), wantK)
+		}
+		if want := fmt.Sprintf("value-%06d", i); string(it.Value()) != want {
+			t.Fatalf("%v/%d: value[%d] = %q, want %q", format, prefetch, i, it.Value(), want)
+		}
+		i++
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if i != 500 {
+		t.Fatalf("%v/%d: iterated %d entries, want 500", format, prefetch, i)
+	}
+}
+
+func TestIterateByteAddrPrefetch(t *testing.T)   { testIterate(t, ByteAddr, 0, 1<<20) }
+func TestIterateByteAddrNoPrefetch(t *testing.T) { testIterate(t, ByteAddr, 0, 0) }
+func TestIterateByteAddrTinyPrefetch(t *testing.T) {
+	testIterate(t, ByteAddr, 0, 100) // smaller than one entry pair
+}
+func TestIterateBlockPrefetch(t *testing.T)   { testIterate(t, Block, 2048, 1<<20) }
+func TestIterateBlockNoPrefetch(t *testing.T) { testIterate(t, Block, 2048, 0) }
+
+func testSeek(t *testing.T, format Format, blockSize int) {
+	r, _ := buildTable(t, format, blockSize, 100)
+	it := r.NewIterator(1 << 20)
+
+	seek := keys.AppendLookup(nil, []byte("key-000050"), keys.MaxSeq)
+	it.SeekGE(seek)
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "key-000050" {
+		t.Fatalf("%v: SeekGE(key-000050) at %q", format, it.Key())
+	}
+	// Seek between keys lands on the next one.
+	seek = keys.AppendLookup(nil, []byte("key-000050a"), keys.MaxSeq)
+	it.SeekGE(seek)
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "key-000051" {
+		t.Fatalf("%v: SeekGE(between) at %q", format, it.Key())
+	}
+	// Seek past the end.
+	seek = keys.AppendLookup(nil, []byte("zzz"), keys.MaxSeq)
+	it.SeekGE(seek)
+	if it.Valid() {
+		t.Fatalf("%v: SeekGE(zzz) should be invalid, at %q", format, it.Key())
+	}
+}
+
+func TestSeekByteAddr(t *testing.T) { testSeek(t, ByteAddr, 0) }
+func TestSeekBlock(t *testing.T)    { testSeek(t, Block, 2048) }
+
+func TestEncodeDecodeMetaRoundTrip(t *testing.T) {
+	_, meta := buildTable(t, ByteAddr, 0, 100)
+	meta.Data.Node, meta.Data.RKey, meta.Data.Off = 3, 7, 123456
+	meta.CreatorNode = 3
+
+	b := EncodeMeta(meta)
+	got, rest, err := DecodeMeta(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes: %d", len(rest))
+	}
+	if got.ID != meta.ID || got.Size != meta.Size || got.Count != meta.Count ||
+		!bytes.Equal(got.Smallest, meta.Smallest) || !bytes.Equal(got.Largest, meta.Largest) ||
+		got.Data != meta.Data || got.CreatorNode != meta.CreatorNode || got.Format != meta.Format {
+		t.Fatalf("meta mismatch:\n got %+v\nwant %+v", got, meta)
+	}
+	if got.Index.NumRecords() != meta.Index.NumRecords() {
+		t.Fatalf("index records = %d, want %d", got.Index.NumRecords(), meta.Index.NumRecords())
+	}
+	// The decoded table must still serve reads.
+	k0, _, _, _ := got.Index.Record(0)
+	if !bytes.Equal(k0, meta.Smallest) {
+		t.Fatal("decoded index record 0 mismatch")
+	}
+	if !got.Filter.MayContain([]byte("key-000050")) {
+		t.Fatal("decoded filter lost keys")
+	}
+}
+
+func TestDecodeMetaCorrupt(t *testing.T) {
+	_, meta := buildTable(t, Block, 2048, 10)
+	b := EncodeMeta(meta)
+	for _, cut := range []int{0, 3, 10, len(b) / 2, len(b) - 1} {
+		if _, _, err := DecodeMeta(b[:cut]); err == nil {
+			t.Fatalf("DecodeMeta of %d-byte prefix succeeded", cut)
+		}
+	}
+}
+
+func TestMetaOverlaps(t *testing.T) {
+	_, meta := buildTable(t, ByteAddr, 0, 100) // key-000000 .. key-000099
+	cmp := bytes.Compare
+	cases := []struct {
+		lo, hi string
+		want   bool
+	}{
+		{"key-000000", "key-000099", true},
+		{"a", "key-000000", true},
+		{"key-000099", "z", true},
+		{"a", "b", false},
+		{"z", "zz", false},
+		{"key-000050", "key-000050", true},
+	}
+	for _, c := range cases {
+		if got := meta.Overlaps(cmp, []byte(c.lo), []byte(c.hi)); got != c.want {
+			t.Fatalf("Overlaps(%q,%q) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+	if !meta.Overlaps(cmp, nil, nil) {
+		t.Fatal("unbounded range must overlap")
+	}
+}
+
+func TestBlockSizesProduceExpectedBlockCounts(t *testing.T) {
+	// 1000 entries x ~45B: with 8KB blocks expect far fewer index records
+	// than with entry-sized blocks.
+	_, meta8k := buildTable(t, Block, 8<<10, 1000)
+	_, metaTiny := buildTable(t, Block, 1, 1000)
+	if meta8k.Index.NumRecords() >= metaTiny.Index.NumRecords() {
+		t.Fatalf("8KB blocks %d records >= tiny blocks %d records",
+			meta8k.Index.NumRecords(), metaTiny.Index.NumRecords())
+	}
+	if metaTiny.Index.NumRecords() != 1000 {
+		t.Fatalf("entry-sized blocks: %d records, want 1000", metaTiny.Index.NumRecords())
+	}
+}
+
+func TestByteAddrIndexAddressesEveryEntry(t *testing.T) {
+	_, meta := buildTable(t, ByteAddr, 0, 257)
+	if meta.Index.NumRecords() != 257 {
+		t.Fatalf("byteaddr index has %d records, want 257", meta.Index.NumRecords())
+	}
+}
+
+func TestEmptyTableIterator(t *testing.T) {
+	for _, format := range []Format{ByteAddr, Block} {
+		var buf []byte
+		w := NewWriter(format, memSink{&buf}, 4096, 10, Options{})
+		res, err := w.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := &Meta{Size: res.Size, Format: format, Index: res.Index, Filter: res.Filter}
+		r := NewReader(meta, memFetcher{&buf}, Options{})
+		it := r.NewIterator(0)
+		it.First()
+		if it.Valid() {
+			t.Fatalf("%v: empty table iterator valid", format)
+		}
+	}
+}

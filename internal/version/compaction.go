@@ -1,0 +1,172 @@
+package version
+
+import (
+	"bytes"
+
+	"dlsm/internal/keys"
+)
+
+// Compaction describes one picked compaction: all Inputs[0] files at Level
+// merge with the overlapping Inputs[1] files at Level+1.
+type Compaction struct {
+	Level  int
+	Inputs [2][]*File
+	// DropTombstones is set when the output level is the deepest populated
+	// level, so deletes and shadowed versions can be discarded outright.
+	DropTombstones bool
+}
+
+// Files returns all input files across both levels.
+func (c *Compaction) Files() []*File {
+	out := make([]*File, 0, len(c.Inputs[0])+len(c.Inputs[1]))
+	out = append(out, c.Inputs[0]...)
+	return append(out, c.Inputs[1]...)
+}
+
+// InputBytes returns the total data size of all inputs.
+func (c *Compaction) InputBytes() int64 {
+	var n int64
+	for _, f := range c.Files() {
+		n += f.Size
+	}
+	return n
+}
+
+// PickParams tunes compaction selection.
+type PickParams struct {
+	L0Trigger  int   // files in L0 that trigger an L0->L1 compaction
+	L1MaxBytes int64 // size budget of L1
+	Multiplier int64 // per-level size growth factor
+}
+
+// maxBytesForLevel returns the size budget of a level >= 1.
+func (p PickParams) maxBytesForLevel(level int) int64 {
+	max := p.L1MaxBytes
+	for l := 1; l < level; l++ {
+		max *= p.Multiplier
+	}
+	return max
+}
+
+// PickCompaction selects the most urgent compaction of the current version,
+// or nil if nothing needs compacting. Picked files are marked busy so
+// concurrent workers never double-compact; the caller must call Release
+// when the compaction completes or aborts. Callers draw extra references
+// on the returned files via the compaction token.
+func (vs *VersionSet) PickCompaction(p PickParams) *Compaction {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	v := vs.current
+
+	bestLevel, bestScore := -1, 1.0
+	if score := float64(len(v.Levels[0])) / float64(p.L0Trigger); score >= bestScore && !anyCompacting(v.Levels[0]) {
+		bestLevel, bestScore = 0, score
+	}
+	for level := 1; level < NumLevels-1; level++ {
+		var size int64
+		for _, f := range v.Levels[level] {
+			size += f.Size
+		}
+		if score := float64(size) / float64(p.maxBytesForLevel(level)); score >= bestScore {
+			// Only a level with an idle candidate file can be picked.
+			if pickLevelFile(v.Levels[level], vs.compactPtr[level]) != nil {
+				bestLevel, bestScore = level, score
+			}
+		}
+	}
+	if bestLevel < 0 {
+		return nil
+	}
+
+	c := &Compaction{Level: bestLevel}
+	if bestLevel == 0 {
+		// L0 files overlap each other, so every L0 compaction takes them
+		// all (the paper parallelizes *within* the job via subcompaction).
+		c.Inputs[0] = append([]*File(nil), v.Levels[0]...)
+	} else {
+		f := pickLevelFile(v.Levels[bestLevel], vs.compactPtr[bestLevel])
+		c.Inputs[0] = []*File{f}
+		vs.compactPtr[bestLevel] = append([]byte(nil), f.Largest...)
+	}
+
+	lo, hi := keyRangeUser(c.Inputs[0])
+	for _, f := range v.Levels[bestLevel+1] {
+		if f.Overlaps(bytes.Compare, lo, hi) {
+			if f.compacting {
+				return nil // conflicting in-flight compaction; retry later
+			}
+			c.Inputs[1] = append(c.Inputs[1], f)
+		}
+	}
+
+	// Deletes can be dropped when nothing below the output level can hold
+	// an older version of the keys.
+	c.DropTombstones = true
+	for level := bestLevel + 2; level < NumLevels; level++ {
+		if len(v.Levels[level]) > 0 {
+			c.DropTombstones = false
+			break
+		}
+	}
+
+	for _, f := range c.Files() {
+		f.compacting = true
+		f.ref() // the compaction holds the inputs alive while it runs
+	}
+	return c
+}
+
+// Release marks the compaction's inputs idle again and drops the references
+// PickCompaction took. Call exactly once per picked compaction.
+func (vs *VersionSet) Release(c *Compaction) {
+	vs.mu.Lock()
+	for _, f := range c.Files() {
+		f.compacting = false
+	}
+	vs.mu.Unlock()
+	for _, f := range c.Files() {
+		vs.unrefFile(f)
+	}
+}
+
+func anyCompacting(files []*File) bool {
+	for _, f := range files {
+		if f.compacting {
+			return true
+		}
+	}
+	return false
+}
+
+// pickLevelFile returns the first idle file after the round-robin cursor,
+// wrapping to the level start.
+func pickLevelFile(files []*File, after []byte) *File {
+	var wrapped *File
+	for _, f := range files {
+		if f.compacting {
+			continue
+		}
+		if wrapped == nil {
+			wrapped = f
+		}
+		if after == nil || keys.Compare(f.Largest, after) > 0 {
+			return f
+		}
+	}
+	return wrapped
+}
+
+// keyRangeUser returns the user-key span covered by files.
+func keyRangeUser(files []*File) (lo, hi []byte) {
+	for _, f := range files {
+		fLo := f.Smallest[:len(f.Smallest)-keys.TrailerLen]
+		fHi := f.Largest[:len(f.Largest)-keys.TrailerLen]
+		if lo == nil || bytes.Compare(fLo, lo) < 0 {
+			lo = fLo
+		}
+		if hi == nil || bytes.Compare(fHi, hi) > 0 {
+			hi = fHi
+		}
+	}
+	return lo, hi
+}

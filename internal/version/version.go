@@ -1,0 +1,224 @@
+// Package version maintains the LSM-tree metadata that dLSM keeps on the
+// compute node (§V-A): which SSTables exist, at which levels, over which
+// key ranges. Mutations are copy-on-write (§III): applying an edit builds a
+// new immutable Version, so readers pin a consistent snapshot of the tree
+// for free, and garbage collection falls out of reference counting — a
+// table is reclaimable exactly when the last Version (and reader) that
+// could see it is gone (§V-B).
+package version
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dlsm/internal/keys"
+	"dlsm/internal/sstable"
+)
+
+// NumLevels is the number of LSM levels.
+const NumLevels = 7
+
+// File is a ref-counted SSTable reference. The count tracks how many
+// Versions (and in-flight compactions) can reach the table.
+type File struct {
+	*sstable.Meta
+	refs       atomic.Int32
+	compacting bool // guarded by VersionSet.mu
+}
+
+// NewFile wraps a table meta with an initial reference owned by the caller.
+func NewFile(m *sstable.Meta) *File {
+	f := &File{Meta: m}
+	f.refs.Store(1)
+	return f
+}
+
+func (f *File) ref() { f.refs.Add(1) }
+
+// Version is an immutable snapshot of the tree shape. Level 0 is ordered
+// newest-first (by MaxSeq); levels >= 1 are key-ordered and non-overlapping.
+type Version struct {
+	vs     *VersionSet
+	refs   atomic.Int32
+	Levels [NumLevels][]*File
+}
+
+// Ref pins the version (and transitively every file in it).
+func (v *Version) Ref() { v.refs.Add(1) }
+
+// Unref releases the pin; at zero every file loses one reference and
+// fully-unreferenced files are reported obsolete.
+func (v *Version) Unref() {
+	if n := v.refs.Add(-1); n == 0 {
+		for _, level := range v.Levels {
+			for _, f := range level {
+				v.vs.unrefFile(f)
+			}
+		}
+	} else if n < 0 {
+		panic("version: negative refcount")
+	}
+}
+
+// NumFiles returns the total table count.
+func (v *Version) NumFiles() int {
+	n := 0
+	for _, l := range v.Levels {
+		n += len(l)
+	}
+	return n
+}
+
+// SizeBytes returns the total data bytes across all tables.
+func (v *Version) SizeBytes() int64 {
+	var n int64
+	for _, l := range v.Levels {
+		for _, f := range l {
+			n += f.Size
+		}
+	}
+	return n
+}
+
+// L0Count returns the number of level-0 tables (write-stall input).
+func (v *Version) L0Count() int { return len(v.Levels[0]) }
+
+// Overlapping returns the files in level whose user-key range intersects
+// [lo, hi] (nil = unbounded).
+func (v *Version) Overlapping(level int, lo, hi []byte) []*File {
+	var out []*File
+	for _, f := range v.Levels[level] {
+		if f.Overlaps(bytes.Compare, lo, hi) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Edit describes one metadata mutation: tables added per level and tables
+// removed. Flushes add to L0; compactions remove inputs and add outputs.
+type Edit struct {
+	Added   map[int][]*File
+	Deleted []*File
+}
+
+// NewEdit returns an empty edit.
+func NewEdit() *Edit { return &Edit{Added: map[int][]*File{}} }
+
+// Add records a new table at level.
+func (e *Edit) Add(level int, f *File) { e.Added[level] = append(e.Added[level], f) }
+
+// Delete records table removal.
+func (e *Edit) Delete(f *File) { e.Deleted = append(e.Deleted, f) }
+
+// VersionSet owns the current Version and applies edits under a mutex —
+// per the paper, metadata changes are infrequent (≈every 20ms) so a single
+// lock suffices (§V-A).
+type VersionSet struct {
+	mu         sync.Mutex
+	current    *Version
+	nextID     atomic.Uint64
+	onObsolete func(*sstable.Meta)
+	compactPtr [NumLevels][]byte // round-robin pick cursor per level
+}
+
+// New creates a VersionSet with an empty tree. onObsolete is called (from
+// arbitrary goroutines, possibly under the set's mutex) when a table
+// becomes unreachable; implementations must only enqueue work.
+func New(onObsolete func(*sstable.Meta)) *VersionSet {
+	vs := &VersionSet{onObsolete: onObsolete}
+	vs.nextID.Store(1)
+	v := &Version{vs: vs}
+	v.refs.Store(1) // the set's own reference to current
+	vs.current = v
+	return vs
+}
+
+// NextFileID allocates a table id.
+func (vs *VersionSet) NextFileID() uint64 { return vs.nextID.Add(1) }
+
+// Current returns the current version with a reference held for the caller.
+func (vs *VersionSet) Current() *Version {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	vs.current.Ref()
+	return vs.current
+}
+
+func (vs *VersionSet) unrefFile(f *File) {
+	if n := f.refs.Add(-1); n == 0 {
+		if vs.onObsolete != nil {
+			vs.onObsolete(f.Meta)
+		}
+	} else if n < 0 {
+		panic("version: negative file refcount")
+	}
+}
+
+// Apply installs edit as the new current version (copy-on-write).
+func (vs *VersionSet) Apply(edit *Edit) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+
+	deleted := make(map[*File]bool, len(edit.Deleted))
+	for _, f := range edit.Deleted {
+		deleted[f] = true
+	}
+	next := &Version{vs: vs}
+	next.refs.Store(1) // the set's reference
+	for level := range vs.current.Levels {
+		for _, f := range vs.current.Levels[level] {
+			if !deleted[f] {
+				next.Levels[level] = append(next.Levels[level], f)
+			}
+		}
+		for _, f := range edit.Added[level] {
+			next.Levels[level] = append(next.Levels[level], f)
+		}
+		if len(edit.Added[level]) > 0 {
+			sortLevel(level, next.Levels[level])
+		}
+	}
+	// New version references everything it contains.
+	for _, level := range next.Levels {
+		for _, f := range level {
+			f.ref()
+		}
+	}
+	old := vs.current
+	vs.current = next
+	old.Unref() // drop the set's reference to the old version
+}
+
+func sortLevel(level int, files []*File) {
+	if level == 0 {
+		// Newest first: point reads stop at the first visible version.
+		sort.Slice(files, func(i, j int) bool { return files[i].MaxSeq > files[j].MaxSeq })
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return keys.Compare(files[i].Smallest, files[j].Smallest) < 0
+	})
+}
+
+// CheckInvariants validates level ordering and overlap rules; used by tests
+// and enabled checks.
+func (v *Version) CheckInvariants() error {
+	for i := 1; i < NumLevels; i++ {
+		files := v.Levels[i]
+		for j := 1; j < len(files); j++ {
+			if keys.Compare(files[j-1].Largest, files[j].Smallest) >= 0 {
+				return fmt.Errorf("level %d: files %d and %d overlap (%q .. %q)",
+					i, j-1, j, files[j-1].Largest, files[j].Smallest)
+			}
+		}
+	}
+	return nil
+}
+
+// UnrefFile drops one caller-held reference on f (e.g. the creator's
+// reference after the file has been installed into a version).
+func (vs *VersionSet) UnrefFile(f *File) { vs.unrefFile(f) }

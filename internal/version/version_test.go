@@ -1,0 +1,248 @@
+package version
+
+import (
+	"fmt"
+	"testing"
+
+	"dlsm/internal/keys"
+	"dlsm/internal/sstable"
+)
+
+// mkFile builds a fake table covering [lo, hi] user keys.
+func mkFile(id uint64, lo, hi string, size int64, maxSeq uint64) *File {
+	return NewFile(&sstable.Meta{
+		ID:       id,
+		Size:     size,
+		Smallest: keys.Append(nil, []byte(lo), keys.MaxSeq, keys.KindSet),
+		Largest:  keys.Append(nil, []byte(hi), 0, keys.KindSet),
+		MaxSeq:   maxSeq,
+	})
+}
+
+func TestApplyAddsAndRemoves(t *testing.T) {
+	vs := New(nil)
+	f1 := mkFile(1, "a", "m", 100, 10)
+	f2 := mkFile(2, "n", "z", 100, 20)
+
+	e := NewEdit()
+	e.Add(0, f1)
+	e.Add(0, f2)
+	vs.Apply(e)
+
+	v := vs.Current()
+	if v.L0Count() != 2 || v.NumFiles() != 2 {
+		t.Fatalf("L0 = %d files, want 2", v.L0Count())
+	}
+	v.Unref()
+
+	e2 := NewEdit()
+	e2.Delete(f1)
+	e2.Add(1, mkFile(3, "a", "m", 100, 10))
+	vs.Apply(e2)
+	v = vs.Current()
+	if v.L0Count() != 1 || len(v.Levels[1]) != 1 {
+		t.Fatalf("after edit: L0=%d L1=%d", v.L0Count(), len(v.Levels[1]))
+	}
+	v.Unref()
+}
+
+func TestL0OrderedNewestFirst(t *testing.T) {
+	vs := New(nil)
+	e := NewEdit()
+	e.Add(0, mkFile(1, "a", "z", 10, 5))
+	e.Add(0, mkFile(2, "a", "z", 10, 50))
+	e.Add(0, mkFile(3, "a", "z", 10, 20))
+	vs.Apply(e)
+	v := vs.Current()
+	defer v.Unref()
+	got := []uint64{v.Levels[0][0].MaxSeq, v.Levels[0][1].MaxSeq, v.Levels[0][2].MaxSeq}
+	if got[0] != 50 || got[1] != 20 || got[2] != 5 {
+		t.Fatalf("L0 order = %v, want [50 20 5]", got)
+	}
+}
+
+func TestLevelSortedByKey(t *testing.T) {
+	vs := New(nil)
+	e := NewEdit()
+	e.Add(1, mkFile(1, "m", "r", 10, 1))
+	e.Add(1, mkFile(2, "a", "f", 10, 1))
+	e.Add(1, mkFile(3, "s", "z", 10, 1))
+	vs.Apply(e)
+	v := vs.Current()
+	defer v.Unref()
+	if string(keys.UserKey(v.Levels[1][0].Smallest)) != "a" {
+		t.Fatal("level 1 not key sorted")
+	}
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObsoleteFiredWhenUnreachable(t *testing.T) {
+	var obsolete []uint64
+	vs := New(func(m *sstable.Meta) { obsolete = append(obsolete, m.ID) })
+
+	f := mkFile(1, "a", "z", 10, 1)
+	e := NewEdit()
+	e.Add(0, f)
+	vs.Apply(e)
+	f.refs.Add(-1) // drop creator's reference; version still holds one
+
+	// A reader pins the current version, then the file is compacted away.
+	reader := vs.Current()
+
+	e2 := NewEdit()
+	e2.Delete(f)
+	vs.Apply(e2)
+	if len(obsolete) != 0 {
+		t.Fatal("file reclaimed while a reader still pins it")
+	}
+	reader.Unref()
+	if len(obsolete) != 1 || obsolete[0] != 1 {
+		t.Fatalf("obsolete = %v, want [1]", obsolete)
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	vs := New(nil)
+	e := NewEdit()
+	e.Add(1, mkFile(1, "a", "f", 10, 1))
+	e.Add(1, mkFile(2, "g", "m", 10, 1))
+	e.Add(1, mkFile(3, "n", "z", 10, 1))
+	vs.Apply(e)
+	v := vs.Current()
+	defer v.Unref()
+	got := v.Overlapping(1, []byte("h"), []byte("p"))
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 3 {
+		ids := []uint64{}
+		for _, f := range got {
+			ids = append(ids, f.ID)
+		}
+		t.Fatalf("Overlapping = %v, want [2 3]", ids)
+	}
+}
+
+func pp() PickParams { return PickParams{L0Trigger: 4, L1MaxBytes: 1000, Multiplier: 10} }
+
+func TestPickL0WhenTriggered(t *testing.T) {
+	vs := New(nil)
+	e := NewEdit()
+	for i := 0; i < 4; i++ {
+		e.Add(0, mkFile(uint64(i+1), "a", "z", 10, uint64(i+1)))
+	}
+	e.Add(1, mkFile(10, "c", "h", 10, 0))
+	vs.Apply(e)
+
+	c := vs.PickCompaction(pp())
+	if c == nil || c.Level != 0 {
+		t.Fatalf("pick = %+v, want L0 compaction", c)
+	}
+	if len(c.Inputs[0]) != 4 {
+		t.Fatalf("L0 inputs = %d, want all 4", len(c.Inputs[0]))
+	}
+	if len(c.Inputs[1]) != 1 {
+		t.Fatalf("L1 inputs = %d, want 1 overlapping", len(c.Inputs[1]))
+	}
+	if !c.DropTombstones {
+		t.Fatal("deepest-level output should drop tombstones")
+	}
+	// A second pick must not steal the same files.
+	if c2 := vs.PickCompaction(pp()); c2 != nil {
+		t.Fatalf("second pick got %+v while first in flight", c2)
+	}
+	vs.Release(c)
+	if c3 := vs.PickCompaction(pp()); c3 == nil {
+		t.Fatal("after release, compaction should be pickable again")
+	}
+}
+
+func TestPickBelowTriggerNone(t *testing.T) {
+	vs := New(nil)
+	e := NewEdit()
+	e.Add(0, mkFile(1, "a", "z", 10, 1))
+	vs.Apply(e)
+	if c := vs.PickCompaction(pp()); c != nil {
+		t.Fatalf("picked %+v below trigger", c)
+	}
+}
+
+func TestPickSizeTriggeredLevel(t *testing.T) {
+	vs := New(nil)
+	e := NewEdit()
+	// L1 over budget (1500 > 1000), L2 has an overlapping and a
+	// non-overlapping file.
+	e.Add(1, mkFile(1, "a", "f", 800, 1))
+	e.Add(1, mkFile(2, "g", "m", 700, 1))
+	e.Add(2, mkFile(3, "a", "c", 10, 1))
+	e.Add(2, mkFile(4, "p", "z", 10, 1))
+	vs.Apply(e)
+
+	c := vs.PickCompaction(pp())
+	if c == nil || c.Level != 1 {
+		t.Fatalf("pick = %+v, want L1 compaction", c)
+	}
+	if len(c.Inputs[0]) != 1 {
+		t.Fatalf("inputs[0] = %d files, want 1", len(c.Inputs[0]))
+	}
+	if !c.DropTombstones {
+		t.Fatal("output level 2 is the deepest populated level; tombstones should drop")
+	}
+	vs.Release(c)
+}
+
+func TestTombstoneDropOnlyAtBottom(t *testing.T) {
+	vs := New(nil)
+	e := NewEdit()
+	for i := 0; i < 4; i++ {
+		e.Add(0, mkFile(uint64(i+1), "a", "z", 10, uint64(i+1)))
+	}
+	e.Add(2, mkFile(10, "a", "z", 10, 0)) // data below the L0->L1 output
+	vs.Apply(e)
+	c := vs.PickCompaction(pp())
+	if c == nil {
+		t.Fatal("no compaction picked")
+	}
+	if c.DropTombstones {
+		t.Fatal("tombstones must be kept when deeper levels hold data")
+	}
+	vs.Release(c)
+}
+
+func TestFileIDsMonotonic(t *testing.T) {
+	vs := New(nil)
+	a, b := vs.NextFileID(), vs.NextFileID()
+	if b <= a {
+		t.Fatalf("ids not monotonic: %d then %d", a, b)
+	}
+}
+
+func TestManyVersionsRefcountStress(t *testing.T) {
+	freed := map[uint64]bool{}
+	vs := New(func(m *sstable.Meta) {
+		if freed[m.ID] {
+			panic(fmt.Sprintf("double obsolete for %d", m.ID))
+		}
+		freed[m.ID] = true
+	})
+	var live []*File
+	for i := 0; i < 100; i++ {
+		f := mkFile(uint64(i+1), fmt.Sprintf("k%03d", i), fmt.Sprintf("k%03d", i), 10, uint64(i))
+		e := NewEdit()
+		e.Add(1, f)
+		if len(live) > 5 {
+			e.Delete(live[0])
+			live = live[1:]
+		}
+		vs.Apply(e)
+		f.refs.Add(-1) // creator reference dropped after apply
+		live = append(live, f)
+	}
+	if len(freed) != 100-len(live) {
+		t.Fatalf("freed %d files, want %d", len(freed), 100-len(live))
+	}
+	for _, f := range live {
+		if freed[f.ID] {
+			t.Fatalf("live file %d was freed", f.ID)
+		}
+	}
+}
