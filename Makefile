@@ -1,0 +1,24 @@
+# Developer entry points. `make check` is the tier-1 verification gate
+# (see ROADMAP.md) plus a -race pass over the packages with the most
+# lock-free concurrency.
+
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/telemetry/... ./internal/engine/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

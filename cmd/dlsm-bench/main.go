@@ -31,6 +31,7 @@ func main() {
 		n       = flag.Int("n", 200_000, "operations per data point (paper: 100M)")
 		threads = flag.String("threads", "1,2,4,8,16", "thread counts for thread-sweep figures")
 		quiet   = flag.Bool("q", false, "suppress per-point progress output")
+		metrics = flag.Bool("metrics", true, "print a telemetry snapshot after each figure")
 	)
 	flag.Parse()
 	if *fig == "" {
@@ -49,23 +50,30 @@ func main() {
 		figs = []string{"7a", "7b", "8", "9", "10", "11", "12", "13", "14a", "14b", "15"}
 	}
 	for _, f := range figs {
-		runFigure(f, *n, ths)
+		runFigure(f, *n, ths, *metrics)
 	}
 }
 
-func runFigure(fig string, n int, threads []int) {
+func runFigure(fig string, n int, threads []int, metrics bool) {
 	out := os.Stdout
+	// show prints a figure, optionally followed by its telemetry snapshot.
+	show := func(f *bench.Figure) {
+		f.Print(out)
+		if metrics {
+			f.PrintMetrics(out)
+		}
+	}
 	switch fig {
 	case "7a":
-		bench.Fig7a(n, threads).Print(out)
+		show(bench.Fig7a(n, threads))
 	case "7b":
-		bench.Fig7b(n, threads).Print(out)
+		show(bench.Fig7b(n, threads))
 	case "8":
-		bench.Fig8(n, threads).Print(out)
+		show(bench.Fig8(n, threads))
 	case "9":
 		sizes := []int{n / 4, n / 2, n}
 		w, r, space := bench.Fig9(sizes, maxOf(threads))
-		w.Print(out)
+		show(w)
 		r.Print(out)
 		fmt.Fprintln(out, "\nRemote-memory space usage (§XI-C3):")
 		var systems []string
@@ -77,9 +85,9 @@ func runFigure(fig string, n int, threads []int) {
 			fmt.Fprintf(out, "  %-24s %s\n", s, strings.Join(space[s], "  "))
 		}
 	case "10":
-		bench.Fig10(n, maxOf(threads), []float64{0, 0.05, 0.5, 0.95, 1.0}).Print(out)
+		show(bench.Fig10(n, maxOf(threads), []float64{0, 0.05, 0.5, 0.95, 1.0}))
 	case "11":
-		bench.Fig11(n, 8).Print(out)
+		show(bench.Fig11(n, 8))
 	case "12":
 		fig12 := bench.Fig12(n, []int{1, 2, 4, 8, 12}, []int{1, 8, 16})
 		fig12.Print(out)
@@ -92,14 +100,14 @@ func runFigure(fig string, n int, threads []int) {
 			fmt.Fprintln(out)
 		}
 	case "13":
-		bench.Fig13(n, maxOf(threads)).Print(out)
+		show(bench.Fig13(n, maxOf(threads)))
 	case "14a":
-		bench.Fig14a(n/4, []int{1, 2, 4, 8, 16}, maxOf(threads)).Print(out)
+		show(bench.Fig14a(n/4, []int{1, 2, 4, 8, 16}, maxOf(threads)))
 	case "14b":
-		bench.Fig14b(n, []int{1, 2, 4, 8}, 8).Print(out)
+		show(bench.Fig14b(n, []int{1, 2, 4, 8}, 8))
 	case "15":
 		w, r := bench.Fig15(n/4, []int{1, 2, 4, 8}, 8)
-		w.Print(out)
+		show(w)
 		r.Print(out)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)

@@ -32,6 +32,7 @@ import (
 	"dlsm/internal/rdma"
 	"dlsm/internal/shard"
 	"dlsm/internal/sim"
+	"dlsm/internal/telemetry"
 )
 
 // Re-exported configuration and identifiers. The aliases expose the full
@@ -192,6 +193,14 @@ func (db *DB) Stats() []*engine.Stats {
 		out[i] = db.inner.Shard(i).Stats()
 	}
 	return out
+}
+
+// TelemetrySnapshot returns the merged metrics of all shards: latency
+// histograms (virtual ns), flush-pipeline stats, per-level compaction
+// bytes, and the headline Stats counters. Merge it with
+// Deployment.Fabric.Telemetry().Snapshot() for per-link network traffic.
+func (db *DB) TelemetrySnapshot() telemetry.Snapshot {
+	return db.inner.TelemetrySnapshot()
 }
 
 // Shard exposes shard i's engine (advanced use, ablations).

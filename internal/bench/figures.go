@@ -49,6 +49,38 @@ func (f *Figure) Print(w io.Writer) {
 	tw.Flush()
 }
 
+// PrintMetrics renders one telemetry snapshot for the figure: the richest
+// point of the first series carrying one (the first series is dLSM in the
+// system sweeps), preferring its last point — the fullest run, with latency
+// histograms, flush-pipeline stats, per-level compaction and per-link
+// network bytes.
+func (f *Figure) PrintMetrics(w io.Writer) {
+	var best *Point
+	var bestSeries string
+	size := func(p Point) int {
+		return len(p.R.Metrics.Counters) + len(p.R.Metrics.Gauges) + len(p.R.Metrics.Histograms)
+	}
+	for si := range f.Series {
+		for pi := range f.Series[si].Points {
+			p := &f.Series[si].Points[pi]
+			if p.R.Metrics.Empty() {
+				continue
+			}
+			if best == nil || size(*p) >= size(*best) {
+				best, bestSeries = p, f.Series[si].Label
+			}
+		}
+		if best != nil {
+			break // stay within the first series that has metrics at all
+		}
+	}
+	if best == nil {
+		return
+	}
+	fmt.Fprintf(w, "\n%s metrics (%s, %s=%s):\n", f.Name, bestSeries, f.XLabel, best.X)
+	best.R.Metrics.WriteText(w)
+}
+
 func fmtTput(t float64) string {
 	switch {
 	case t >= 1e6:

@@ -9,6 +9,7 @@ import (
 	"dlsm/internal/memnode"
 	"dlsm/internal/rdma"
 	"dlsm/internal/sim"
+	"dlsm/internal/telemetry"
 )
 
 // Result is one measured data point.
@@ -27,6 +28,10 @@ type Result struct {
 	RemoteCPUUtil float64
 	// Net traffic during the measured phase, compute<->first memory node.
 	NetToMem, NetFromMem int64
+	// Metrics is the end-of-run telemetry snapshot: the system's engine
+	// registries merged with the fabric's per-link registry. Cumulative
+	// over the whole run (preload included), unlike the deltas above.
+	Metrics telemetry.Snapshot
 }
 
 // opKind selects the measured operation mix.
@@ -157,6 +162,10 @@ func measure(env *sim.Env, fab *rdma.Fabric, cfg Config, kind opKind, db kvDB, c
 	fromMem1, _ := fab.LinkStats(mn, cn)
 	res.NetToMem = toMem1 - toMem0
 	res.NetFromMem = fromMem1 - fromMem0
+	res.Metrics = fab.Telemetry().Snapshot()
+	if t, ok := db.(interface{ TelemetrySnapshot() telemetry.Snapshot }); ok {
+		res.Metrics = telemetry.Merge(t.TelemetrySnapshot(), res.Metrics)
+	}
 	return res
 }
 

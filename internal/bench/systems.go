@@ -16,6 +16,7 @@ import (
 	"dlsm/internal/shard"
 	"dlsm/internal/sim"
 	"dlsm/internal/sstable"
+	"dlsm/internal/telemetry"
 )
 
 // System identifies one evaluated system (§XI-A).
@@ -214,6 +215,12 @@ func (l *lsmDB) SpaceUsed() int64 {
 	return n
 }
 func (l *lsmDB) Close() { l.db.Close() }
+
+// TelemetrySnapshot exposes the merged per-shard engine metrics; the bench
+// runner combines it with the fabric's registry into Result.Metrics.
+func (l *lsmDB) TelemetrySnapshot() telemetry.Snapshot {
+	return l.db.TelemetrySnapshot()
+}
 
 type lsmSession struct{ s *shard.Session }
 

@@ -31,6 +31,7 @@ type bgWorker struct {
 func (db *DB) newBGWorker() *bgWorker {
 	w := &bgWorker{db: db, qp: db.cn.NewQP(db.mn)}
 	w.pipeline = flush.NewPipeline(w.qp, db.opts.FlushBufSize)
+	w.pipeline.SetMetrics(db.m.flush)
 	return w
 }
 
@@ -74,6 +75,8 @@ func (db *DB) flusher() {
 
 // flushOne serializes one immutable MemTable into a new L0 table (§X-C).
 func (db *DB) flushOne(w *bgWorker, mt *memtable.MemTable) {
+	sp := db.m.flushLat.Span(db.m.clock)
+	defer sp.End()
 	// Quiesce: wait until no writer can still insert into mt.
 	_, hi := mt.SeqRange()
 	for !mt.QuiesceDone() || !db.noClaimsBelow(uint64(hi)) {
@@ -218,8 +221,11 @@ func (db *DB) runCompaction(w *bgWorker, c *version.Compaction) {
 	}
 	db.stats.CompactionTime.Add(int64(db.env.Now() - start))
 	db.stats.CompactionBytesIn.Add(c.InputBytes())
+	levelIn, levelOut := db.compactionLevelCounters(c.Level)
+	levelIn.Add(c.InputBytes())
 	for _, m := range outputs {
 		db.stats.CompactionBytesOut.Add(m.Size)
+		levelOut.Add(m.Size)
 	}
 
 	// Install: outputs to Level+1, inputs removed — one copy-on-write
@@ -338,6 +344,7 @@ func (db *DB) runLocalSubcompaction(c *version.Compaction, inputMetas []*sstable
 	}()
 	sub := &bgWorker{db: db, qp: qp}
 	sub.pipeline = flush.NewPipeline(qp, db.opts.FlushBufSize)
+	sub.pipeline.SetMetrics(db.m.flush)
 
 	inputs := make([]compactor.Input, 0, len(inputMetas))
 	for _, m := range inputMetas {

@@ -12,6 +12,7 @@ import (
 	"dlsm/internal/rpc"
 	"dlsm/internal/sim"
 	"dlsm/internal/sstable"
+	"dlsm/internal/telemetry"
 	"dlsm/internal/version"
 )
 
@@ -65,7 +66,9 @@ type DB struct {
 	sessMu   sync.Mutex
 	sessions []*Session
 
+	tel   *telemetry.Registry
 	stats Stats
+	m     dbMetrics
 }
 
 // Open creates a DB on compute node cn backed by the memory node server
@@ -89,6 +92,15 @@ func Open(cn *rdma.Node, srv *memnode.Server, opts Options) *DB {
 		wg:         sim.NewWaitGroup(env),
 		snaps:      map[keys.Seq]int{},
 	}
+	// The registry runs on the simulation's virtual clock so spans measure
+	// virtual time; each DB (shard) gets its own registry, merged at the
+	// deployment level via telemetry.Merge.
+	db.tel = telemetry.NewRegistry(telemetry.ClockFunc(func() int64 { return int64(env.Now()) }))
+	db.stats = newStats(db.tel)
+	db.m = newDBMetrics(db.tel)
+	// Eagerly register the L0 counters so even short runs surface the
+	// per-level compaction section in snapshots.
+	db.compactionLevelCounters(0)
 	db.bgCond = sim.NewNamedCond(env, db.mu, "engine.bg")
 	db.vs = version.New(db.onObsolete)
 	db.notifier = rpc.NotifierFor(cn)

@@ -418,3 +418,83 @@ func TestRemoteCompactionMovesNoTableBytes(t *testing.T) {
 	})
 	env.Wait()
 }
+
+func TestTelemetrySnapshot(t *testing.T) {
+	harness(t, smallOpts(), func(env *sim.Env, db *DB) {
+		s := db.NewSession()
+		defer s.Close()
+		for i := 0; i < 4000; i++ {
+			s.Put(key(i), value(i))
+		}
+		db.Flush()
+		db.WaitForCompactions()
+		for i := 0; i < 500; i++ {
+			if _, err := s.Get(key(i)); err != nil {
+				t.Fatalf("Get(%d): %v", i, err)
+			}
+		}
+
+		snap := db.Telemetry().Snapshot()
+		wl := snap.Histograms["engine.write.latency_ns"]
+		if wl.Count != 4000 {
+			t.Fatalf("write latency count = %d, want 4000", wl.Count)
+		}
+		// Most writes finish in 0 virtual ns (nothing blocks), so P50 may be
+		// 0; the tail (switch waits, stalls) must show up in Sum and Max.
+		if wl.Sum <= 0 || wl.Max <= 0 {
+			t.Fatalf("write latency sum/max = %d/%d, want > 0", wl.Sum, wl.Max)
+		}
+		rl := snap.Histograms["engine.read.latency_ns"]
+		if rl.Count != 500 {
+			t.Fatalf("read latency count = %d, want 500", rl.Count)
+		}
+		if fl := snap.Histograms["engine.flush.latency_ns"]; fl.Count != snap.Counters["engine.flushes"]+0 && fl.Count == 0 {
+			t.Fatalf("flush latency count = %d", fl.Count)
+		}
+		if snap.Counters["engine.writes"] != 4000 || snap.Counters["engine.reads"] != 500 {
+			t.Fatalf("writes/reads = %d/%d", snap.Counters["engine.writes"], snap.Counters["engine.reads"])
+		}
+		if snap.Counters["flush.bytes_submitted"] == 0 {
+			t.Fatal("flush.bytes_submitted = 0; pipeline metrics not wired")
+		}
+		if snap.Counters["flush.buffers_allocated"] == 0 {
+			t.Fatal("flush.buffers_allocated = 0")
+		}
+		if g, ok := snap.Gauges["flush.buffers_inflight"]; !ok || g != 0 {
+			t.Fatalf("flush.buffers_inflight = %d (present=%v), want 0 after settle", g, ok)
+		}
+		// smallOpts forces L0 compactions; per-level byte counters must exist
+		// and carry the compacted volume.
+		if _, ok := snap.Counters["engine.compaction.L0.bytes_in"]; !ok {
+			t.Fatal("missing engine.compaction.L0.bytes_in")
+		}
+		if snap.Counters["engine.compaction.bytes_in"] > 0 &&
+			snap.Counters["engine.compaction.L0.bytes_in"] == 0 {
+			t.Fatal("compactions ran but L0 per-level counter stayed 0")
+		}
+		// Reads after compaction hit SSTables: the reader metrics must move.
+		if snap.Counters["engine.read.table_fetches"] == 0 {
+			t.Fatal("engine.read.table_fetches = 0; reader metrics not wired")
+		}
+		if snap.Counters["engine.read.table_fetch_bytes"] == 0 {
+			t.Fatal("engine.read.table_fetch_bytes = 0")
+		}
+	})
+}
+
+func TestStatsBackedByTelemetry(t *testing.T) {
+	// The migrated Stats fields and the registry must be the same storage.
+	harness(t, smallOpts(), func(env *sim.Env, db *DB) {
+		s := db.NewSession()
+		defer s.Close()
+		for i := 0; i < 100; i++ {
+			s.Put(key(i), value(i))
+		}
+		if got := db.Stats().Writes.Load(); got != 100 {
+			t.Fatalf("Stats().Writes = %d, want 100", got)
+		}
+		if got := db.Telemetry().Snapshot().Counters["engine.writes"]; got != 100 {
+			t.Fatalf("registry engine.writes = %d, want 100", got)
+		}
+	})
+}

@@ -22,6 +22,8 @@ func (s *Session) Get(key []byte) ([]byte, error) {
 func (s *Session) GetAt(key []byte, snap keys.Seq) ([]byte, error) {
 	db := s.db
 	db.stats.Reads.Add(1)
+	sp := db.m.readLat.Span(db.m.clock)
+	defer sp.End()
 
 	// Pin a consistent view. The immutable list is captured BEFORE the
 	// version: flushers publish to L0 before removing from the list, so
@@ -41,11 +43,13 @@ func (s *Session) GetAt(key []byte, snap keys.Seq) ([]byte, error) {
 	// 1. MemTable, then immutable tables newest -> oldest.
 	db.charge(db.opts.Costs.MemProbe)
 	if val, found, deleted := mem.Get(key, snap); found {
+		db.m.memHits.Inc()
 		return valueOrNotFound(val, deleted)
 	}
 	for i := len(imms) - 1; i >= 0; i-- {
 		db.charge(db.opts.Costs.MemProbe)
 		if val, found, deleted := imms[i].Get(key, snap); found {
+			db.m.immHits.Inc()
 			return valueOrNotFound(val, deleted)
 		}
 	}
@@ -83,8 +87,9 @@ func (s *Session) GetAt(key []byte, snap keys.Seq) ([]byte, error) {
 
 func (s *Session) tableGet(meta *sstable.Meta, key []byte, snap keys.Seq) ([]byte, bool, bool, error) {
 	r := sstable.NewReader(meta, s.fetcher(meta), sstable.Options{
-		Costs:  s.db.opts.Costs,
-		Charge: s.db.charge,
+		Costs:   s.db.opts.Costs,
+		Charge:  s.db.charge,
+		Metrics: &s.db.m.reader,
 	})
 	val, found, deleted, err := r.Get(key, snap)
 	if err != nil || !found || deleted {

@@ -1,35 +1,124 @@
 package engine
 
-import "sync/atomic"
+import (
+	"fmt"
 
-// Stats holds the engine's observability counters. All fields are safe for
-// concurrent reads while the DB runs.
+	"dlsm/internal/flush"
+	"dlsm/internal/sstable"
+	"dlsm/internal/telemetry"
+)
+
+// Stats holds the engine's observability counters, backed by the DB's
+// telemetry registry (so they appear in Registry.Snapshot() alongside the
+// histograms). All fields are safe for concurrent reads while the DB runs.
 type Stats struct {
-	Writes      atomic.Int64
-	Reads       atomic.Int64
-	MemSwitches atomic.Int64
+	Writes      *telemetry.Counter
+	Reads       *telemetry.Counter
+	MemSwitches *telemetry.Counter
 
-	Flushes      atomic.Int64
-	BytesFlushed atomic.Int64
+	Flushes      *telemetry.Counter
+	BytesFlushed *telemetry.Counter
 
-	RemoteCompactions  atomic.Int64
-	LocalCompactions   atomic.Int64
-	CompactionsRunning atomic.Int64
-	CompactionBytesIn  atomic.Int64
-	CompactionBytesOut atomic.Int64
-	CompactionTime     atomic.Int64 // virtual ns
+	RemoteCompactions  *telemetry.Counter
+	LocalCompactions   *telemetry.Counter
+	CompactionsRunning *telemetry.Gauge
+	CompactionBytesIn  *telemetry.Counter
+	CompactionBytesOut *telemetry.Counter
+	CompactionTime     *telemetry.Counter // virtual ns
 
-	Stalls       atomic.Int64
-	StallTime    atomic.Int64 // virtual ns
-	StallL0Time  atomic.Int64 // stalled on level0_stop_writes_trigger
-	StallImmTime atomic.Int64 // stalled on MaxImmutables (flush backlog)
+	Stalls       *telemetry.Counter
+	StallTime    *telemetry.Counter // virtual ns
+	StallL0Time  *telemetry.Counter // stalled on level0_stop_writes_trigger
+	StallImmTime *telemetry.Counter // stalled on MaxImmutables (flush backlog)
 
-	TablesFreed    atomic.Int64
-	RemoteFreeRPCs atomic.Int64
+	TablesFreed    *telemetry.Counter
+	RemoteFreeRPCs *telemetry.Counter
+}
+
+func newStats(reg *telemetry.Registry) Stats {
+	return Stats{
+		Writes:      reg.Counter("engine.writes"),
+		Reads:       reg.Counter("engine.reads"),
+		MemSwitches: reg.Counter("engine.memtable.switches"),
+
+		Flushes:      reg.Counter("engine.flushes"),
+		BytesFlushed: reg.Counter("engine.flush.bytes"),
+
+		RemoteCompactions:  reg.Counter("engine.compaction.remote"),
+		LocalCompactions:   reg.Counter("engine.compaction.local"),
+		CompactionsRunning: reg.Gauge("engine.compaction.running"),
+		CompactionBytesIn:  reg.Counter("engine.compaction.bytes_in"),
+		CompactionBytesOut: reg.Counter("engine.compaction.bytes_out"),
+		CompactionTime:     reg.Counter("engine.compaction.time_ns"),
+
+		Stalls:       reg.Counter("engine.stalls"),
+		StallTime:    reg.Counter("engine.stall.time_ns"),
+		StallL0Time:  reg.Counter("engine.stall.l0_time_ns"),
+		StallImmTime: reg.Counter("engine.stall.imm_time_ns"),
+
+		TablesFreed:    reg.Counter("engine.gc.tables_freed"),
+		RemoteFreeRPCs: reg.Counter("engine.gc.remote_free_rpcs"),
+	}
+}
+
+// dbMetrics bundles the latency histograms and path counters the engine
+// reports beyond the headline Stats counters.
+type dbMetrics struct {
+	clock telemetry.Clock
+
+	writeLat   *telemetry.Histogram // engine.write.latency_ns
+	readLat    *telemetry.Histogram // engine.read.latency_ns
+	switchWait *telemetry.Histogram // engine.memtable.switch_wait_ns
+	flushLat   *telemetry.Histogram // engine.flush.latency_ns
+
+	switchContended *telemetry.Counter // writers that hit the switch lock
+	memHits         *telemetry.Counter // reads answered by the MemTable
+	immHits         *telemetry.Counter // reads answered by an immutable table
+
+	reader sstable.ReaderMetrics
+	flush  flush.Metrics
+}
+
+func newDBMetrics(reg *telemetry.Registry) dbMetrics {
+	return dbMetrics{
+		clock:      reg.Clock(),
+		writeLat:   reg.Histogram("engine.write.latency_ns"),
+		readLat:    reg.Histogram("engine.read.latency_ns"),
+		switchWait: reg.Histogram("engine.memtable.switch_wait_ns"),
+		flushLat:   reg.Histogram("engine.flush.latency_ns"),
+
+		switchContended: reg.Counter("engine.memtable.switch_contended"),
+		memHits:         reg.Counter("engine.read.memtable_hits"),
+		immHits:         reg.Counter("engine.read.immtable_hits"),
+
+		reader: sstable.ReaderMetrics{
+			BloomNegatives: reg.Counter("engine.read.bloom_negatives"),
+			Fetches:        reg.Counter("engine.read.table_fetches"),
+			FetchedBytes:   reg.Counter("engine.read.table_fetch_bytes"),
+		},
+		flush: flush.Metrics{
+			BuffersInFlight:  reg.Gauge("flush.buffers_inflight"),
+			BuffersAllocated: reg.Counter("flush.buffers_allocated"),
+			ReapWaits:        reg.Counter("flush.reap_waits"),
+			BytesSubmitted:   reg.Counter("flush.bytes_submitted"),
+		},
+	}
+}
+
+// compactionLevelCounters returns the per-level byte counters for a
+// compaction out of level (get-or-create; names are stable so repeated
+// compactions of the same level share counters).
+func (db *DB) compactionLevelCounters(level int) (in, out *telemetry.Counter) {
+	prefix := fmt.Sprintf("engine.compaction.L%d.", level)
+	return db.tel.Counter(prefix + "bytes_in"), db.tel.Counter(prefix + "bytes_out")
 }
 
 // Stats exposes the live counters.
 func (db *DB) Stats() *Stats { return &db.stats }
+
+// Telemetry returns the DB's metrics registry. Its clock is the simulation's
+// virtual clock, so latency histograms are in virtual nanoseconds.
+func (db *DB) Telemetry() *telemetry.Registry { return db.tel }
 
 // SpaceUsed reports the remote-memory footprint: compute-controlled
 // allocations plus the memory node's self-controlled allocations plus

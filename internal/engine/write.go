@@ -15,6 +15,8 @@ func (s *Session) Delete(key []byte) { s.write(keys.KindDelete, key, nil) }
 
 func (s *Session) write(kind keys.Kind, key, value []byte) {
 	db := s.db
+	sp := db.m.writeLat.Span(db.m.clock)
+	defer sp.End()
 	db.maybeStall()
 
 	var seq keys.Seq
@@ -63,7 +65,9 @@ func (s *Session) write(kind keys.Kind, key, value []byte) {
 // sizeSwitch retires mt because it reached its size limit, truncating its
 // sequence range at a freshly burned fence sequence.
 func (db *DB) sizeSwitch(mt *memtable.MemTable) {
+	wait := db.m.switchWait.Span(db.m.clock)
 	db.switchMu.Lock()
+	wait.End()
 	if db.cur.Load() == mt {
 		fence := keys.Seq(db.seq.Add(1))
 		mt.TruncateHi(fence + 1)
@@ -80,7 +84,12 @@ func (db *DB) tableFor(seq keys.Seq) *memtable.MemTable {
 	if mt.Owns(seq) {
 		return mt
 	}
+	// Slow path: only range-boundary writers reach here (§IV), so the count
+	// and the wait histogram measure real switch-lock contention.
+	db.m.switchContended.Inc()
+	wait := db.m.switchWait.Span(db.m.clock)
 	db.switchMu.Lock()
+	wait.End()
 	defer db.switchMu.Unlock()
 	for {
 		mt = db.cur.Load()

@@ -11,7 +11,24 @@ import (
 	"fmt"
 
 	"dlsm/internal/rdma"
+	"dlsm/internal/telemetry"
 )
+
+// Metrics holds the telemetry handles a pipeline reports into. Fields may
+// be nil (telemetry handles are inert when nil); several pipelines may
+// share one Metrics, in which case the numbers aggregate.
+type Metrics struct {
+	// BuffersInFlight tracks posted-but-unfinished buffers (Fig 6's FIFO
+	// occupancy).
+	BuffersInFlight *telemetry.Gauge
+	// BuffersAllocated counts distinct registered buffers ever created.
+	BuffersAllocated *telemetry.Counter
+	// ReapWaits counts blocking waits for a completion — the producer
+	// outrunning the NIC (backpressure events).
+	ReapWaits *telemetry.Counter
+	// BytesSubmitted counts payload bytes posted to the wire.
+	BytesSubmitted *telemetry.Counter
+}
 
 // DefaultBufSize is the per-buffer capacity of the pipeline.
 const DefaultBufSize = 1 << 20
@@ -44,6 +61,8 @@ type Pipeline struct {
 	err      error
 
 	buffersAllocated int // observability: how many buffers ever created
+
+	m Metrics // nil-field handles are inert, so the zero value is fine
 }
 
 // NewPipeline creates a pipeline writing through qp (a thread-local QP of
@@ -54,6 +73,11 @@ func NewPipeline(qp *rdma.QP, bufSize int) *Pipeline {
 	}
 	return &Pipeline{node: qp.Node(), qp: qp, bufSize: bufSize}
 }
+
+// SetMetrics points the pipeline's telemetry at m. Pass the same Metrics
+// to several pipelines to aggregate them (e.g. the flusher's pipeline and
+// per-subcompaction pipelines of one DB).
+func (p *Pipeline) SetMetrics(m Metrics) { p.m = m }
 
 // Reset points the pipeline at a fresh destination extent of the given
 // capacity. Must not be called while writes are in flight.
@@ -102,6 +126,8 @@ func (pl *Pipeline) submit() {
 		return
 	}
 	pl.qp.Write(pl.cur, 0, pl.dst.Add(pl.off), pl.curN, pl.nextCtx)
+	pl.m.BytesSubmitted.Add(int64(pl.curN))
+	pl.m.BuffersInFlight.Add(1)
 	pl.nextCtx++
 	pl.off += pl.curN
 	pl.inflight = append(pl.inflight, pl.cur)
@@ -122,6 +148,7 @@ func (pl *Pipeline) takeBuffer() *rdma.MemoryRegion {
 		return buf
 	}
 	pl.buffersAllocated++
+	pl.m.BuffersAllocated.Inc()
 	return pl.node.Register(pl.bufSize)
 }
 
@@ -130,13 +157,20 @@ func (pl *Pipeline) reapOne() {
 	if len(pl.inflight) == 0 {
 		return
 	}
+	pl.m.ReapWaits.Inc()
 	c := pl.qp.WaitCQ()
 	if c.Err != nil && pl.err == nil {
 		pl.err = c.Err
 	}
+	pl.retireHead()
+}
+
+// retireHead moves the in-flight FIFO head to the free list.
+func (pl *Pipeline) retireHead() {
 	head := pl.inflight[0]
 	pl.inflight = pl.inflight[1:]
 	pl.free = append(pl.free, head)
+	pl.m.BuffersInFlight.Add(-1)
 }
 
 // reap moves completed buffers from the in-flight FIFO to the free list.
@@ -146,6 +180,7 @@ func (pl *Pipeline) reap(wait bool) {
 		var c rdma.Completion
 		var ok bool
 		if wait {
+			pl.m.ReapWaits.Inc()
 			c, ok = pl.qp.WaitCQ(), true
 		} else if c, ok = pl.qp.PollCQ(); !ok {
 			return
@@ -154,9 +189,7 @@ func (pl *Pipeline) reap(wait bool) {
 			pl.err = c.Err
 		}
 		// FIFO: this completion retires the queue head.
-		head := pl.inflight[0]
-		pl.inflight = pl.inflight[1:]
-		pl.free = append(pl.free, head)
+		pl.retireHead()
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"dlsm/internal/rdma"
 	"dlsm/internal/sim"
+	"dlsm/internal/telemetry"
 )
 
 func testbed() (*sim.Env, *rdma.Fabric, *rdma.Node, *rdma.Node) {
@@ -153,6 +154,78 @@ func TestResetReusesAcrossTables(t *testing.T) {
 		}
 		if p.BuffersAllocated() > 16 {
 			t.Fatalf("buffers not reused across Reset: %d", p.BuffersAllocated())
+		}
+	})
+	env.Wait()
+}
+
+func TestAccountingAcrossResetCycles(t *testing.T) {
+	// Satellite regression: Written must report only the current table's
+	// bytes (resetting to 0 on Reset), while BuffersAllocated accumulates
+	// across tables yet stays bounded by recycling.
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		dst := mn.Register(256 << 10)
+		p := NewPipeline(cn.NewQP(mn), 1024)
+		for table := 0; table < 5; table++ {
+			p.Reset(dst.Addr(table*32<<10), 32<<10)
+			if p.Written() != 0 {
+				t.Fatalf("table %d: Written = %d after Reset, want 0", table, p.Written())
+			}
+			size := 5000 * (table + 1)
+			p.Write(make([]byte, size))
+			if p.Written() != size {
+				t.Fatalf("table %d: Written = %d before Finish, want %d", table, p.Written(), size)
+			}
+			if err := p.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if p.Written() != size {
+				t.Fatalf("table %d: Written = %d after Finish, want %d", table, p.Written(), size)
+			}
+		}
+		if got := p.BuffersAllocated(); got == 0 || got > 5*DefaultMaxInflight {
+			t.Fatalf("BuffersAllocated = %d across 5 tables; want >0 and bounded", got)
+		}
+	})
+	env.Wait()
+}
+
+func TestPipelineMetrics(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		reg := telemetry.NewRegistry(telemetry.ClockFunc(func() int64 { return int64(env.Now()) }))
+		m := Metrics{
+			BuffersInFlight:  reg.Gauge("flush.buffers_inflight"),
+			BuffersAllocated: reg.Counter("flush.buffers_allocated"),
+			ReapWaits:        reg.Counter("flush.reap_waits"),
+			BytesSubmitted:   reg.Counter("flush.bytes_submitted"),
+		}
+		dst := mn.Register(1 << 20)
+		p := NewPipeline(cn.NewQP(mn), 4096)
+		p.SetMetrics(m)
+		p.Reset(dst.Addr(0), 1<<20)
+		const total = 100 * 1000
+		for i := 0; i < 100; i++ {
+			p.Write(make([]byte, 1000))
+		}
+		if err := p.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		s := reg.Snapshot()
+		if got := s.Counters["flush.bytes_submitted"]; got != total {
+			t.Fatalf("bytes_submitted = %d, want %d", got, total)
+		}
+		if got := s.Gauges["flush.buffers_inflight"]; got != 0 {
+			t.Fatalf("buffers_inflight = %d after Finish, want 0", got)
+		}
+		if got := s.Counters["flush.buffers_allocated"]; got != int64(p.BuffersAllocated()) {
+			t.Fatalf("buffers_allocated counter = %d, internal = %d", got, p.BuffersAllocated())
+		}
+		if s.Counters["flush.reap_waits"] == 0 {
+			t.Fatal("reap_waits = 0; Finish must count its blocking waits")
 		}
 	})
 	env.Wait()

@@ -5,25 +5,40 @@ import (
 	"sync"
 
 	"dlsm/internal/sim"
+	"dlsm/internal/telemetry"
 )
 
 // Fabric is the network connecting all nodes of one simulated deployment.
+// Per-link traffic (bytes, operations, queue depth per direction) is
+// published to the fabric's telemetry registry under
+// "rdma.link.<src>-><dst>.*".
 type Fabric struct {
 	env    *sim.Env
 	params LinkParams
+	tel    *telemetry.Registry
 
 	mu    sync.Mutex
 	nodes []*Node
-	links map[[2]int]*link
+	links map[[2]int]*link // keyed by unordered node pair {lo, hi}
 }
 
 // NewFabric creates a fabric whose links default to params.
 func NewFabric(env *sim.Env, params LinkParams) *Fabric {
-	return &Fabric{env: env, params: params, links: make(map[[2]int]*link)}
+	clock := telemetry.ClockFunc(func() int64 { return int64(env.Now()) })
+	return &Fabric{
+		env:    env,
+		params: params,
+		tel:    telemetry.NewRegistry(clock),
+		links:  make(map[[2]int]*link),
+	}
 }
 
 // Env returns the simulation environment the fabric lives in.
 func (f *Fabric) Env() *sim.Env { return f.env }
+
+// Telemetry returns the fabric's metrics registry (per-link counters and
+// queue-depth gauges, on the deployment's virtual clock).
+func (f *Fabric) Telemetry() *telemetry.Registry { return f.tel }
 
 // AddNode creates a node with the given number of CPU cores and attaches it
 // to the fabric. Links to existing nodes use the fabric default parameters.
@@ -45,35 +60,38 @@ func (f *Fabric) Node(id int) *Node {
 	return f.nodes[id]
 }
 
-// linkFor returns the directed link from node a to node b, creating it on
-// first use.
-func (f *Fabric) linkFor(a, b int) *link {
-	key := [2]int{a, b}
+// linkFor returns the full-duplex link between nodes a and b — the same
+// link object regardless of argument order — plus the a->b direction of
+// it, creating both on first use.
+func (f *Fabric) linkFor(a, b int) (*link, *direction) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := [2]int{lo, hi}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	l, ok := f.links[key]
 	if !ok {
 		l = &link{params: f.params}
+		l.dirs[0].register(f.tel, f.nodes[lo].Name, f.nodes[hi].Name)
+		l.dirs[1].register(f.tel, f.nodes[hi].Name, f.nodes[lo].Name)
 		f.links[key] = l
 	}
-	return l
+	if a == lo {
+		return l, &l.dirs[0]
+	}
+	return l, &l.dirs[1]
 }
 
-// SetLinkParams overrides the parameters of the directed links between a and
-// b (both directions).
+// SetLinkParams overrides the parameters of the link between a and b. The
+// link is full duplex: one set of parameters governs both directions, so
+// argument order does not matter.
 func (f *Fabric) SetLinkParams(a, b *Node, p LinkParams) {
-	for _, key := range [][2]int{{a.ID, b.ID}, {b.ID, a.ID}} {
-		f.mu.Lock()
-		l, ok := f.links[key]
-		if !ok {
-			l = &link{}
-			f.links[key] = l
-		}
-		l.mu.Lock()
-		l.params = p
-		l.mu.Unlock()
-		f.mu.Unlock()
-	}
+	l, _ := f.linkFor(a.ID, b.ID)
+	l.mu.Lock()
+	l.params = p
+	l.mu.Unlock()
 }
 
 // Close shuts down every node (and thus every queue-pair worker entity).
@@ -86,50 +104,83 @@ func (f *Fabric) Close() {
 	}
 }
 
-// link models one direction of a point-to-point connection. Latency is
-// pipelined (concurrent small ops overlap); bandwidth is serialized (bulk
-// transfers queue behind each other).
+// link models the full-duplex connection between one pair of nodes: shared
+// parameters, with bandwidth reserved and traffic counted per direction.
+// Latency is pipelined (concurrent small ops overlap); bandwidth is
+// serialized per direction (bulk transfers queue behind each other).
 type link struct {
-	mu        sync.Mutex
-	params    LinkParams
-	busyUntil sim.Time
-	bytes     int64 // cumulative payload bytes (observability)
-	ops       int64
+	mu     sync.Mutex
+	params LinkParams
+	dirs   [2]direction // [0]: lo->hi, [1]: hi->lo
 }
 
-// schedule reserves wire time for n bytes starting no earlier than now and
-// returns the virtual completion time of the operation (including latency).
-func (l *link) schedule(now sim.Time, n int, extra sim.Duration) sim.Time {
+// direction is one direction of a link: its bandwidth reservation horizon
+// plus telemetry handles.
+type direction struct {
+	busyUntil sim.Time // under link.mu
+
+	bytes *telemetry.Counter
+	ops   *telemetry.Counter
+	depth *telemetry.Gauge // posted-but-incomplete work requests
+}
+
+func (d *direction) register(tel *telemetry.Registry, src, dst string) {
+	prefix := "rdma.link." + src + "->" + dst
+	d.bytes = tel.Counter(prefix + ".bytes")
+	d.ops = tel.Counter(prefix + ".ops")
+	d.depth = tel.Gauge(prefix + ".queue_depth")
+}
+
+// schedule reserves wire time for n bytes in direction d starting no
+// earlier than now and returns the virtual completion time of the
+// operation (including latency).
+func (l *link) schedule(d *direction, now sim.Time, n int, twoSided bool) sim.Time {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	start := l.busyUntil
+	start := d.busyUntil
 	if start < now {
 		start = now
 	}
-	l.busyUntil = start + sim.Time(l.params.transferTime(n))
-	l.bytes += int64(n)
-	l.ops++
-	return l.busyUntil + sim.Time(l.params.Latency) + sim.Time(extra)
+	d.busyUntil = start + sim.Time(l.params.transferTime(n))
+	done := d.busyUntil + sim.Time(l.params.Latency)
+	if twoSided {
+		done += sim.Time(l.params.TwoSidedExtra)
+	}
+	l.mu.Unlock()
+	d.bytes.Add(int64(n))
+	d.ops.Inc()
+	return done
+}
+
+// scheduleAtomic reserves an atomic operation slot in direction d.
+func (l *link) scheduleAtomic(d *direction, now sim.Time) sim.Time {
+	l.mu.Lock()
+	start := d.busyUntil
+	if start < now {
+		start = now
+	}
+	// Atomics occupy negligible wire time but pay their own latency.
+	done := start + sim.Time(l.params.AtomicLatency)
+	l.mu.Unlock()
+	d.ops.Inc()
+	return done
 }
 
 // LinkStats reports the cumulative payload bytes and operations sent from
-// node a to node b.
+// node a to node b. Either argument order resolves to the same underlying
+// full-duplex link; the returned numbers are those of the a->b direction.
 func (f *Fabric) LinkStats(a, b *Node) (bytes, ops int64) {
-	l := f.linkFor(a.ID, b.ID)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.bytes, l.ops
+	_, d := f.linkFor(a.ID, b.ID)
+	return d.bytes.Load(), d.ops.Load()
 }
 
-// scheduleAtomic reserves an atomic operation slot.
-func (l *link) scheduleAtomic(now sim.Time) sim.Time {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	start := l.busyUntil
-	if start < now {
-		start = now
+// PairStats reports the total payload bytes and operations across both
+// directions of the link between a and b. It is symmetric:
+// PairStats(a, b) == PairStats(b, a).
+func (f *Fabric) PairStats(a, b *Node) (bytes, ops int64) {
+	l, _ := f.linkFor(a.ID, b.ID)
+	for i := range l.dirs {
+		bytes += l.dirs[i].bytes.Load()
+		ops += l.dirs[i].ops.Load()
 	}
-	l.ops++
-	// Atomics occupy negligible wire time but pay their own latency.
-	return start + sim.Time(l.params.AtomicLatency)
+	return bytes, ops
 }

@@ -64,7 +64,8 @@ type workRequest struct {
 	expect   uint64 // CAS operands
 	swap     uint64
 	ctx      uint64
-	done     sim.Time // wire completion, scheduled at post time
+	done     sim.Time   // wire completion, scheduled at post time
+	dir      *direction // link direction carrying the data (telemetry)
 }
 
 // QP is a queue pair: an ordered send queue from one node to a peer plus a
@@ -112,19 +113,20 @@ func (q *QP) post(wr workRequest, bytes int, twoSided bool, atomic bool) {
 	var done sim.Time
 	switch {
 	case atomic:
-		done = q.node.fabric.linkFor(q.node.ID, q.peer.ID).scheduleAtomic(now)
+		l, d := q.node.fabric.linkFor(q.node.ID, q.peer.ID)
+		done = l.scheduleAtomic(d, now)
+		wr.dir = d
 	case wr.op == OpRead:
 		// Data flows peer -> node: bandwidth is consumed on that direction.
-		l := q.node.fabric.linkFor(q.peer.ID, q.node.ID)
-		done = l.schedule(now, bytes, 0)
+		l, d := q.node.fabric.linkFor(q.peer.ID, q.node.ID)
+		done = l.schedule(d, now, bytes, false)
+		wr.dir = d
 	default:
-		l := q.node.fabric.linkFor(q.node.ID, q.peer.ID)
-		var extra sim.Duration
-		if twoSided {
-			extra = l.params.TwoSidedExtra
-		}
-		done = l.schedule(now, bytes, extra)
+		l, d := q.node.fabric.linkFor(q.node.ID, q.peer.ID)
+		done = l.schedule(d, now, bytes, twoSided)
+		wr.dir = d
 	}
+	wr.dir.depth.Add(1)
 	// FIFO completion ordering within one QP.
 	if done < q.last {
 		done = q.last
@@ -238,6 +240,7 @@ func (q *QP) worker() {
 			return
 		}
 		q.env.WaitUntil(wr.done)
+		wr.dir.depth.Add(-1)
 		comp := Completion{Ctx: wr.ctx, Op: wr.op, N: wr.n}
 		switch wr.op {
 		case OpRead:

@@ -338,3 +338,106 @@ func TestReadConsumesReverseBandwidth(t *testing.T) {
 	})
 	env.Wait()
 }
+
+func TestLinkStatsResolveToSameLink(t *testing.T) {
+	// Regression: (a,b) and (b,a) used to resolve to two independent
+	// directed link objects, so querying stats or setting parameters in
+	// the "wrong" order created a second, empty link for the same pair.
+	// A link is full duplex: both argument orders must hit one object,
+	// with stats reported per direction.
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		local := cn.Register(1 << 20)
+		remote := mn.Register(1 << 20)
+
+		// Query stats in the reverse order BEFORE any traffic: this must
+		// not create a link distinct from the one traffic will use.
+		if b, o := f.LinkStats(mn, cn); b != 0 || o != 0 {
+			t.Fatalf("pristine link has stats %d/%d", b, o)
+		}
+
+		qp := cn.NewQP(mn)
+		if err := qp.WriteSync(local, 0, remote.Addr(0), 4096); err != nil {
+			t.Fatal(err)
+		}
+		if err := qp.ReadSync(local, 0, remote.Addr(0), 1024); err != nil {
+			t.Fatal(err)
+		}
+
+		sentB, sentOps := f.LinkStats(cn, mn)
+		recvB, recvOps := f.LinkStats(mn, cn)
+		if sentB != 4096 || recvB != 1024 {
+			t.Fatalf("directional stats: cn->mn %d bytes, mn->cn %d bytes; want 4096/1024", sentB, recvB)
+		}
+
+		// Pair totals are symmetric and cover both directions.
+		pb, po := f.PairStats(cn, mn)
+		pb2, po2 := f.PairStats(mn, cn)
+		if pb != pb2 || po != po2 {
+			t.Fatalf("PairStats asymmetric: (%d,%d) vs (%d,%d)", pb, po, pb2, po2)
+		}
+		if pb != sentB+recvB || po != sentOps+recvOps {
+			t.Fatalf("PairStats %d/%d != directional sums %d/%d", pb, po, sentB+recvB, sentOps+recvOps)
+		}
+
+		// One pair, one link object.
+		f.mu.Lock()
+		nlinks := len(f.links)
+		f.mu.Unlock()
+		if nlinks != 1 {
+			t.Fatalf("fabric holds %d link objects for one node pair, want 1", nlinks)
+		}
+	})
+	env.Wait()
+}
+
+func TestSetLinkParamsEitherArgumentOrder(t *testing.T) {
+	// Parameters set via (b,a) must govern (a,b) traffic: one full-duplex
+	// link per pair.
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		local := cn.Register(64)
+		remote := mn.Register(64)
+
+		slow := EDR100()
+		slow.Latency = 100 * time.Microsecond
+		f.SetLinkParams(mn, cn, slow) // reversed order on purpose
+
+		qp := cn.NewQP(mn)
+		t0 := env.Now()
+		if err := qp.WriteSync(local, 0, remote.Addr(0), 64); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Duration(env.Now() - t0); d < slow.Latency {
+			t.Fatalf("write completed in %v; params set via reversed order were ignored (want >= %v)", d, slow.Latency)
+		}
+	})
+	env.Wait()
+}
+
+func TestLinkTelemetry(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		local := cn.Register(1 << 20)
+		remote := mn.Register(1 << 20)
+		qp := cn.NewQP(mn)
+		if err := qp.WriteSync(local, 0, remote.Addr(0), 8192); err != nil {
+			t.Fatal(err)
+		}
+		snap := f.Telemetry().Snapshot()
+		if got := snap.Counters["rdma.link.compute->memory.bytes"]; got != 8192 {
+			t.Fatalf("telemetry bytes = %d, want 8192 (counters: %v)", got, snap.Counters)
+		}
+		if got := snap.Counters["rdma.link.compute->memory.ops"]; got != 1 {
+			t.Fatalf("telemetry ops = %d, want 1", got)
+		}
+		// The synchronous write has completed: no work request in flight.
+		if got := snap.Gauges["rdma.link.compute->memory.queue_depth"]; got != 0 {
+			t.Fatalf("queue depth = %d after completion, want 0", got)
+		}
+	})
+	env.Wait()
+}

@@ -12,6 +12,7 @@ import (
 	"dlsm/internal/engine"
 	"dlsm/internal/memnode"
 	"dlsm/internal/rdma"
+	"dlsm/internal/telemetry"
 )
 
 // DB is a λ-sharded dLSM. Shard i owns user keys in
@@ -80,6 +81,16 @@ func (db *DB) WaitForCompactions() {
 	for _, s := range db.shards {
 		s.WaitForCompactions()
 	}
+}
+
+// TelemetrySnapshot merges the metric registries of all shards: counters
+// and gauges sum, histogram buckets combine with quantiles recomputed.
+func (db *DB) TelemetrySnapshot() telemetry.Snapshot {
+	snaps := make([]telemetry.Snapshot, len(db.shards))
+	for i, s := range db.shards {
+		snaps[i] = s.Telemetry().Snapshot()
+	}
+	return telemetry.Merge(snaps...)
 }
 
 // SpaceUsed sums remote-memory usage over shards. Shards sharing one

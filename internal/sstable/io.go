@@ -5,6 +5,7 @@ import (
 
 	"dlsm/internal/rdma"
 	"dlsm/internal/sim"
+	"dlsm/internal/telemetry"
 )
 
 // Sink receives the sequential byte stream of a table under construction.
@@ -57,10 +58,27 @@ func (c *chargeBatcher) flush() {
 	}
 }
 
-// Options bundles the cost model and charger used by readers and writers.
+// ReaderMetrics holds the telemetry handles table readers report into.
+// Fields may be nil (nil handles are inert); one ReaderMetrics is typically
+// shared by all readers of a DB.
+type ReaderMetrics struct {
+	// BloomNegatives counts lookups the bloom filter answered without any
+	// data fetch.
+	BloomNegatives *telemetry.Counter
+	// Fetches counts data-region reads issued through the Fetcher.
+	Fetches *telemetry.Counter
+	// FetchedBytes counts the bytes those reads pulled — per-entry values
+	// under ByteAddr, whole blocks under the block layout (Fig 13's read
+	// amplification shows up here).
+	FetchedBytes *telemetry.Counter
+}
+
+// Options bundles the cost model, charger, and metrics used by readers and
+// writers.
 type Options struct {
-	Costs  sim.CostModel
-	Charge Charger
+	Costs   sim.CostModel
+	Charge  Charger
+	Metrics *ReaderMetrics
 }
 
 // QPFetcher reads table bytes from remote memory with one-sided RDMA reads

@@ -31,6 +31,13 @@ func (r *Reader) charge(d time.Duration) {
 	}
 }
 
+func (r *Reader) countFetch(n int64) {
+	if m := r.opts.Metrics; m != nil {
+		m.Fetches.Inc()
+		m.FetchedBytes.Add(n)
+	}
+}
+
 // Get looks up ukey at snapshot seq.
 // Returns (value, found, deleted): found=false means the table has no
 // visible version; deleted=true means a tombstone shadows the key.
@@ -39,6 +46,9 @@ func (r *Reader) Get(ukey []byte, seq keys.Seq) (value []byte, found, deleted bo
 	if r.meta.Filter != nil {
 		r.charge(c.BloomProbe)
 		if !r.meta.Filter.MayContain(ukey) {
+			if m := r.opts.Metrics; m != nil {
+				m.BloomNegatives.Inc()
+			}
 			return nil, false, false, nil
 		}
 	}
@@ -74,6 +84,7 @@ func (r *Reader) getByteAddr(ukey, lookup []byte) (value []byte, found, deleted 
 	if err != nil {
 		return nil, false, false, err
 	}
+	r.countFetch(int64(vlen))
 	r.charge(r.opts.Costs.EntryParse)
 	return b, true, false, nil
 }
@@ -91,6 +102,7 @@ func (r *Reader) getBlock(ukey, lookup []byte) (value []byte, found, deleted boo
 	if err != nil {
 		return nil, false, false, err
 	}
+	r.countFetch(int64(blen))
 	blk, err := parseBlock(raw)
 	if err != nil {
 		return nil, false, false, err

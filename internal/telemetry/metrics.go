@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing (by convention) atomic counter.
+// All methods are no-ops on a nil receiver so optional instrumentation
+// needs no guards.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depth, buffers in flight).
+// All methods are no-ops on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the value by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of a Histogram: bucket i holds values
+// whose bit length is i, i.e. [2^(i-1), 2^i); bucket 0 holds values <= 0.
+const histBuckets = 64
+
+// Histogram records a distribution of non-negative int64 samples
+// (latencies in ns, sizes in bytes) in logarithmic power-of-two buckets.
+// Observing is lock-free: one atomic add per bucket plus sum/count/max
+// maintenance. Quantiles are estimated at snapshot time from the buckets
+// (resolution: one power of two), with the tracked exact maximum as an
+// upper clamp. All methods are no-ops on a nil receiver.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot captures the histogram's current state with derived quantiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Max:     h.max.Load(),
+		Buckets: make([]int64, histBuckets),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.finalize()
+	return s
+}
+
+// Span measures one timed section into a Histogram. It is a plain value —
+// no allocation per span — created by Histogram.Span or
+// Registry.StartSpan. The zero Span is inert.
+type Span struct {
+	h     *Histogram
+	clock Clock
+	start int64
+}
+
+// Span opens a span against h using clock c. A nil histogram or clock
+// yields an inert span.
+func (h *Histogram) Span(c Clock) Span {
+	if h == nil || c == nil {
+		return Span{}
+	}
+	return Span{h: h, clock: c, start: c.Now()}
+}
+
+// End closes the span, observes the elapsed time into the histogram, and
+// returns it (0 for inert spans).
+func (s Span) End() int64 {
+	if s.h == nil {
+		return 0
+	}
+	d := s.clock.Now() - s.start
+	s.h.Observe(d)
+	return d
+}

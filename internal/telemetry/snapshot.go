@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+)
+
+// HistogramSnapshot is a point-in-time view of one Histogram. Buckets
+// carries the raw log2 bucket counts so snapshots from independent
+// registries can be merged with quantiles recomputed; it is omitted from
+// JSON output.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+
+	Buckets []int64 `json:"-"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the log buckets.
+// Resolution is one power of two; the result is clamped to the tracked
+// exact maximum.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range h.Buckets {
+		cum += n
+		if cum >= target {
+			v := bucketMid(i)
+			if h.Max > 0 && v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+	}
+	return h.Max
+}
+
+// bucketMid is the representative value of bucket i: the midpoint of
+// [2^(i-1), 2^i), saturating near the int64 edge.
+func bucketMid(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i == 1:
+		return 1
+	case i >= 63:
+		return math.MaxInt64
+	}
+	lo := int64(1) << (i - 1)
+	return lo + lo/2
+}
+
+func (h *HistogramSnapshot) finalize() {
+	h.P50 = h.Quantile(0.50)
+	h.P95 = h.Quantile(0.95)
+	h.P99 = h.Quantile(0.99)
+}
+
+// Mean returns the average sample (0 when empty).
+func (h HistogramSnapshot) Mean() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+// Snapshot is a point-in-time view of a Registry (or a merge of several).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Empty reports whether the snapshot holds no metrics at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// Merge combines snapshots from independent registries (per-shard engines,
+// the fabric): counters and gauges with equal names sum; histograms merge
+// their buckets, with quantiles recomputed and the maximum taken across
+// inputs.
+func Merge(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			out.Gauges[name] += v
+		}
+		for name, h := range s.Histograms {
+			m := out.Histograms[name]
+			m.Count += h.Count
+			m.Sum += h.Sum
+			if h.Max > m.Max {
+				m.Max = h.Max
+			}
+			if len(m.Buckets) == 0 {
+				m.Buckets = make([]int64, histBuckets)
+			}
+			for i, n := range h.Buckets {
+				if i < len(m.Buckets) {
+					m.Buckets[i] += n
+				}
+			}
+			out.Histograms[name] = m
+		}
+	}
+	for name, h := range out.Histograms {
+		h.finalize()
+		out.Histograms[name] = h
+	}
+	return out
+}
+
+// WriteText renders the snapshot as an aligned, name-sorted human-readable
+// table (the format dlsm-bench prints).
+func (s Snapshot) WriteText(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(tw, "  counters:")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(tw, "    %s\t%d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(tw, "  gauges:")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(tw, "    %s\t%d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(tw, "  histograms:\tcount\tmean\tp50\tp95\tp99\tmax")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(tw, "    %s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				name, h.Count, h.Mean(), h.P50, h.P95, h.P99, h.Max)
+		}
+	}
+	tw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

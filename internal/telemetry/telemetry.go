@@ -1,0 +1,159 @@
+// Package telemetry is a dependency-free metrics and tracing core for the
+// dLSM stack. It provides atomic Counters and Gauges, log-bucketed
+// Histograms with quantile estimation, and lightweight Spans, all behind a
+// Registry that hands out stable metric handles.
+//
+// Design constraints, in order:
+//
+//   - Hot paths are lock-free: instrumented code holds *Counter /
+//     *Gauge / *Histogram handles obtained once at setup and touches only
+//     atomics per event. The Registry's mutex is paid at registration and
+//     snapshot time only.
+//   - Time is pluggable: a Clock abstracts nanosecond timestamps so Spans
+//     and latency histograms work identically under the wall clock and
+//     under internal/sim's virtual clock (wire the latter with ClockFunc).
+//   - Nil handles are inert: every method on a nil Counter, Gauge or
+//     Histogram is a no-op, so optional instrumentation needs no guards at
+//     call sites.
+//
+// Metric names are flat dot-separated strings ("engine.write.latency_ns",
+// "rdma.link.compute-0->memory-0.bytes"). Registries from independent
+// components (per-shard engines, the RDMA fabric) are combined with Merge,
+// which sums counters and gauges and merges histogram buckets.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Clock supplies nanosecond timestamps for spans and latency measurement.
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	Now() int64
+}
+
+// ClockFunc adapts a function to the Clock interface. Use it to drive
+// telemetry off internal/sim's virtual clock:
+//
+//	telemetry.ClockFunc(func() int64 { return int64(env.Now()) })
+type ClockFunc func() int64
+
+// Now implements Clock.
+func (f ClockFunc) Now() int64 { return f() }
+
+type wallClock struct{}
+
+func (wallClock) Now() int64 { return time.Now().UnixNano() }
+
+// Wall is the host wall clock.
+var Wall Clock = wallClock{}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// create registries with NewRegistry. All methods are safe for concurrent
+// use; Counter/Gauge/Histogram return the existing metric when the name is
+// already registered, so independent callers sharing a registry share
+// handles.
+type Registry struct {
+	clock Clock
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry whose spans read clock; nil
+// selects the wall clock.
+func NewRegistry(clock Clock) *Registry {
+	if clock == nil {
+		clock = Wall
+	}
+	return &Registry{
+		clock:    clock,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Clock returns the registry's time source.
+func (r *Registry) Clock() Clock { return r.clock }
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// StartSpan opens a span whose duration lands in the histogram registered
+// under name. For hot paths, cache the histogram handle and use
+// Histogram.Span instead — StartSpan pays the registry lookup.
+func (r *Registry) StartSpan(name string) Span {
+	return r.Histogram(name).Span(r.clock)
+}
+
+// Snapshot captures a consistent-enough view of every metric: individual
+// values are read atomically; the set of metrics is captured under the
+// registry lock. Cheap enough to call mid-run.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the current snapshot as indented JSON (an expvar-style
+// dump) to w.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

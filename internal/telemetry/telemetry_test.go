@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry(nil)
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("second registration returned a different handle")
+	}
+
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestNilHandlesAreInert(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(7)
+	sp := h.Span(Wall)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || sp.End() != 0 {
+		t.Fatal("nil metric handles must be no-ops")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 samples around 100 (bucket [64,128)), 10 around 10000.
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10_000)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 90*100+10*10_000 || s.Max != 10_000 {
+		t.Fatalf("count/sum/max = %d/%d/%d", s.Count, s.Sum, s.Max)
+	}
+	// P50 must land in 100's bucket [64,128); P99 in 10000's [8192,16384),
+	// clamped to the exact max.
+	if s.P50 < 64 || s.P50 >= 128 {
+		t.Errorf("p50 = %d, want within [64,128)", s.P50)
+	}
+	if s.P99 < 8192 || s.P99 > 10_000 {
+		t.Errorf("p99 = %d, want within [8192,10000]", s.P99)
+	}
+	if s.Max != 10_000 {
+		t.Errorf("max = %d, want 10000", s.Max)
+	}
+	if m := s.Mean(); m != (90*100+10*10_000)/100 {
+		t.Errorf("mean = %d", m)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(1)
+	h.Observe(1 << 62)
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 1<<62 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	if q := s.Quantile(1.0); q != 1<<62 {
+		t.Fatalf("q100 = %d, want clamped to max", q)
+	}
+}
+
+func TestSpanUsesClock(t *testing.T) {
+	var now atomic.Int64
+	clock := ClockFunc(func() int64 { return now.Load() })
+	r := NewRegistry(clock)
+	sp := r.StartSpan("op.latency_ns")
+	now.Store(250)
+	if d := sp.End(); d != 250 {
+		t.Fatalf("span duration = %d, want 250", d)
+	}
+	s := r.Snapshot().Histograms["op.latency_ns"]
+	if s.Count != 1 || s.Sum != 250 {
+		t.Fatalf("histogram after span: count=%d sum=%d", s.Count, s.Sum)
+	}
+}
+
+func TestConcurrentMetrics(t *testing.T) {
+	// Exercised under -race: concurrent observers against one registry,
+	// with snapshots taken mid-flight.
+	r := NewRegistry(nil)
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("ops")
+			g := r.Gauge("depth")
+			h := r.Histogram("lat")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i))
+				g.Add(-1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := r.Snapshot()
+	if s.Counters["ops"] != workers*perWorker {
+		t.Fatalf("ops = %d, want %d", s.Counters["ops"], workers*perWorker)
+	}
+	if s.Gauges["depth"] != 0 {
+		t.Fatalf("depth = %d, want 0", s.Gauges["depth"])
+	}
+	if s.Histograms["lat"].Count != workers*perWorker {
+		t.Fatalf("lat count = %d", s.Histograms["lat"].Count)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	r1 := NewRegistry(nil)
+	r2 := NewRegistry(nil)
+	r1.Counter("writes").Add(10)
+	r2.Counter("writes").Add(5)
+	r2.Counter("only2").Add(1)
+	r1.Gauge("inflight").Set(3)
+	r2.Gauge("inflight").Set(4)
+	for i := 0; i < 50; i++ {
+		r1.Histogram("lat").Observe(100)
+		r2.Histogram("lat").Observe(100_000)
+	}
+	m := Merge(r1.Snapshot(), r2.Snapshot())
+	if m.Counters["writes"] != 15 || m.Counters["only2"] != 1 {
+		t.Fatalf("merged counters: %v", m.Counters)
+	}
+	if m.Gauges["inflight"] != 7 {
+		t.Fatalf("merged gauge = %d", m.Gauges["inflight"])
+	}
+	h := m.Histograms["lat"]
+	if h.Count != 100 || h.Max != 100_000 {
+		t.Fatalf("merged histogram count=%d max=%d", h.Count, h.Max)
+	}
+	// Half the mass at 100, half at 100k: p95 must come from the upper mode.
+	if h.P95 < 65536 || h.P95 > 100_000 {
+		t.Errorf("merged p95 = %d", h.P95)
+	}
+	if h.P50 > 128 {
+		t.Errorf("merged p50 = %d, want lower mode", h.P50)
+	}
+}
+
+func TestWriteJSONAndText(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Counter("engine.writes").Add(7)
+	r.Gauge("flush.buffers_inflight").Set(2)
+	r.Histogram("engine.write.latency_ns").Observe(1500)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON dump does not parse: %v", err)
+	}
+	if decoded.Counters["engine.writes"] != 7 {
+		t.Fatalf("decoded counters: %v", decoded.Counters)
+	}
+	if decoded.Histograms["engine.write.latency_ns"].Count != 1 {
+		t.Fatalf("decoded histograms: %v", decoded.Histograms)
+	}
+
+	var txt bytes.Buffer
+	r.Snapshot().WriteText(&txt)
+	out := txt.String()
+	for _, want := range []string{"engine.writes", "flush.buffers_inflight", "engine.write.latency_ns", "p95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
