@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench faults
 
 check: vet build test race
 
@@ -18,7 +18,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/engine/...
+	$(GO) test -race ./internal/telemetry/... ./internal/engine/... \
+		./internal/rpc/... ./internal/memnode/... ./internal/faults/...
+
+# Fault-scenario suite. Every scenario pins its own sim seed, so the
+# fault schedule and the virtual-time results are bit-identical per run.
+faults:
+	$(GO) test -run 'Fault|Outage|Flap|Crash|Dedupe|Closed|Retry|Robust' -v \
+		./internal/faults/... ./internal/rdma/... ./internal/rpc/... \
+		./internal/memnode/... ./internal/engine/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -71,6 +71,13 @@ func run(cfg Config, kind opKind, preload bool) Result {
 		}
 		res = measure(env, fab, cfg, kind, db, cns[0], servers)
 		db.Close()
+		// Re-snapshot after Close drained the background workers, so
+		// late compactions (and any fault-driven retries/fallbacks they
+		// performed) are part of the reported metrics.
+		res.Metrics = fab.Telemetry().Snapshot()
+		if t, ok := db.(interface{ TelemetrySnapshot() telemetry.Snapshot }); ok {
+			res.Metrics = telemetry.Merge(t.TelemetrySnapshot(), res.Metrics)
+		}
 		fab.Close()
 	})
 	env.Wait()

@@ -128,6 +128,10 @@ func engineOptions(sys System, cfg Config, lambda int) engine.Options {
 	if cfg.DisableNearData && sys == DLSM {
 		o.CompactionSite = engine.CompactLocal // Fig 12's "no near-data" group
 	}
+	if cfg.FaultScenario != "" && cfg.FaultScenario != "none" {
+		o.CompactRPC = faultCompactPolicy
+		o.FreeRPC = faultFreePolicy
+	}
 	return o
 }
 
@@ -320,6 +324,7 @@ func deployment(cfg Config) (*sim.Env, *rdma.Fabric, []*rdma.Node, []*memnode.Se
 		srv.Start()
 		servers = append(servers, srv)
 	}
+	applyFaults(env, fab, cns, servers, cfg)
 	return env, fab, cns, servers
 }
 

@@ -34,6 +34,14 @@ type Config struct {
 	// measurement (0 = KeyRange).
 	Preload int
 
+	// FaultScenario injects faults during the run: "" (none), "delay"
+	// (probabilistic latency on verbs), "flap" (periodic link down/up
+	// between compute-0 and memory-0), or "outage" (repeated memnode RPC
+	// service crashes — data regions survive, compactions fall back
+	// locally). Engine RPC retry policies are shrunk to match the
+	// millisecond-scale fault windows.
+	FaultScenario string
+
 	// Seed for workload generation.
 	Seed int64
 }

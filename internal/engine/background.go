@@ -93,9 +93,46 @@ func (db *DB) flushOne(w *bgWorker, mt *memtable.MemTable) {
 	// block formats add up to ~10 bytes/entry of wrapping, and the bloom
 	// filter is ~10 bits/key.
 	capacity := mt.ApproximateSize() + mt.KeyBytes() + int64(mt.Len())*24 + 8<<10
+	var meta *sstable.Meta
+	for attempt := 1; ; attempt++ {
+		m, err := db.buildFlushTable(w, mt, capacity)
+		if err == nil {
+			meta = m
+			break
+		}
+		// The write failed (fabric fault, service outage). The MemTable is
+		// immutable, so the build can simply run again after a pause.
+		db.stats.FlushErrors.Add(1)
+		if attempt >= flushMaxAttempts {
+			panic(fmt.Sprintf("engine: flush failed %d times: %v", attempt, err))
+		}
+		d := flushRetryBase << (attempt - 1)
+		if d > flushRetryMax || d <= 0 {
+			d = flushRetryMax
+		}
+		db.env.Sleep(d)
+	}
+	db.stats.Flushes.Add(1)
+	db.stats.BytesFlushed.Add(meta.Size)
+	db.finishFlush(mt, meta)
+}
+
+// Flush retry schedule: doubling from flushRetryBase, capped. The cap is
+// generous enough to ride out link flaps; a flush that still fails after
+// every attempt means remote memory is gone for good.
+const (
+	flushMaxAttempts = 20
+	flushRetryBase   = 200 * time.Microsecond
+	flushRetryMax    = 50 * time.Millisecond
+)
+
+// buildFlushTable serializes mt into a freshly allocated extent and returns
+// the new table's metadata. On failure the extent is returned to the
+// allocator and the caller may retry.
+func (db *DB) buildFlushTable(w *bgWorker, mt *memtable.MemTable, capacity int64) (*sstable.Meta, error) {
 	dest, err := db.newTableDest(capacity)
 	if err != nil {
-		panic(err) // remote memory exhausted: sizing bug in the deployment
+		return nil, err
 	}
 	sink := db.newSink(w, dest, capacity)
 	writer := sstable.NewWriter(db.opts.Format, sink, db.opts.BlockSize, db.opts.BitsPerKey,
@@ -111,21 +148,18 @@ func (db *DB) flushOne(w *bgWorker, mt *memtable.MemTable) {
 	}
 	res, err := writer.Finish()
 	if err != nil {
-		panic(fmt.Sprintf("engine: flush failed: %v", err))
+		db.releaseTableDest(dest, capacity)
+		return nil, err
 	}
-	capacity = db.shrinkExtent(dest, capacity, res)
-
-	meta := &sstable.Meta{
-		ID: db.vs.NextFileID(), Size: res.Size, Extent: capacity,
+	extent := db.shrinkExtent(dest, capacity, res)
+	return &sstable.Meta{
+		ID: db.vs.NextFileID(), Size: res.Size, Extent: extent,
 		IndexLen: res.IndexLen, FilterLen: res.FilterLen, Count: res.Count,
 		Smallest: res.Smallest, Largest: res.Largest, MaxSeq: maxSeq,
 		Data: dest, CreatorNode: db.cn.ID,
 		Format: db.opts.Format, BlockSize: db.opts.BlockSize,
 		Index: res.Index, Filter: res.Filter,
-	}
-	db.stats.Flushes.Add(1)
-	db.stats.BytesFlushed.Add(res.Size)
-	db.finishFlush(mt, meta)
+	}, nil
 }
 
 // finishFlush publishes the new L0 table (before removing the MemTable from
@@ -211,13 +245,36 @@ func (db *DB) runCompaction(w *bgWorker, c *version.Compaction) {
 	var err error
 	if db.opts.CompactionSite == CompactNearData && db.opts.Transport == TransportNative {
 		outputs, err = db.compactRemote(w, c)
-		db.stats.RemoteCompactions.Add(1)
+		if err == nil {
+			db.stats.RemoteCompactions.Add(1)
+		} else {
+			// Graceful degradation: the memory node's RPC service is
+			// unreachable (crash, flapping link) and retries are spent.
+			// The table bytes are still remotely readable with one-sided
+			// verbs, so merge on the compute node instead.
+			db.stats.CompactionFallbacks.Add(1)
+			outputs, err = db.compactLocal(w, c)
+			if err == nil {
+				db.stats.LocalCompactions.Add(1)
+			}
+		}
 	} else {
 		outputs, err = db.compactLocal(w, c)
-		db.stats.LocalCompactions.Add(1)
+		if err == nil {
+			db.stats.LocalCompactions.Add(1)
+		}
 	}
 	if err != nil {
-		panic(fmt.Sprintf("engine: compaction failed: %v", err))
+		// Even the local path failed (persistent fabric faults, allocation
+		// exhaustion). Abandon this attempt: the inputs stay live in the
+		// current version and the picker re-picks after a pause.
+		db.stats.CompactionErrors.Add(1)
+		db.vs.Release(c)
+		db.mu.Lock()
+		db.broadcastLocked()
+		db.mu.Unlock()
+		db.env.Sleep(time.Millisecond)
+		return
 	}
 	db.stats.CompactionTime.Add(int64(db.env.Now() - start))
 	db.stats.CompactionBytesIn.Add(c.InputBytes())
@@ -268,8 +325,19 @@ func (db *DB) compactRemote(w *bgWorker, c *version.Compaction) ([]*sstable.Meta
 	for _, f := range c.Files() {
 		args.Inputs = append(args.Inputs, f.Meta)
 	}
-	reply, err := w.largeClient().CallLarge("compact", memnode.EncodeCompactArgs(args))
+	// A stable nonzero job id: every retry of this call re-sends the same
+	// bytes, so the memory node can deduplicate redelivery. Derived from
+	// the first input's identity — its table id and extent offset are
+	// unique among live jobs — plus the seed, so runs are reproducible.
+	m0 := args.Inputs[0]
+	args.JobID = sim.Mix64(uint64(db.env.Seed()), uint64(db.cn.ID),
+		uint64(m0.ID), uint64(m0.Data.Off), m0.MaxSeq) | 1
+	reply, err := w.largeClient().CallLargePolicy("compact", memnode.EncodeCompactArgs(args), db.opts.CompactRPC)
 	if err != nil {
+		// Give up on the remote job. Best effort: if the merge is still
+		// running (or finishes later), the cancel frees its unclaimed
+		// outputs and tombstones the id against late redelivery.
+		db.cancelRemoteJob(w, args.JobID)
 		return nil, err
 	}
 	outputs, err := memnode.DecodeMetas(reply)
@@ -280,6 +348,15 @@ func (db *DB) compactRemote(w *bgWorker, c *version.Compaction) ([]*sstable.Meta
 		m.ID = db.vs.NextFileID()
 	}
 	return outputs, nil
+}
+
+// cancelRemoteJob tells the memory node to drop a compaction job the engine
+// gave up on. Best effort with a short retry budget: if the service is down
+// the cancel itself times out and the job's outputs leak until the next
+// cancel or restart.
+func (db *DB) cancelRemoteJob(w *bgWorker, jobID uint64) {
+	args := appendU64(make([]byte, 0, 8), jobID)
+	_, _ = w.client().CallPolicy("compact_cancel", args, db.opts.FreeRPC)
 }
 
 // compactLocal merges on the compute node: inputs stream over the network,
@@ -316,11 +393,20 @@ func (db *DB) compactLocal(w *bgWorker, c *version.Compaction) ([]*sstable.Meta,
 	wg.Wait()
 
 	var outputs []*sstable.Meta
+	var firstErr error
 	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
 		}
 		outputs = append(outputs, r.metas...)
+	}
+	if firstErr != nil {
+		// Some subcompactions may have committed outputs before another
+		// failed; none will be installed, so return their extents now.
+		for _, m := range outputs {
+			db.freeTableLocal(m)
+		}
+		return nil, firstErr
 	}
 	return outputs, nil
 }
@@ -402,10 +488,14 @@ func (db *DB) gcWorker() {
 
 	flushBatches := func(force bool) {
 		if len(remoteFrees) > 0 && (force || len(remoteFrees) >= db.opts.GCBatch) {
-			if _, err := cli.Call("free", memnode.EncodeFrees(remoteFrees)); err != nil {
-				panic(fmt.Sprintf("engine: remote free failed: %v", err))
+			if _, err := cli.CallPolicy("free", memnode.EncodeFrees(remoteFrees), db.opts.FreeRPC); err != nil {
+				// Retries exhausted: drop the batch rather than wedge the
+				// GC worker. The extents leak on the memory node until its
+				// service restarts; the counter records how much.
+				db.stats.GCDropped.Add(1)
+			} else {
+				db.stats.RemoteFreeRPCs.Add(1)
 			}
-			db.stats.RemoteFreeRPCs.Add(1)
 			remoteFrees = remoteFrees[:0]
 		}
 		if len(fsFrees) > 0 && (force || len(fsFrees) >= db.opts.GCBatch) {
@@ -414,8 +504,8 @@ func (db *DB) gcWorker() {
 			for _, id := range fsFrees {
 				args = appendU64(args, id)
 			}
-			if _, err := cli.Call("fs_free", args); err != nil {
-				panic(fmt.Sprintf("engine: fs free failed: %v", err))
+			if _, err := cli.CallPolicy("fs_free", args, db.opts.FreeRPC); err != nil {
+				db.stats.GCDropped.Add(1)
 			}
 			fsFrees = fsFrees[:0]
 		}

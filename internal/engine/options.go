@@ -14,6 +14,7 @@ package engine
 import (
 	"time"
 
+	"dlsm/internal/rpc"
 	"dlsm/internal/sim"
 	"dlsm/internal/sstable"
 )
@@ -100,6 +101,19 @@ type Options struct {
 	// GCBatch groups this many remote frees per "free" RPC (§V-B).
 	GCBatch int
 
+	// CompactRPC governs deadlines and retries of the near-data compaction
+	// RPC. Retries are safe: each call carries a job id the memory node
+	// dedupes on, so a duplicate delivery attaches to the running job
+	// instead of compacting twice. On exhausted retries the engine falls
+	// back to compute-local compaction.
+	CompactRPC rpc.Policy
+
+	// FreeRPC governs deadlines and retries of short control RPCs (remote
+	// frees, job cancels). These are idempotent, so aggressive retry is
+	// safe; an exhausted batch is dropped (leaking remote memory until the
+	// next successful free) rather than wedging the GC worker.
+	FreeRPC rpc.Policy
+
 	Costs sim.CostModel
 }
 
@@ -129,7 +143,21 @@ func DLSM() Options {
 		SyncOverhead:      450 * time.Nanosecond,
 		ReplyBufSize:      16 << 20,
 		GCBatch:           8,
-		Costs:             sim.DefaultCosts(),
+		CompactRPC: rpc.Policy{
+			Timeout:     2 * time.Second,
+			MaxAttempts: 3,
+			Backoff:     10 * time.Millisecond,
+			MaxBackoff:  200 * time.Millisecond,
+			Jitter:      0.2,
+		},
+		FreeRPC: rpc.Policy{
+			Timeout:     50 * time.Millisecond,
+			MaxAttempts: 5,
+			Backoff:     1 * time.Millisecond,
+			MaxBackoff:  20 * time.Millisecond,
+			Jitter:      0.2,
+		},
+		Costs: sim.DefaultCosts(),
 	}
 }
 
@@ -183,6 +211,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GCBatch == 0 {
 		o.GCBatch = d.GCBatch
+	}
+	if o.CompactRPC == (rpc.Policy{}) {
+		o.CompactRPC = d.CompactRPC
+	}
+	if o.FreeRPC == (rpc.Policy{}) {
+		o.FreeRPC = d.FreeRPC
 	}
 	if o.Costs == (sim.CostModel{}) {
 		o.Costs = d.Costs

@@ -19,12 +19,17 @@ type Stats struct {
 	Flushes      *telemetry.Counter
 	BytesFlushed *telemetry.Counter
 
-	RemoteCompactions  *telemetry.Counter
-	LocalCompactions   *telemetry.Counter
-	CompactionsRunning *telemetry.Gauge
-	CompactionBytesIn  *telemetry.Counter
-	CompactionBytesOut *telemetry.Counter
-	CompactionTime     *telemetry.Counter // virtual ns
+	RemoteCompactions   *telemetry.Counter
+	LocalCompactions    *telemetry.Counter
+	CompactionsRunning  *telemetry.Gauge
+	CompactionBytesIn   *telemetry.Counter
+	CompactionBytesOut  *telemetry.Counter
+	CompactionTime      *telemetry.Counter // virtual ns
+	CompactionFallbacks *telemetry.Counter // remote exhausted retries -> local
+	CompactionErrors    *telemetry.Counter // compactions abandoned (will re-pick)
+
+	FlushErrors *telemetry.Counter // flush attempts that failed and retried
+	GCDropped   *telemetry.Counter // free batches dropped after retries
 
 	Stalls       *telemetry.Counter
 	StallTime    *telemetry.Counter // virtual ns
@@ -50,6 +55,14 @@ func newStats(reg *telemetry.Registry) Stats {
 		CompactionBytesIn:  reg.Counter("engine.compaction.bytes_in"),
 		CompactionBytesOut: reg.Counter("engine.compaction.bytes_out"),
 		CompactionTime:     reg.Counter("engine.compaction.time_ns"),
+		// Named without the engine. prefix: this is the headline
+		// graceful-degradation signal (remote compaction gave up after
+		// retries and ran locally).
+		CompactionFallbacks: reg.Counter("compaction.fallback"),
+		CompactionErrors:    reg.Counter("engine.compaction.errors"),
+
+		FlushErrors: reg.Counter("engine.flush.errors"),
+		GCDropped:   reg.Counter("engine.gc.dropped_batches"),
 
 		Stalls:       reg.Counter("engine.stalls"),
 		StallTime:    reg.Counter("engine.stall.time_ns"),

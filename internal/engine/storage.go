@@ -96,6 +96,17 @@ func (db *DB) freeTableLocal(m *sstable.Meta) {
 	}
 }
 
+// releaseTableDest returns a failed build's extent before any table meta
+// exists for it. tmpfs partial files route through the GC batch path;
+// native extents go straight back to the compute-controlled allocator.
+func (db *DB) releaseTableDest(dest rdma.RemoteAddr, capacity int64) {
+	if dest.RKey == fsRKeySentinel {
+		db.gcCh.TrySend(&sstable.Meta{Data: dest, Extent: capacity})
+		return
+	}
+	db.alloc.Free(int64(dest.Off), int(capacity))
+}
+
 // newFetcher builds the read-side Fetcher for a table. scratch is a
 // per-thread growable registered buffer shared across the thread's
 // fetchers; cli lazily provides an RPC client for tmpfs reads.

@@ -1,0 +1,297 @@
+// Package faults is the deterministic fault-injection plane for a simulated
+// dLSM deployment. An Injector attaches to the RDMA fabric and decides, per
+// posted work request, whether to drop it in the network, complete it with
+// an error, or delay it — plus link-level degradation (latency/bandwidth
+// multipliers over a virtual-time window), periodic link flaps, and whole
+// memory-node crash/restart schedules.
+//
+// Every probabilistic decision is a pure hash of (injector seed, rule name,
+// attempt number) via sim.Mix64 — no shared RNG stream exists, so two runs
+// with the same seed and workload inject exactly the same faults at exactly
+// the same virtual times.
+//
+// Everything the injector does is counted in the fabric's telemetry registry
+// under "faults.*", so benchmark figures and tests can assert on injected
+// fault volume without extra plumbing.
+package faults
+
+import (
+	"errors"
+	"hash/fnv"
+	"sync"
+
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+	"dlsm/internal/telemetry"
+)
+
+// ErrInjected is the default error for Fail rules that do not set their own.
+var ErrInjected = errors.New("faults: injected failure")
+
+// ErrLinkDown completes operations posted while a flapping link is in its
+// down phase.
+var ErrLinkDown = errors.New("faults: link down")
+
+// Any is the wildcard for a Rule's Op, From and To selectors.
+const Any = -1
+
+// Rule selects work requests and assigns them a fault verdict. Zero-valued
+// selector fields are wildcards except Op/From/To, which use Any explicitly
+// (OpCode 0 is a real verb).
+type Rule struct {
+	// Name identifies the rule and seeds its private random stream; two
+	// rules with different names make independent decisions. Required.
+	Name string
+	// Op matches a single verb, or Any.
+	Op rdma.OpCode
+	// From/To match the posting node and its peer, or Any.
+	From, To int
+	// After/Until bound the active virtual-time window: active while
+	// After <= now < Until, with Until == 0 meaning forever.
+	After, Until sim.Time
+	// Prob is the per-match firing probability; 0 means 1.0 (always).
+	Prob float64
+	// Count caps the number of firings; 0 means unlimited.
+	Count int
+
+	// Drop loses the op in the network (local success, no remote effect).
+	Drop bool
+	// Fail completes the op with Err (ErrInjected if Err is nil).
+	Fail bool
+	// Err overrides the error used when Fail is set.
+	Err error
+	// Delay adds virtual latency to the completion. A delay-only rule
+	// (neither Drop nor Fail) still executes the op.
+	Delay sim.Duration
+}
+
+// window is one link-degradation or flap interval.
+type window struct {
+	a, b     int // unordered pair, Any allowed
+	from     sim.Time
+	until    sim.Time // 0 = forever
+	latMult  float64
+	bwMult   float64
+	downFor  sim.Duration // nonzero for flaps
+	upFor    sim.Duration
+}
+
+func (w *window) active(now sim.Time) bool {
+	return now >= w.from && (w.until == 0 || now < w.until)
+}
+
+// down reports whether a flap window is in its down phase at now.
+func (w *window) down(now sim.Time) bool {
+	if w.downFor == 0 || !w.active(now) {
+		return false
+	}
+	period := w.downFor + w.upFor
+	if period == 0 {
+		return true
+	}
+	return sim.Duration(now-w.from)%period < w.downFor
+}
+
+// pairMatches reports whether the unordered selector (wa, wb) covers the
+// ordered pair (a, b). A single wildcard selects every link touching the
+// named node; two wildcards select every link.
+func pairMatches(wa, wb, a, b int) bool {
+	if wa != Any && wb != Any {
+		return (wa == a && wb == b) || (wa == b && wb == a)
+	}
+	w := wa
+	if w == Any {
+		w = wb
+	}
+	if w == Any {
+		return true
+	}
+	return w == a || w == b
+}
+
+// Injector implements rdma.FaultInjector. Create one with New, which also
+// installs it on the fabric. All methods are safe for concurrent use.
+type Injector struct {
+	env  *sim.Env
+	fab  *rdma.Fabric
+	seed uint64
+
+	injected *telemetry.Counter // any nonzero verdict
+	dropped  *telemetry.Counter
+	failed   *telemetry.Counter
+	delayed  *telemetry.Counter
+	crashes  *telemetry.Counter
+	restarts *telemetry.Counter
+
+	mu      sync.Mutex
+	rules   []*liveRule
+	windows []*window
+}
+
+type liveRule struct {
+	Rule
+	key   uint64 // Mix64(seed, fnv(Name)): base of the rule's random stream
+	tries uint64 // consults so far (attempt number for the hash)
+	fired int
+}
+
+// New creates an injector seeded from the environment seed XOR salt and
+// installs it on the fabric. Pass salt 0 for the canonical stream; distinct
+// salts give independent fault schedules under one environment seed.
+func New(fab *rdma.Fabric, salt uint64) *Injector {
+	env := fab.Env()
+	tel := fab.Telemetry()
+	in := &Injector{
+		env:      env,
+		fab:      fab,
+		seed:     uint64(env.Seed()) ^ salt,
+		injected: tel.Counter("faults.injected"),
+		dropped:  tel.Counter("faults.dropped"),
+		failed:   tel.Counter("faults.failed"),
+		delayed:  tel.Counter("faults.delayed"),
+		crashes:  tel.Counter("faults.crashes"),
+		restarts: tel.Counter("faults.restarts"),
+	}
+	fab.SetInjector(in)
+	return in
+}
+
+// AddRule arms a work-request rule. Rules are consulted in insertion order;
+// the first one that fires decides the verdict.
+func (in *Injector) AddRule(r Rule) {
+	h := fnv.New64a()
+	h.Write([]byte(r.Name))
+	lr := &liveRule{Rule: r, key: sim.Mix64(in.seed, h.Sum64())}
+	in.mu.Lock()
+	in.rules = append(in.rules, lr)
+	in.mu.Unlock()
+}
+
+// DegradeLink multiplies the latency (latMult) and divides the bandwidth
+// (bwMult; 2 = half speed) of the link between nodes a and b — either may
+// be Any — for virtual times [from, until), until 0 meaning forever.
+// Overlapping windows compound multiplicatively.
+func (in *Injector) DegradeLink(a, b int, latMult, bwMult float64, from, until sim.Time) {
+	in.mu.Lock()
+	in.windows = append(in.windows, &window{a: a, b: b, from: from, until: until, latMult: latMult, bwMult: bwMult})
+	in.mu.Unlock()
+}
+
+// FlapLink makes the link between a and b alternate downFor-down /
+// upFor-up starting at from, for as long as the [from, until) window is
+// active. Operations posted during a down phase complete with ErrLinkDown
+// and have no remote effect.
+func (in *Injector) FlapLink(a, b int, downFor, upFor sim.Duration, from, until sim.Time) {
+	in.mu.Lock()
+	in.windows = append(in.windows, &window{a: a, b: b, from: from, until: until, downFor: downFor, upFor: upFor})
+	in.mu.Unlock()
+}
+
+// CrashNode schedules a full crash of node n at virtual time at: all its
+// registered memory is invalidated, receive queues close, and peers' QPs
+// complete outstanding and future work with rdma.ErrQPBroken. If
+// restartAfter > 0 the node restarts that much later with empty regions.
+func (in *Injector) CrashNode(n *rdma.Node, at sim.Time, restartAfter sim.Duration) {
+	in.env.Go(func() {
+		in.env.WaitUntil(at)
+		n.Crash()
+		in.crashes.Inc()
+		if restartAfter > 0 {
+			in.env.Sleep(restartAfter)
+			n.Restart()
+			in.restarts.Inc()
+		}
+	})
+}
+
+// At runs fn as its own entity at virtual time t. It is the generic hook
+// for software-level fault events (e.g. stopping a memnode RPC service)
+// that the RDMA-level injector cannot express itself.
+func (in *Injector) At(t sim.Time, fn func()) {
+	in.env.Go(func() {
+		in.env.WaitUntil(t)
+		fn()
+	})
+}
+
+// OnOp implements rdma.FaultInjector. It is called on the posting path of
+// every work request.
+func (in *Injector) OnOp(op rdma.OpCode, from, to, bytes int) rdma.Fault {
+	now := in.env.Now()
+	in.mu.Lock()
+	// A flapping link in its down phase beats every rule: nothing traverses
+	// a dead link, whatever the rules say.
+	for _, w := range in.windows {
+		if w.downFor != 0 && pairMatches(w.a, w.b, from, to) && w.down(now) {
+			in.mu.Unlock()
+			in.injected.Inc()
+			in.failed.Inc()
+			return rdma.Fault{Err: ErrLinkDown}
+		}
+	}
+	for _, r := range in.rules {
+		if r.Op != Any && r.Op != op {
+			continue
+		}
+		if r.From != Any && r.From != from {
+			continue
+		}
+		if r.To != Any && r.To != to {
+			continue
+		}
+		if now < r.After || (r.Until != 0 && now >= r.Until) {
+			continue
+		}
+		if r.Count != 0 && r.fired >= r.Count {
+			continue
+		}
+		try := r.tries
+		r.tries++
+		if r.Prob != 0 && r.Prob < 1 && sim.MixFloat(r.key, try) >= r.Prob {
+			continue
+		}
+		r.fired++
+		in.mu.Unlock()
+		in.injected.Inc()
+		f := rdma.Fault{Drop: r.Drop, Delay: r.Delay}
+		if r.Fail {
+			f.Err = r.Err
+			if f.Err == nil {
+				f.Err = ErrInjected
+			}
+		}
+		switch {
+		case f.Err != nil:
+			in.failed.Inc()
+		case f.Drop:
+			in.dropped.Inc()
+		}
+		if f.Delay > 0 {
+			in.delayed.Inc()
+		}
+		return f
+	}
+	in.mu.Unlock()
+	return rdma.Fault{}
+}
+
+// LinkFactors implements rdma.FaultInjector: the compounded latency and
+// bandwidth multipliers of all degradation windows covering the from->to
+// link at virtual time now.
+func (in *Injector) LinkFactors(from, to int, now sim.Time) (latMult, bwMult float64) {
+	latMult, bwMult = 1, 1
+	in.mu.Lock()
+	for _, w := range in.windows {
+		if w.downFor != 0 || !w.active(now) || !pairMatches(w.a, w.b, from, to) {
+			continue
+		}
+		if w.latMult > 0 {
+			latMult *= w.latMult
+		}
+		if w.bwMult > 0 {
+			bwMult *= w.bwMult
+		}
+	}
+	in.mu.Unlock()
+	return latMult, bwMult
+}

@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+)
+
+func testbed(seed int64) (*sim.Env, *rdma.Fabric, *rdma.Node, *rdma.Node, *Injector) {
+	env := sim.NewEnvSeed(seed)
+	fab := rdma.NewFabric(env, rdma.EDR100())
+	a := fab.AddNode("a", 4)
+	b := fab.AddNode("b", 4)
+	return env, fab, a, b, New(fab, 0)
+}
+
+func TestRuleDropFailDelay(t *testing.T) {
+	env, fab, a, b, inj := testbed(1)
+	// Rules are consulted in order; each fires exactly once.
+	inj.AddRule(Rule{Name: "fail", Op: rdma.OpWrite, From: a.ID, To: b.ID, Count: 1, Fail: true})
+	inj.AddRule(Rule{Name: "drop", Op: rdma.OpWrite, From: a.ID, To: b.ID, Count: 1, Drop: true})
+	inj.AddRule(Rule{Name: "slow", Op: rdma.OpWrite, From: a.ID, To: b.ID, Count: 1, Delay: time.Millisecond})
+	env.Run(func() {
+		defer fab.Close()
+		dst := b.Register(4096)
+		src := a.RegisterBuf([]byte("abcd"))
+		qp := a.NewQP(b)
+
+		if err := qp.WriteSync(src, 0, dst.Addr(0), 4); !errors.Is(err, ErrInjected) {
+			t.Errorf("write 1: err = %v, want ErrInjected", err)
+		}
+		if err := qp.WriteSync(src, 0, dst.Addr(0), 4); err != nil {
+			t.Errorf("write 2 (dropped): err = %v, want local success", err)
+		}
+		if string(dst.Bytes(0, 4)) == "abcd" {
+			t.Error("dropped write reached remote memory")
+		}
+		start := env.Now()
+		if err := qp.WriteSync(src, 0, dst.Addr(0), 4); err != nil {
+			t.Errorf("write 3 (delayed): %v", err)
+		}
+		if d := time.Duration(env.Now() - start); d < time.Millisecond {
+			t.Errorf("delayed write took %v, want >= 1ms", d)
+		}
+		if string(dst.Bytes(0, 4)) != "abcd" {
+			t.Error("delayed write lost its payload")
+		}
+		// All rules exhausted: plain success.
+		if err := qp.WriteSync(src, 0, dst.Addr(0), 4); err != nil {
+			t.Errorf("write 4: %v", err)
+		}
+	})
+	env.Wait()
+
+	tel := fab.Telemetry()
+	if got := tel.Counter("faults.injected").Load(); got != 3 {
+		t.Errorf("faults.injected = %d, want 3", got)
+	}
+	if tel.Counter("faults.dropped").Load() != 1 || tel.Counter("faults.failed").Load() != 1 ||
+		tel.Counter("faults.delayed").Load() != 1 {
+		t.Error("per-verdict counters wrong")
+	}
+}
+
+func TestRuleProbabilityDeterministic(t *testing.T) {
+	run := func(seed int64) (failures int, end sim.Time) {
+		env, fab, a, b, inj := testbed(seed)
+		inj.AddRule(Rule{Name: "sometimes", Op: rdma.OpWrite, From: Any, To: Any, Prob: 0.3, Fail: true})
+		env.Run(func() {
+			defer fab.Close()
+			dst := b.Register(64)
+			src := a.RegisterBuf(make([]byte, 8))
+			qp := a.NewQP(b)
+			for i := 0; i < 200; i++ {
+				if err := qp.WriteSync(src, 0, dst.Addr(0), 8); err != nil {
+					failures++
+				}
+			}
+		})
+		env.Wait()
+		return failures, env.Now()
+	}
+	f1, t1 := run(42)
+	f2, t2 := run(42)
+	if f1 != f2 || t1 != t2 {
+		t.Fatalf("same seed diverged: (%d, %v) vs (%d, %v)", f1, t1, f2, t2)
+	}
+	if f1 == 0 || f1 == 200 {
+		t.Fatalf("Prob 0.3 fired %d/200 times", f1)
+	}
+}
+
+func TestFlapLink(t *testing.T) {
+	env, fab, a, b, inj := testbed(2)
+	inj.FlapLink(a.ID, b.ID, time.Millisecond, time.Millisecond, 0, 0)
+	env.Run(func() {
+		defer fab.Close()
+		dst := b.Register(64)
+		src := a.RegisterBuf(make([]byte, 8))
+		qp := a.NewQP(b)
+		// t=0: down phase.
+		if err := qp.WriteSync(src, 0, dst.Addr(0), 8); !errors.Is(err, ErrLinkDown) {
+			t.Errorf("down phase: err = %v, want ErrLinkDown", err)
+		}
+		env.Sleep(1100 * time.Microsecond) // into the up phase
+		if err := qp.WriteSync(src, 0, dst.Addr(0), 8); err != nil {
+			t.Errorf("up phase: %v", err)
+		}
+		env.Sleep(900 * time.Microsecond) // down again
+		if err := qp.WriteSync(src, 0, dst.Addr(0), 8); !errors.Is(err, ErrLinkDown) {
+			t.Errorf("second down phase: err = %v, want ErrLinkDown", err)
+		}
+	})
+	env.Wait()
+}
+
+func TestDegradeLinkSlowsTransfers(t *testing.T) {
+	measure := func(degrade bool) time.Duration {
+		env, fab, a, b, inj := testbed(3)
+		if degrade {
+			inj.DegradeLink(a.ID, b.ID, 2, 4, 0, 0)
+		}
+		var d time.Duration
+		env.Run(func() {
+			defer fab.Close()
+			dst := b.Register(1 << 20)
+			src := a.Register(1 << 20)
+			qp := a.NewQP(b)
+			start := env.Now()
+			if err := qp.WriteSync(src, 0, dst.Addr(0), 1<<20); err != nil {
+				t.Fatal(err)
+			}
+			d = time.Duration(env.Now() - start)
+		})
+		env.Wait()
+		return d
+	}
+	healthy, degraded := measure(false), measure(true)
+	if degraded < 3*healthy {
+		t.Fatalf("degraded 1MB write took %v, healthy %v; want >= 3x", degraded, healthy)
+	}
+}
+
+func TestCrashNodeBreaksQPsAndRestartForgets(t *testing.T) {
+	env, fab, a, b, inj := testbed(4)
+	inj.CrashNode(b, sim.Time(time.Millisecond), time.Millisecond)
+	env.Run(func() {
+		defer fab.Close()
+		dst := b.Register(64)
+		src := a.RegisterBuf(make([]byte, 8))
+		qp := a.NewQP(b)
+		if err := qp.WriteSync(src, 0, dst.Addr(0), 8); err != nil {
+			t.Errorf("pre-crash write: %v", err)
+		}
+		env.Sleep(1500 * time.Microsecond) // b is down
+		if err := qp.WriteSync(src, 0, dst.Addr(0), 8); !errors.Is(err, rdma.ErrQPBroken) {
+			t.Errorf("crashed peer: err = %v, want ErrQPBroken", err)
+		}
+		env.Sleep(time.Millisecond) // b restarted with empty regions
+		if b.Crashed() {
+			t.Fatal("node still crashed after restart window")
+		}
+		// Pre-crash registrations are gone: the old rkey must not resolve.
+		if err := qp.WriteSync(src, 0, dst.Addr(0), 8); err == nil {
+			t.Error("write to pre-crash rkey succeeded after restart")
+		}
+		// Fresh registrations work again.
+		dst2 := b.Register(64)
+		if err := qp.WriteSync(src, 0, dst2.Addr(0), 8); err != nil {
+			t.Errorf("post-restart write to fresh region: %v", err)
+		}
+	})
+	env.Wait()
+
+	tel := fab.Telemetry()
+	if tel.Counter("faults.crashes").Load() != 1 || tel.Counter("faults.restarts").Load() != 1 {
+		t.Error("crash/restart counters wrong")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"dlsm/internal/rpc"
 	"dlsm/internal/sim"
 	"dlsm/internal/sstable"
+	"dlsm/internal/telemetry"
 )
 
 // Config sizes the server.
@@ -64,9 +65,32 @@ type Server struct {
 	computeAlloc *remote.Allocator
 	rpc          *rpc.Server
 
+	// Compaction job deduplication: retried "compact" RPCs share a job id,
+	// so redelivery (a retry racing a slow original) never runs the merge
+	// twice or leaks output extents. The table lives outside the RPC
+	// service and therefore survives service crash/restart.
+	jobMu    sync.Mutex
+	jobs     map[uint64]*jobState
+	jobOrder []uint64
+	deduped  *telemetry.Counter
+	canceled *telemetry.Counter
+
 	fsOnce  sync.Once
 	fsState *tmpfs
 }
+
+// jobState tracks one compaction job from first delivery to eviction.
+type jobState struct {
+	done     bool
+	canceled bool
+	reply    []byte
+	err      error
+	outputs  []*sstable.Meta // self-allocated extents, freed on cancel
+	waiters  []chan struct{} // duplicate deliveries parked while running
+}
+
+// jobCacheCap bounds the dedupe table; completed jobs are evicted FIFO.
+const jobCacheCap = 256
 
 // NewServer allocates the data region on node and wires up the RPC
 // handlers. Call Start to begin serving.
@@ -81,7 +105,12 @@ func NewServer(node *rdma.Node, cfg Config) *Server {
 		rpc:       rpc.NewServer(node, cfg.Costs, cfg.RPCWorkers),
 	}
 	s.computeAlloc = remote.NewAllocator(cfg.ComputeRegionSize)
+	s.jobs = make(map[uint64]*jobState)
+	tel := node.Fabric().Telemetry()
+	s.deduped = tel.Counter("memnode.jobs.deduped")
+	s.canceled = tel.Counter("memnode.jobs.canceled")
 	s.rpc.HandleDedicated("compact", s.handleCompact, 12)
+	s.rpc.Handle("compact_cancel", s.handleCompactCancel)
 	s.rpc.Handle("free", s.handleFree)
 	s.rpc.Handle("fs_read", s.handleFSRead)
 	s.rpc.Handle("fs_write", s.handleFSWrite)
@@ -91,6 +120,21 @@ func NewServer(node *rdma.Node, cfg Config) *Server {
 
 // Start launches the RPC service entities.
 func (s *Server) Start() { s.rpc.Start() }
+
+// StopService simulates the memory-node server process dying: the RPC
+// plane stops (requests are dropped, in-flight replies are suppressed)
+// while the registered data region stays remotely accessible — one-sided
+// RDMA bypasses this node's CPU, which is exactly what lets a compute
+// node fall back to local compaction with zero data loss.
+func (s *Server) StopService() { s.rpc.Stop() }
+
+// RestartService brings the RPC plane back up. The job-dedupe table
+// persisted across the outage, so duplicate compaction deliveries from
+// before the crash are still recognized.
+func (s *Server) RestartService() { s.rpc.Start() }
+
+// ServiceRunning reports whether the RPC plane is accepting requests.
+func (s *Server) ServiceRunning() bool { return s.rpc.Running() }
 
 // Node returns the underlying fabric node.
 func (s *Server) Node() *rdma.Node { return s.node }
@@ -132,6 +176,10 @@ type CompactArgs struct {
 	Format           sstable.Format
 	BlockSize        int
 	BitsPerKey       int
+	// JobID identifies the job across RPC retries: every retry of one
+	// compaction carries the same nonzero id, letting the memory node
+	// deduplicate redelivery. 0 disables deduplication.
+	JobID uint64
 }
 
 // EncodeCompactArgs serializes args for transport.
@@ -152,6 +200,7 @@ func EncodeCompactArgs(a *CompactArgs) []byte {
 	b = append(b, byte(a.Format))
 	b = binary.LittleEndian.AppendUint32(b, uint32(a.BlockSize))
 	b = binary.LittleEndian.AppendUint32(b, uint32(a.BitsPerKey))
+	b = binary.LittleEndian.AppendUint64(b, a.JobID)
 	return b
 }
 
@@ -178,7 +227,7 @@ func DecodeCompactArgs(b []byte) (*CompactArgs, error) {
 		a.Inputs = append(a.Inputs, m)
 		b = b[4+sz:]
 	}
-	if len(b) < 8+1+4+8+8+1+4+4 {
+	if len(b) < 8+1+4+8+8+1+4+4+8 {
 		return nil, fmt.Errorf("memnode: short compact args tail")
 	}
 	a.SmallestSnapshot = binary.LittleEndian.Uint64(b)
@@ -189,6 +238,7 @@ func DecodeCompactArgs(b []byte) (*CompactArgs, error) {
 	a.Format = sstable.Format(b[29])
 	a.BlockSize = int(binary.LittleEndian.Uint32(b[30:]))
 	a.BitsPerKey = int(binary.LittleEndian.Uint32(b[34:]))
+	a.JobID = binary.LittleEndian.Uint64(b[38:])
 	return a, nil
 }
 
@@ -229,15 +279,117 @@ func DecodeMetas(b []byte) ([]*sstable.Meta, error) {
 	return out, nil
 }
 
-// handleCompact executes one near-data compaction job.
+// handleCompact executes one near-data compaction job, deduplicating
+// redelivered jobs by id: a duplicate of a completed job returns the
+// cached reply; a duplicate of a running job parks until the original
+// finishes and returns the same reply. Neither runs the merge again.
 func (s *Server) handleCompact(from int, argBytes []byte) ([]byte, error) {
 	args, err := DecodeCompactArgs(argBytes)
 	if err != nil {
 		return nil, err
 	}
+	if args.JobID == 0 {
+		reply, _, err := s.runCompactJob(args)
+		return reply, err
+	}
+
+	s.jobMu.Lock()
+	if st, ok := s.jobs[args.JobID]; ok {
+		s.deduped.Inc()
+		if !st.done {
+			ch := make(chan struct{})
+			st.waiters = append(st.waiters, ch)
+			s.jobMu.Unlock()
+			s.env.Clock().Block("memnode.job")
+			<-ch
+			s.jobMu.Lock()
+		}
+		reply, jerr := st.reply, st.err
+		s.jobMu.Unlock()
+		return reply, jerr
+	}
+	st := &jobState{}
+	s.jobs[args.JobID] = st
+	s.jobOrder = append(s.jobOrder, args.JobID)
+	s.jobMu.Unlock()
+
+	reply, outputs, err := s.runCompactJob(args)
+
+	s.jobMu.Lock()
+	st.done = true
+	if st.canceled {
+		// A cancel raced the merge: the compute node has fallen back to
+		// local compaction and will never claim these outputs.
+		for _, m := range outputs {
+			s.freeSelf(m)
+		}
+		reply, outputs, err = nil, nil, fmt.Errorf("memnode: job %d canceled", args.JobID)
+	}
+	st.reply, st.err, st.outputs = reply, err, outputs
+	waiters := st.waiters
+	st.waiters = nil
+	s.evictJobsLocked()
+	s.jobMu.Unlock()
+	for _, ch := range waiters {
+		s.env.Clock().Unblock("memnode.job")
+		close(ch)
+	}
+	return reply, err
+}
+
+// handleCompactCancel frees the outputs of a job whose requester gave up
+// (exhausted retries and fell back to local compaction). Best effort: the
+// id is tombstoned so a late duplicate delivery cannot start the merge.
+func (s *Server) handleCompactCancel(from int, args []byte) ([]byte, error) {
+	if len(args) < 8 {
+		return nil, fmt.Errorf("memnode: short cancel args")
+	}
+	id := binary.LittleEndian.Uint64(args)
+	s.jobMu.Lock()
+	st := s.jobs[id]
+	switch {
+	case st == nil:
+		s.jobs[id] = &jobState{
+			done: true, canceled: true,
+			err: fmt.Errorf("memnode: job %d canceled", id),
+		}
+		s.jobOrder = append(s.jobOrder, id)
+		s.evictJobsLocked()
+	case st.done && !st.canceled:
+		for _, m := range st.outputs {
+			s.freeSelf(m)
+		}
+		st.outputs = nil
+		st.canceled = true
+		st.reply = nil
+		st.err = fmt.Errorf("memnode: job %d canceled", id)
+	default:
+		st.canceled = true // completion path frees the outputs
+	}
+	s.canceled.Inc()
+	s.jobMu.Unlock()
+	return nil, nil
+}
+
+// evictJobsLocked trims completed jobs FIFO once the table exceeds its
+// cap. Running jobs block eviction at their position to keep order cheap.
+func (s *Server) evictJobsLocked() {
+	for len(s.jobs) > jobCacheCap && len(s.jobOrder) > 0 {
+		id := s.jobOrder[0]
+		if st := s.jobs[id]; st != nil && !st.done {
+			break
+		}
+		s.jobOrder = s.jobOrder[1:]
+		delete(s.jobs, id)
+	}
+}
+
+// runCompactJob executes the merge itself and returns the encoded reply
+// plus the output metas (for cancellation bookkeeping).
+func (s *Server) runCompactJob(args *CompactArgs) ([]byte, []*sstable.Meta, error) {
 	for _, m := range args.Inputs {
 		if m.Data.Node != s.node.ID {
-			return nil, fmt.Errorf("memnode: input table %d not resident on node %d", m.ID, s.node.ID)
+			return nil, nil, fmt.Errorf("memnode: input table %d not resident on node %d", m.ID, s.node.ID)
 		}
 		// Reload the index (and filter, unused during merge) from the
 		// table footer: a local memory read, no network traffic.
@@ -288,11 +440,11 @@ func (s *Server) handleCompact(from int, argBytes []byte) ([]byte, error) {
 					s.freeSelf(m)
 				}
 			}
-			return nil, r.err
+			return nil, nil, r.err
 		}
 		outputs = append(outputs, r.metas...)
 	}
-	return EncodeMetas(outputs), nil
+	return EncodeMetas(outputs), outputs, nil
 }
 
 // runSubcompaction merges one key subrange locally.

@@ -20,6 +20,9 @@ type Fabric struct {
 	mu    sync.Mutex
 	nodes []*Node
 	links map[[2]int]*link // keyed by unordered node pair {lo, hi}
+
+	injMu sync.RWMutex
+	inj   FaultInjector
 }
 
 // NewFabric creates a fabric whose links default to params.
@@ -133,18 +136,28 @@ func (d *direction) register(tel *telemetry.Registry, src, dst string) {
 
 // schedule reserves wire time for n bytes in direction d starting no
 // earlier than now and returns the virtual completion time of the
-// operation (including latency).
-func (l *link) schedule(d *direction, now sim.Time, n int, twoSided bool) sim.Time {
+// operation (including latency). latMult and bwMult are the fault plane's
+// degradation factors (1, 1 on a healthy link): latMult scales latency,
+// bwMult divides effective bandwidth and so multiplies transfer time.
+func (l *link) schedule(d *direction, now sim.Time, n int, twoSided bool, latMult, bwMult float64) sim.Time {
 	l.mu.Lock()
 	start := d.busyUntil
 	if start < now {
 		start = now
 	}
-	d.busyUntil = start + sim.Time(l.params.transferTime(n))
-	done := d.busyUntil + sim.Time(l.params.Latency)
-	if twoSided {
-		done += sim.Time(l.params.TwoSidedExtra)
+	xfer := l.params.transferTime(n)
+	if bwMult > 1 {
+		xfer = sim.Duration(float64(xfer) * bwMult)
 	}
+	d.busyUntil = start + sim.Time(xfer)
+	lat := l.params.Latency
+	if twoSided {
+		lat += l.params.TwoSidedExtra
+	}
+	if latMult > 1 {
+		lat = sim.Duration(float64(lat) * latMult)
+	}
+	done := d.busyUntil + sim.Time(lat)
 	l.mu.Unlock()
 	d.bytes.Add(int64(n))
 	d.ops.Inc()
@@ -152,14 +165,18 @@ func (l *link) schedule(d *direction, now sim.Time, n int, twoSided bool) sim.Ti
 }
 
 // scheduleAtomic reserves an atomic operation slot in direction d.
-func (l *link) scheduleAtomic(d *direction, now sim.Time) sim.Time {
+func (l *link) scheduleAtomic(d *direction, now sim.Time, latMult float64) sim.Time {
 	l.mu.Lock()
 	start := d.busyUntil
 	if start < now {
 		start = now
 	}
 	// Atomics occupy negligible wire time but pay their own latency.
-	done := start + sim.Time(l.params.AtomicLatency)
+	lat := l.params.AtomicLatency
+	if latMult > 1 {
+		lat = sim.Duration(float64(lat) * latMult)
+	}
+	done := start + sim.Time(lat)
 	l.mu.Unlock()
 	d.ops.Inc()
 	return done

@@ -1,0 +1,51 @@
+package rdma
+
+import "dlsm/internal/sim"
+
+// Fault is the verdict an injector returns for one posted work request.
+// The zero value means "no fault".
+type Fault struct {
+	// Drop loses the operation in the network: the local NIC still reports
+	// a successful completion (wire time is reserved as usual) but the
+	// remote side never sees the payload — a SEND is not delivered, a
+	// WRITE's bytes never land, a WRITE_IMM's immediate is not raised.
+	// Higher layers observe the loss only through their own timeouts.
+	Drop bool
+	// Err completes the operation with this error and no remote effect.
+	Err error
+	// Delay adds extra virtual latency before the completion fires.
+	Delay sim.Duration
+}
+
+// FaultInjector is the fabric's pluggable fault plane. Implementations
+// (internal/faults.Injector) must be safe for concurrent use; methods are
+// called on the hot posting path of every queue pair.
+type FaultInjector interface {
+	// OnOp is consulted once per posted work request, before wire time is
+	// scheduled. from/to are node ids in payload-flow order (for READs the
+	// data flows to->from at the link layer; OnOp still receives the
+	// poster's orientation: from = posting node, to = peer).
+	OnOp(op OpCode, from, to, bytes int) Fault
+	// LinkFactors returns the latency and bandwidth multipliers in force
+	// for traffic from node "from" to node "to" at virtual time now.
+	// (1, 1) means a healthy link; latMult scales completion latency and
+	// bwMult divides effective bandwidth (2 = half the bandwidth).
+	LinkFactors(from, to int, now sim.Time) (latMult, bwMult float64)
+}
+
+// SetInjector installs (or, with nil, removes) the fabric's fault plane.
+// Install before traffic starts; swapping mid-run is safe but individual
+// in-flight operations keep the verdict they were posted with.
+func (f *Fabric) SetInjector(fi FaultInjector) {
+	f.injMu.Lock()
+	f.inj = fi
+	f.injMu.Unlock()
+}
+
+// injector returns the installed fault plane, or nil.
+func (f *Fabric) injector() FaultInjector {
+	f.injMu.RLock()
+	fi := f.inj
+	f.injMu.RUnlock()
+	return fi
+}

@@ -3,6 +3,8 @@ package rdma
 import (
 	"fmt"
 	"sync"
+
+	"dlsm/internal/sim"
 )
 
 // MemoryRegion is a pinned, NIC-registered buffer. Remote peers address it
@@ -22,7 +24,24 @@ type MemoryRegion struct {
 
 	mu       sync.Mutex
 	gen      uint64
-	watchers []chan struct{}
+	watchers []*mrWatcher
+}
+
+// mrWatcher is one parked poller: either a plain channel wait (no
+// deadline) or a cancellable alarm (deadline), woken by the next write.
+type mrWatcher struct {
+	ch    chan struct{} // nil when alarm is set
+	alarm *sim.Alarm
+}
+
+// wake releases one parked poller; called after the waking write landed.
+func (r *MemoryRegion) wake(w *mrWatcher) {
+	if w.alarm != nil {
+		w.alarm.Cancel()
+		return
+	}
+	r.node.env().Clock().Unblock("mr.poll")
+	close(w.ch)
 }
 
 // RemoteAddr is a wire-transferable pointer into a registered region.
@@ -70,9 +89,8 @@ func (r *MemoryRegion) write(off int, src []byte) {
 	watchers := r.watchers
 	r.watchers = nil
 	r.mu.Unlock()
-	for _, ch := range watchers {
-		r.node.env().Clock().Unblock("mr.poll")
-		close(ch)
+	for _, w := range watchers {
+		r.wake(w)
 	}
 }
 
@@ -87,17 +105,54 @@ func (r *MemoryRegion) read(off int, dst []byte) {
 // This is the simulation analog of CPU-polling a flag that a one-sided
 // remote write will set (the paper's general-purpose RPC reply path).
 func (r *MemoryRegion) AwaitByte(off int, want byte) {
+	r.AwaitByteDeadline(off, want, 0)
+}
+
+// AwaitByteDeadline is AwaitByte with a virtual-time deadline: it returns
+// true once the byte at off equals want, or false if the deadline passes
+// first. deadline <= 0 waits forever. This is how a real poller abandons a
+// reply flag when the responder may be dead.
+func (r *MemoryRegion) AwaitByteDeadline(off int, want byte, deadline sim.Time) bool {
+	env := r.node.env()
 	for {
 		r.mu.Lock()
 		if r.buf[off] == want {
 			r.mu.Unlock()
-			return
+			return true
 		}
-		ch := make(chan struct{})
-		r.watchers = append(r.watchers, ch)
+		if deadline > 0 && env.Now() >= deadline {
+			r.mu.Unlock()
+			return false
+		}
+		w := &mrWatcher{}
+		if deadline > 0 {
+			w.alarm = env.Clock().NewAlarm(deadline, "mr.poll")
+		} else {
+			w.ch = make(chan struct{})
+		}
+		r.watchers = append(r.watchers, w)
 		r.mu.Unlock()
-		r.node.env().Clock().Block("mr.poll")
-		<-ch
+		if w.alarm != nil {
+			if w.alarm.Wait() {
+				// Deadline fired first. Retire the watcher and decide by
+				// one final flag check: a write may have landed between
+				// the alarm firing and this wakeup.
+				r.mu.Lock()
+				for i, x := range r.watchers {
+					if x == w {
+						r.watchers = append(r.watchers[:i], r.watchers[i+1:]...)
+						break
+					}
+				}
+				ok := r.buf[off] == want
+				r.mu.Unlock()
+				return ok
+			}
+			// Canceled by a write: loop and recheck the flag.
+		} else {
+			env.Clock().Block("mr.poll")
+			<-w.ch
+		}
 	}
 }
 
@@ -110,8 +165,7 @@ func (r *MemoryRegion) SetByte(off int, b byte) {
 	watchers := r.watchers
 	r.watchers = nil
 	r.mu.Unlock()
-	for _, ch := range watchers {
-		r.node.env().Clock().Unblock("mr.poll")
-		close(ch)
+	for _, w := range watchers {
+		r.wake(w)
 	}
 }

@@ -33,6 +33,7 @@ type Node struct {
 	immQueue  *sim.Chan[Message]
 	qps       []*QP
 	closed    bool
+	crashed   bool
 }
 
 func newNode(f *Fabric, id int, name string, cores int) *Node {
@@ -100,6 +101,16 @@ func (n *Node) lookupMR(rkey uint32) (*MemoryRegion, error) {
 // message dispatcher.
 func (n *Node) Endpoint(name string) *sim.Chan[Message] {
 	n.mu.Lock()
+	if n.closed || n.crashed {
+		// A dead node has no receive queues. Hand back a chan that is
+		// already closed (and never stored: a restart must mint live ones)
+		// so a late consumer observes immediate teardown instead of
+		// parking forever on a queue nothing can close.
+		n.mu.Unlock()
+		ep := sim.NewChan[Message](n.env(), 1)
+		ep.Close()
+		return ep
+	}
 	defer n.mu.Unlock()
 	ep, ok := n.endpoints[name]
 	if !ok {
@@ -111,8 +122,13 @@ func (n *Node) Endpoint(name string) *sim.Chan[Message] {
 
 // ImmQueue is where WRITE_WITH_IMM notifications targeting this node are
 // delivered; dLSM's thread notifier consumes it to wake sleeping RPC
-// requesters (§X-D).
-func (n *Node) ImmQueue() *sim.Chan[Message] { return n.immQueue }
+// requesters (§X-D). A crash closes and replaces the queue, so consumers
+// holding the old one observe it closing.
+func (n *Node) ImmQueue() *sim.Chan[Message] {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.immQueue
+}
 
 // NewQP creates a queue pair from this node to peer with its own send queue,
 // completion queue and worker. Per the paper's RDMA manager, each thread
@@ -129,6 +145,58 @@ func (n *Node) NewQP(peer *Node) *QP {
 	return qp
 }
 
+// Crashed reports whether the node is currently crashed. Queue pairs check
+// it when executing work requests: any operation targeting a crashed peer
+// completes with ErrQPBroken.
+func (n *Node) Crashed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed
+}
+
+// Crash simulates the node failing: every registered memory region is
+// invalidated (remote access to its rkey fails from now on, even after a
+// restart — rkeys are never reissued), all receive queues close (resident
+// software such as an RPC server observes its endpoints closing, exactly
+// as a dying process would), and the node's own queue pairs shut down.
+// In-flight operations from peers complete with ErrQPBroken.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	if n.crashed || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.crashed = true
+	n.mrs = make(map[uint32]*MemoryRegion)
+	qps := n.qps
+	n.qps = nil
+	eps := make([]*sim.Chan[Message], 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.endpoints = make(map[string]*sim.Chan[Message])
+	imm := n.immQueue
+	n.immQueue = sim.NewChan[Message](n.env(), 4096)
+	n.mu.Unlock()
+	for _, qp := range qps {
+		qp.Close()
+	}
+	for _, ep := range eps {
+		ep.Close()
+	}
+	imm.Close()
+}
+
+// Restart brings a crashed node back: fresh (empty) memory-region and
+// endpoint tables, a fresh immediate queue. Regions come back empty —
+// whoever owned registered memory must re-register and repopulate it; all
+// remote addresses minted before the crash stay permanently invalid.
+func (n *Node) Restart() {
+	n.mu.Lock()
+	n.crashed = false
+	n.mu.Unlock()
+}
+
 // Close tears down all queue pairs and receive queues of the node.
 func (n *Node) Close() {
 	n.mu.Lock()
@@ -142,6 +210,7 @@ func (n *Node) Close() {
 	for _, ep := range n.endpoints {
 		eps = append(eps, ep)
 	}
+	imm := n.immQueue
 	n.mu.Unlock()
 	for _, qp := range qps {
 		qp.Close()
@@ -149,5 +218,5 @@ func (n *Node) Close() {
 	for _, ep := range eps {
 		ep.Close()
 	}
-	n.immQueue.Close()
+	imm.Close()
 }

@@ -52,6 +52,11 @@ type Completion struct {
 // ErrQPClosed is reported by operations on a closed queue pair.
 var ErrQPClosed = errors.New("rdma: queue pair closed")
 
+// ErrQPBroken is reported by operations whose peer node has crashed: the
+// connection is torn down and every posted or in-flight work request
+// completes with this error instead of touching remote memory.
+var ErrQPBroken = errors.New("rdma: queue pair broken (peer crashed)")
+
 type workRequest struct {
 	op       OpCode
 	lmr      *MemoryRegion // local buffer (READ dst / WRITE src)
@@ -66,6 +71,7 @@ type workRequest struct {
 	ctx      uint64
 	done     sim.Time   // wire completion, scheduled at post time
 	dir      *direction // link direction carrying the data (telemetry)
+	fault    Fault      // injected verdict, decided at post time
 }
 
 // QP is a queue pair: an ordered send queue from one node to a peer plus a
@@ -103,29 +109,43 @@ func (q *QP) Node() *Node { return q.node }
 func (q *QP) Peer() *Node { return q.peer }
 
 // post schedules wire time for the request and hands it to the worker.
+// Posting on a closed QP is not a crash: racing writers during shutdown
+// receive an ErrQPClosed completion instead (real NICs flush the send
+// queue with error completions when a QP leaves the RTS state).
 func (q *QP) post(wr workRequest, bytes int, twoSided bool, atomic bool) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		panic("rdma: post on closed QP")
+		// TrySend: if the CQ is full (or already torn down) the flush
+		// completion is dropped; pollers still observe ErrQPClosed once
+		// the worker closes the CQ.
+		q.cq.TrySend(Completion{Ctx: wr.ctx, Op: wr.op, Err: ErrQPClosed})
+		return
 	}
 	now := q.env.Now()
+	if fi := q.node.fabric.injector(); fi != nil {
+		wr.fault = fi.OnOp(wr.op, q.node.ID, q.peer.ID, bytes)
+	}
 	var done sim.Time
 	switch {
 	case atomic:
 		l, d := q.node.fabric.linkFor(q.node.ID, q.peer.ID)
-		done = l.scheduleAtomic(d, now)
+		latM, _ := q.linkFactors(q.node.ID, q.peer.ID, now)
+		done = l.scheduleAtomic(d, now, latM)
 		wr.dir = d
 	case wr.op == OpRead:
 		// Data flows peer -> node: bandwidth is consumed on that direction.
 		l, d := q.node.fabric.linkFor(q.peer.ID, q.node.ID)
-		done = l.schedule(d, now, bytes, false)
+		latM, bwM := q.linkFactors(q.peer.ID, q.node.ID, now)
+		done = l.schedule(d, now, bytes, false, latM, bwM)
 		wr.dir = d
 	default:
 		l, d := q.node.fabric.linkFor(q.node.ID, q.peer.ID)
-		done = l.schedule(d, now, bytes, twoSided)
+		latM, bwM := q.linkFactors(q.node.ID, q.peer.ID, now)
+		done = l.schedule(d, now, bytes, twoSided, latM, bwM)
 		wr.dir = d
 	}
+	done += sim.Time(wr.fault.Delay)
 	wr.dir.depth.Add(1)
 	// FIFO completion ordering within one QP.
 	if done < q.last {
@@ -135,6 +155,15 @@ func (q *QP) post(wr workRequest, bytes int, twoSided bool, atomic bool) {
 	wr.done = done
 	q.mu.Unlock()
 	q.wrs.Send(wr)
+}
+
+// linkFactors queries the fault plane's degradation multipliers for the
+// from->to direction, defaulting to a healthy link.
+func (q *QP) linkFactors(from, to int, now sim.Time) (latMult, bwMult float64) {
+	if fi := q.node.fabric.injector(); fi != nil {
+		return fi.LinkFactors(from, to, now)
+	}
+	return 1, 1
 }
 
 // Read posts a one-sided read of n bytes from remote into (lmr, loff).
@@ -242,6 +271,25 @@ func (q *QP) worker() {
 		q.env.WaitUntil(wr.done)
 		wr.dir.depth.Add(-1)
 		comp := Completion{Ctx: wr.ctx, Op: wr.op, N: wr.n}
+		switch {
+		case wr.fault.Err != nil:
+			// Injected failure: error completion, no remote effect.
+			comp.Err = wr.fault.Err
+			q.cq.Send(comp)
+			continue
+		case q.peer.Crashed():
+			// Peer died: the connection is broken (real RC QPs transition
+			// to the error state and flush with work-completion errors).
+			comp.Err = ErrQPBroken
+			q.cq.Send(comp)
+			continue
+		case wr.fault.Drop:
+			// Lost in the network: the optimistic local NIC still reports
+			// success, but nothing reached the peer. Only higher-layer
+			// timeouts can observe this.
+			q.cq.Send(comp)
+			continue
+		}
 		switch wr.op {
 		case OpRead:
 			mr, err := q.peer.lookupMR(wr.remote.RKey)
@@ -258,7 +306,7 @@ func (q *QP) worker() {
 			}
 			mr.write(wr.remote.Off, wr.lmr.buf[wr.loff:wr.loff+wr.n])
 			if wr.op == OpWriteImm {
-				q.peer.immQueue.Send(Message{From: q.node.ID, Imm: wr.imm})
+				q.peer.ImmQueue().Send(Message{From: q.node.ID, Imm: wr.imm})
 			}
 		case OpSend:
 			q.peer.Endpoint(wr.endpoint).Send(Message{From: q.node.ID, Payload: wr.payload})

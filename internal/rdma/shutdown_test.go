@@ -1,0 +1,67 @@
+package rdma
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPostOnClosedQPCompletesWithError(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		src := cn.RegisterBuf([]byte("data"))
+		dst := mn.Register(64)
+		qp := cn.NewQP(mn)
+		qp.Close()
+		// A racing writer posting after shutdown must get an error
+		// completion, not a panic.
+		qp.Write(src, 0, dst.Addr(0), 4, 7)
+		c := qp.WaitCQ()
+		if !errors.Is(c.Err, ErrQPClosed) {
+			t.Fatalf("completion err = %v, want ErrQPClosed", c.Err)
+		}
+		if c.Ctx != 7 || c.Op != OpWrite {
+			t.Fatalf("completion = %+v, want ctx 7 op write", c)
+		}
+		if err := qp.WriteSync(src, 0, dst.Addr(0), 4); !errors.Is(err, ErrQPClosed) {
+			t.Fatalf("WriteSync on closed QP = %v, want ErrQPClosed", err)
+		}
+		// Closing twice stays idempotent.
+		qp.Close()
+	})
+	env.Wait()
+}
+
+func TestWaitCQAfterCloseDrainsThenErrors(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		src := cn.RegisterBuf([]byte("data"))
+		dst := mn.Register(64)
+		qp := cn.NewQP(mn)
+		qp.Write(src, 0, dst.Addr(0), 4, 1)
+		if c := qp.WaitCQ(); c.Err != nil {
+			t.Fatalf("live completion: %v", c.Err)
+		}
+		qp.Close()
+		if c := qp.WaitCQ(); !errors.Is(c.Err, ErrQPClosed) {
+			t.Fatalf("post-close WaitCQ err = %v, want ErrQPClosed", c.Err)
+		}
+	})
+	env.Wait()
+}
+
+func TestEndpointOnDeadNodeIsClosed(t *testing.T) {
+	env, f, _, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		mn.Close()
+		// Late consumers of a dead node's receive queues must observe
+		// immediate teardown instead of parking forever.
+		ep := mn.Endpoint("late")
+		if _, ok := ep.Recv(); ok {
+			t.Fatal("endpoint on closed node delivered a message")
+		}
+	})
+	env.Wait()
+}

@@ -1,0 +1,222 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+)
+
+func quickPolicy(attempts int) Policy {
+	return Policy{
+		Timeout:     time.Millisecond,
+		MaxAttempts: attempts,
+		Backoff:     100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Jitter:      0.2,
+	}
+}
+
+func TestCallPolicyTimesOutWhileServiceDown(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 1)
+		srv.Handle("ping", func(from int, args []byte) ([]byte, error) { return []byte("pong"), nil })
+		srv.Start()
+		srv.Stop() // service dies; the node's memory stays registered
+
+		cli := NewClient(cn, mn, nil, 4096)
+		start := env.Now()
+		_, err := cli.CallPolicy("ping", nil, quickPolicy(3))
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("err = %v, want ErrTimeout", err)
+		}
+		// Three attempts, each expiring its 1ms deadline.
+		if d := time.Duration(env.Now() - start); d < 3*time.Millisecond {
+			t.Fatalf("3 timed-out attempts took %v, want >= 3ms", d)
+		}
+	})
+	env.Wait()
+	tel := f.Telemetry()
+	if tel.Counter("rpc.timeouts").Load() != 3 {
+		t.Errorf("rpc.timeouts = %d, want 3", tel.Counter("rpc.timeouts").Load())
+	}
+	if tel.Counter("rpc.retries").Load() != 2 {
+		t.Errorf("rpc.retries = %d, want 2", tel.Counter("rpc.retries").Load())
+	}
+}
+
+func TestCallPolicySucceedsAfterServiceRestart(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 1)
+		srv.Handle("ping", func(from int, args []byte) ([]byte, error) { return []byte("pong"), nil })
+		srv.Start()
+		srv.Stop()
+		env.Go(func() {
+			env.Sleep(2500 * time.Microsecond)
+			srv.Start()
+		})
+
+		cli := NewClient(cn, mn, nil, 4096)
+		got, err := cli.CallPolicy("ping", nil, quickPolicy(10))
+		if err != nil {
+			t.Fatalf("CallPolicy: %v", err)
+		}
+		if string(got) != "pong" {
+			t.Fatalf("reply = %q", got)
+		}
+	})
+	env.Wait()
+	if f.Telemetry().Counter("rpc.retries").Load() == 0 {
+		t.Error("expected retries while the service was down")
+	}
+}
+
+func TestCallLargePolicyRetriesAcrossServiceOutage(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 2)
+		srv.Handle("sum", func(from int, args []byte) ([]byte, error) {
+			var s int
+			for _, b := range args {
+				s += int(b)
+			}
+			return []byte{byte(s), byte(s >> 8)}, nil
+		})
+		srv.Start()
+		srv.Stop()
+		env.Go(func() {
+			env.Sleep(2 * time.Millisecond)
+			srv.Start()
+		})
+
+		cli := NewClient(cn, mn, NotifierFor(cn), 4096)
+		args := bytes.Repeat([]byte{1}, 10_000)
+		got, err := cli.CallLargePolicy("sum", args, quickPolicy(10))
+		if err != nil {
+			t.Fatalf("CallLargePolicy: %v", err)
+		}
+		const want = 10_000
+		if got[0] != byte(want&0xff) || got[1] != byte(want>>8) {
+			t.Fatalf("sum = %v", got)
+		}
+	})
+	env.Wait()
+}
+
+func TestCallLargePolicyExhaustsAttempts(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 1)
+		srv.Handle("noop", func(from int, args []byte) ([]byte, error) { return nil, nil })
+		srv.Start()
+		srv.Stop()
+		cli := NewClient(cn, mn, NotifierFor(cn), 4096)
+		_, err := cli.CallLargePolicy("noop", make([]byte, 1000), quickPolicy(2))
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("err = %v, want ErrTimeout", err)
+		}
+	})
+	env.Wait()
+}
+
+func TestOversizedReplyDegradesToError(t *testing.T) {
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		srv := NewServer(mn, sim.DefaultCosts(), 1)
+		srv.Handle("big", func(from int, args []byte) ([]byte, error) {
+			return bytes.Repeat([]byte{7}, 100_000), nil
+		})
+		srv.Start()
+		cli := NewClient(cn, mn, nil, 256) // reply buffer far too small
+		_, err := cli.Call("big", nil)
+		if err == nil || !strings.Contains(err.Error(), "too large") {
+			t.Fatalf("err = %v, want reply-too-large error", err)
+		}
+		// The client must remain usable: the flag byte was set exactly once
+		// and nothing beyond the buffer was touched.
+		srv.Handle("small", func(from int, args []byte) ([]byte, error) { return []byte("ok"), nil })
+		got, err := cli.Call("small", nil)
+		if err != nil || string(got) != "ok" {
+			t.Fatalf("follow-up call: %q, %v", got, err)
+		}
+	})
+	env.Wait()
+}
+
+func TestRetryScheduleDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		env := sim.NewEnvSeed(99)
+		f := rdma.NewFabric(env, rdma.EDR100())
+		cn := f.AddNode("compute", 4)
+		mn := f.AddNode("memory", 4)
+		env.Run(func() {
+			defer f.Close()
+			srv := NewServer(mn, sim.DefaultCosts(), 1)
+			srv.Handle("ping", func(from int, args []byte) ([]byte, error) { return []byte("pong"), nil })
+			srv.Start()
+			srv.Stop()
+			env.Go(func() {
+				env.Sleep(3 * time.Millisecond)
+				srv.Start()
+			})
+			cli := NewClient(cn, mn, nil, 4096)
+			if _, err := cli.CallPolicy("ping", nil, quickPolicy(10)); err != nil {
+				t.Fatalf("CallPolicy: %v", err)
+			}
+		})
+		env.Wait()
+		return env.Now()
+	}
+	if t1, t2 := run(), run(); t1 != t2 {
+		t.Fatalf("same seed, different virtual end times: %v vs %v", t1, t2)
+	}
+}
+
+func TestServerRestartGetsFreshEpoch(t *testing.T) {
+	// A handler that straddles a Stop must not write into a requester
+	// buffer of the next era; the requester's retry (after restart) gets
+	// the fresh handler's reply.
+	env, f, cn, mn := testbed()
+	env.Run(func() {
+		defer f.Close()
+		calls := 0
+		srv := NewServer(mn, sim.DefaultCosts(), 1)
+		srv.Handle("slow", func(from int, args []byte) ([]byte, error) {
+			calls++
+			if calls == 1 {
+				mn.CPU.Use(5 * time.Millisecond) // outlives the Stop below
+			}
+			return []byte("fresh"), nil
+		})
+		srv.Start()
+		env.Go(func() {
+			env.Sleep(time.Millisecond)
+			srv.Stop()
+			env.Sleep(time.Millisecond)
+			srv.Start()
+		})
+		cli := NewClient(cn, mn, nil, 4096)
+		got, err := cli.CallPolicy("slow", nil, Policy{Timeout: 2 * time.Millisecond, MaxAttempts: 10, Backoff: 500 * time.Microsecond})
+		if err != nil {
+			t.Fatalf("CallPolicy: %v", err)
+		}
+		if string(got) != "fresh" {
+			t.Fatalf("reply = %q", got)
+		}
+		if calls < 2 {
+			t.Fatalf("calls = %d, want the zombie first call plus a retry", calls)
+		}
+	})
+	env.Wait()
+}

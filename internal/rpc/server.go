@@ -30,6 +30,14 @@ const (
 // Server dispatches RPC requests arriving at a node to a pool of worker
 // entities and returns replies via one-sided writes (general case) or
 // write-with-immediate (large-argument case).
+//
+// The service is restartable: Stop models the server process dying while
+// the node's memory stays registered (one-sided RDMA keeps working — the
+// whole point of memory disaggregation). While stopped, incoming requests
+// are dropped on the floor and requester-side deadlines are the only way
+// to notice. Start brings the service back under a new epoch; replies from
+// handlers that straddled a stop are suppressed by the epoch guard so a
+// zombie worker can never write into a requester buffer of a later era.
 type Server struct {
 	env   *sim.Env
 	node  *rdma.Node
@@ -40,11 +48,13 @@ type Server struct {
 	qps      map[[2]int]*rdma.QP // per (worker, requester node): thread-local QPs
 	argBufs  map[int]*rdma.MemoryRegion
 
-	work      *sim.Chan[rdma.Message]
-	workers   int
-	dedicated map[string]*dedicatedPool
-	nextWID   int
-	started   bool
+	work         *sim.Chan[rdma.Message]
+	workers      int
+	dedicated    map[string]*dedicatedPool
+	nextWID      int
+	running      bool
+	dispatcherOn bool
+	epoch        uint64
 }
 
 // dedicatedPool gives one method its own worker pool so long-running calls
@@ -66,7 +76,6 @@ func NewServer(node *rdma.Node, costs sim.CostModel, workers int) *Server {
 		handlers:  make(map[string]Handler),
 		qps:       make(map[[2]int]*rdma.QP),
 		argBufs:   make(map[int]*rdma.MemoryRegion),
-		work:      sim.NewChan[rdma.Message](nodeEnv(node), 4096),
 		workers:   workers,
 		dedicated: make(map[string]*dedicatedPool),
 	}
@@ -90,51 +99,94 @@ func (s *Server) HandleDedicated(method string, h Handler, workers int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
-	s.dedicated[method] = &dedicatedPool{
-		work:    sim.NewChan[rdma.Message](s.env, 4096),
-		workers: workers,
-	}
+	s.dedicated[method] = &dedicatedPool{workers: workers}
 }
 
-// Start launches the dispatcher and worker entities.
+// Start launches (or relaunches after Stop) the dispatcher and worker
+// entities under a fresh epoch.
 func (s *Server) Start() {
 	s.mu.Lock()
-	if s.started {
+	if s.running {
 		s.mu.Unlock()
 		return
 	}
-	s.started = true
+	s.running = true
+	s.epoch++
+	epoch := s.epoch
+	s.work = sim.NewChan[rdma.Message](s.env, 4096)
+	type spec struct {
+		work *sim.Chan[rdma.Message]
+		n    int
+	}
+	specs := []spec{{s.work, s.workers}}
+	for _, p := range s.dedicated {
+		p.work = sim.NewChan[rdma.Message](s.env, 4096)
+		specs = append(specs, spec{p.work, p.workers})
+	}
+	startDispatcher := !s.dispatcherOn
+	s.dispatcherOn = true
 	s.mu.Unlock()
 
-	ep := s.node.Endpoint(EndpointName)
-	s.env.Go(func() { // message dispatcher
-		for {
-			msg, ok := ep.Recv()
-			if !ok {
-				s.work.Close()
-				for _, p := range s.dedicated {
-					p.work.Close()
-				}
-				return
-			}
-			if p, ok := s.dedicated[peekMethod(msg.Payload)]; ok {
-				p.work.Send(msg)
-				continue
-			}
-			s.work.Send(msg)
-		}
-	})
-	for i := 0; i < s.workers; i++ {
-		id := s.allocWorkerID()
-		s.env.Go(func() { s.pump(s.work, id) })
+	if startDispatcher {
+		// Resolve the endpoint here, not in the dispatcher goroutine: Start
+		// must synchronously register the receive queue so a fabric torn
+		// down immediately afterwards closes it (and thus unwinds the
+		// dispatcher) instead of racing the dispatcher's first instruction.
+		ep := s.node.Endpoint(EndpointName)
+		s.env.Go(func() { s.dispatch(ep) })
 	}
-	for _, p := range s.dedicated {
-		p := p
-		for i := 0; i < p.workers; i++ {
+	for _, sp := range specs {
+		for i := 0; i < sp.n; i++ {
 			id := s.allocWorkerID()
-			s.env.Go(func() { s.pump(p.work, id) })
+			work := sp.work
+			s.env.Go(func() { s.pump(work, id, epoch) })
 		}
 	}
+}
+
+// Stop kills the RPC service: worker pools shut down, their QPs close (so
+// in-flight replies complete with errors instead of reaching requesters),
+// and arriving requests are dropped until the next Start. Registered
+// memory regions are untouched — remote one-sided access keeps working.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = false
+	s.epoch++
+	pools := []*sim.Chan[rdma.Message]{s.work}
+	for _, p := range s.dedicated {
+		pools = append(pools, p.work)
+	}
+	qps := make([]*rdma.QP, 0, len(s.qps))
+	for _, qp := range s.qps {
+		qps = append(qps, qp)
+	}
+	s.qps = make(map[[2]int]*rdma.QP)
+	s.mu.Unlock()
+	for _, w := range pools {
+		w.Close()
+	}
+	for _, qp := range qps {
+		qp.Close()
+	}
+}
+
+// Running reports whether the service is accepting requests.
+func (s *Server) Running() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// epochValid reports whether a worker of the given epoch may still send
+// replies.
+func (s *Server) epochValid(e uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running && s.epoch == e
 }
 
 func (s *Server) allocWorkerID() int {
@@ -142,6 +194,33 @@ func (s *Server) allocWorkerID() int {
 	defer s.mu.Unlock()
 	s.nextWID++
 	return s.nextWID
+}
+
+// dispatch routes arriving requests to the worker pools of the current
+// epoch, dropping them while the service is stopped. It exits (and tears
+// the service down) when the node itself crashes or closes.
+func (s *Server) dispatch(ep *sim.Chan[rdma.Message]) {
+	for {
+		msg, ok := ep.Recv()
+		if !ok {
+			s.mu.Lock()
+			s.dispatcherOn = false
+			s.mu.Unlock()
+			s.Stop()
+			return
+		}
+		s.mu.Lock()
+		if !s.running {
+			s.mu.Unlock()
+			continue // service is down: the request vanishes
+		}
+		target := s.work
+		if p, ok := s.dedicated[peekMethod(msg.Payload)]; ok {
+			target = p.work
+		}
+		s.mu.Unlock()
+		target.Send(msg)
+	}
 }
 
 // peekMethod extracts the method name from a request without consuming it.
@@ -155,13 +234,13 @@ func peekMethod(payload []byte) string {
 	return string(m)
 }
 
-func (s *Server) pump(work *sim.Chan[rdma.Message], id int) {
+func (s *Server) pump(work *sim.Chan[rdma.Message], id int, epoch uint64) {
 	for {
 		msg, ok := work.Recv()
 		if !ok {
 			return
 		}
-		s.serve(id, msg)
+		s.serve(id, epoch, msg)
 	}
 }
 
@@ -185,13 +264,52 @@ func (s *Server) argBuf(worker, size int) *rdma.MemoryRegion {
 	defer s.mu.Unlock()
 	mr := s.argBufs[worker]
 	if mr == nil || mr.Size() < size {
+		if mr != nil {
+			s.node.Deregister(mr)
+		}
 		mr = s.node.Register(max(size, 64<<10))
 		s.argBufs[worker] = mr
 	}
 	return mr
 }
 
-func (s *Server) serve(workerID int, msg rdma.Message) {
+// replyOverhead is the fixed cost of a reply: status byte + u32 length
+// prefix. The last byte of the requester's buffer is its ready flag, so
+// the usable reply budget is replyLen - 1.
+const replyOverhead = 5
+
+// encodeReply builds the wire reply [status][len][payload] within the
+// requester's buffer budget. Oversized results (and oversized error
+// messages) degrade to a statusErr whose text is truncated to fit; if the
+// buffer cannot hold even an empty error, nil is returned and no reply is
+// sent — the requester's deadline is then the only exit. The flag byte at
+// replyLen-1 is never touched by the payload, whatever the handler did.
+func encodeReply(result []byte, err error, replyLen int) []byte {
+	budget := replyLen - 1 - replyOverhead
+	if budget < 0 {
+		return nil
+	}
+	if err == nil && len(result) <= budget {
+		reply := make([]byte, 0, len(result)+replyOverhead)
+		reply = append(reply, statusOK)
+		return putBytes(reply, result)
+	}
+	var msg string
+	if err != nil {
+		msg = err.Error()
+	} else {
+		msg = fmt.Sprintf("rpc: reply too large (%d bytes, buffer %d)", len(result), replyLen)
+	}
+	b := []byte(msg)
+	if len(b) > budget {
+		b = b[:budget]
+	}
+	reply := make([]byte, 0, len(b)+replyOverhead)
+	reply = append(reply, statusErr)
+	return putBytes(reply, b)
+}
+
+func (s *Server) serve(workerID int, epoch uint64, msg rdma.Message) {
 	s.node.CPU.Use(s.costs.RPCHandle)
 
 	r := &reader{b: msg.Payload}
@@ -239,22 +357,12 @@ func (s *Server) serve(workerID int, msg rdma.Message) {
 		result, err = h(msg.From, args)
 	}
 
-	// Encode the reply: [status][payload]; the general path appends a
-	// ready flag as the final byte of the reply buffer.
-	reply := make([]byte, 0, len(result)+16)
-	if err != nil {
-		reply = append(reply, statusErr)
-		reply = putBytes(reply, []byte(err.Error()))
-	} else {
-		reply = append(reply, statusOK)
-		reply = putBytes(reply, result)
+	reply := encodeReply(result, err, replyLen)
+	if reply == nil {
+		return // no reply can fit; the requester's deadline handles it
 	}
-	if len(reply) > replyLen-1 {
-		// Reply would overflow the requester's buffer: report the error
-		// in-band instead (it always fits a sane minimum buffer).
-		reply = reply[:0]
-		reply = append(reply, statusErr)
-		reply = putBytes(reply, []byte("rpc: reply buffer too small"))
+	if !s.epochValid(epoch) {
+		return // service stopped while the handler ran: zombie reply suppressed
 	}
 
 	qp := s.qpTo(workerID, msg.From)

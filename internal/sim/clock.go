@@ -33,11 +33,19 @@ type Time int64
 // Duration is a span of virtual time in nanoseconds.
 type Duration = time.Duration
 
+// waiter states (guarded by Clock.mu).
+const (
+	waiterPending = iota
+	waiterFired
+	waiterCanceled
+)
+
 type waiter struct {
 	at    Time
 	seq   uint64 // tie-break so equal timestamps wake FIFO
 	ch    chan struct{}
 	where string // description for deadlock reports
+	state int    // pending / fired / canceled
 }
 
 type waitHeap []*waiter
@@ -173,26 +181,101 @@ func (c *Clock) maybeAdvanceLocked() (deadlock string) {
 	if c.runners > 0 || c.dead {
 		return ""
 	}
-	if len(c.heap) == 0 {
-		if c.blocked > 0 && c.active > 0 {
-			// A driver is inside Run, every entity is parked on a
-			// primitive, and nothing is scheduled to wake: the
-			// simulation cannot make progress. (With no active driver,
-			// parked service entities are just idle, not deadlocked.)
-			c.dead = true
-			return c.stallReportLocked()
+	for {
+		// Canceled alarms are heap garbage; drop them before deciding.
+		for len(c.heap) > 0 && c.heap[0].state == waiterCanceled {
+			heap.Pop(&c.heap)
 		}
-		return ""
+		if len(c.heap) == 0 {
+			if c.blocked > 0 && c.active > 0 {
+				// A driver is inside Run, every entity is parked on a
+				// primitive, and nothing is scheduled to wake: the
+				// simulation cannot make progress. (With no active driver,
+				// parked service entities are just idle, not deadlocked.)
+				c.dead = true
+				return c.stallReportLocked()
+			}
+			return ""
+		}
+		next := c.heap[0].at
+		woke := 0
+		// Wake every waiter scheduled for this instant. Each wakes as a
+		// runner.
+		for len(c.heap) > 0 && c.heap[0].at == next {
+			w := heap.Pop(&c.heap).(*waiter)
+			if w.state == waiterCanceled {
+				continue
+			}
+			w.state = waiterFired
+			c.runners++
+			woke++
+			close(w.ch)
+		}
+		if woke > 0 {
+			c.now = next
+			return ""
+		}
+		// Everything at this instant was canceled; try the next one.
 	}
-	next := c.heap[0].at
-	c.now = next
-	// Wake every waiter scheduled for this instant. Each wakes as a runner.
-	for len(c.heap) > 0 && c.heap[0].at == next {
-		w := heap.Pop(&c.heap).(*waiter)
-		c.runners++
-		close(w.ch)
+}
+
+// Alarm is a cancellable virtual-time wakeup. The owning entity schedules
+// it with NewAlarm, then parks in Wait; any other entity may Cancel it
+// early, waking the owner before the deadline. Unlike spawning a timer
+// entity, a canceled alarm leaves no pending wakeup behind, so it never
+// drags the virtual clock out to its deadline.
+type Alarm struct {
+	c *Clock
+	w *waiter
+}
+
+// NewAlarm schedules a wakeup for the calling entity at virtual time t
+// (clamped to now). The entity must follow with Wait before blocking on
+// anything else.
+func (c *Clock) NewAlarm(t Time, where string) *Alarm {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t < c.now {
+		t = c.now
 	}
-	return ""
+	w := &waiter{at: t, seq: c.seq, ch: make(chan struct{}), where: where}
+	c.seq++
+	heap.Push(&c.heap, w)
+	return &Alarm{c: c, w: w}
+}
+
+// Wait parks the owning entity until the alarm fires or is canceled. It
+// returns true if the deadline fired, false if Cancel woke it early.
+func (a *Alarm) Wait() bool {
+	c := a.c
+	c.mu.Lock()
+	c.runners--
+	dead := c.maybeAdvanceLocked()
+	c.mu.Unlock()
+	if dead != "" {
+		panic("sim: deadlock — all entities blocked: " + dead)
+	}
+	<-a.w.ch
+	c.mu.Lock()
+	fired := a.w.state == waiterFired
+	c.mu.Unlock()
+	return fired
+}
+
+// Cancel wakes the alarm's owner before the deadline. Calling it after
+// the alarm fired (or cancelling twice) is a no-op. Cancel may be called
+// before the owner reaches Wait; the runner accounting still balances.
+func (a *Alarm) Cancel() {
+	c := a.c
+	c.mu.Lock()
+	if a.w.state != waiterPending {
+		c.mu.Unlock()
+		return
+	}
+	a.w.state = waiterCanceled
+	c.runners++ // the owner becomes runnable again
+	c.mu.Unlock()
+	close(a.w.ch)
 }
 
 func (c *Clock) stallReportLocked() string {

@@ -7,12 +7,20 @@ import "sync"
 // (compute nodes, memory nodes, benchmark drivers) share one Env.
 type Env struct {
 	clock *Clock
+	seed  int64
 	wg    sync.WaitGroup
 }
 
-// NewEnv creates a fresh simulation world at virtual time zero.
+// NewEnv creates a fresh simulation world at virtual time zero with the
+// default seed.
 func NewEnv() *Env {
-	return &Env{clock: NewClock()}
+	return NewEnvSeed(DefaultSeed)
+}
+
+// NewEnvSeed creates a fresh simulation world whose injected faults and
+// retry jitter derive deterministically from seed (see Mix64).
+func NewEnvSeed(seed int64) *Env {
+	return &Env{clock: NewClock(), seed: seed}
 }
 
 // Now returns the current virtual time.

@@ -1,0 +1,35 @@
+package sim
+
+// Deterministic randomness for the simulation. Every source of simulated
+// nondeterminism (fault injection, retry jitter) must draw from the
+// environment's seed through Mix64 rather than from math/rand's global
+// state, so that one seed reproduces one virtual-time history.
+
+// DefaultSeed is the environment seed when none is given.
+const DefaultSeed int64 = 0x5eed_d15a_99e6
+
+// Seed returns the environment's seed.
+func (e *Env) Seed() int64 { return e.seed }
+
+// Mix64 hashes an arbitrary tuple of values into a uniformly distributed
+// 64-bit value using splitmix64 steps. It is pure — identical inputs give
+// identical outputs on every run and platform — which makes it the
+// deterministic substitute for a shared RNG stream: derive each draw from
+// stable identifiers (seed, rule id, attempt number) instead of from the
+// order in which concurrent entities happen to ask.
+func Mix64(vs ...uint64) uint64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		x ^= v + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x += 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return x
+}
+
+// MixFloat maps a Mix64 draw to [0, 1).
+func MixFloat(vs ...uint64) float64 {
+	return float64(Mix64(vs...)>>11) / float64(1<<53)
+}
