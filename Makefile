@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench faults
+.PHONY: check build test vet race bench cache faults
 
 check: vet build test race
 
@@ -19,7 +19,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/engine/... \
-		./internal/rpc/... ./internal/memnode/... ./internal/faults/...
+		./internal/rpc/... ./internal/memnode/... ./internal/faults/... \
+		./internal/cache/... ./internal/shard/...
+
+# Hot-KV cache budget sweep (Zipf readrandom, cache off -> 64MB).
+cache:
+	$(GO) run ./cmd/dlsm-bench -fig cache -n 100000
 
 # Fault-scenario suite. Every scenario pins its own sim seed, so the
 # fault schedule and the virtual-time results are bit-identical per run.

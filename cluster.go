@@ -15,6 +15,8 @@ type ClusterDB struct {
 // OpenCluster opens a DB per compute node. boundaries must contain exactly
 // c-1 ascending user keys splitting the space across compute nodes, and
 // perNode λ-1 split points are derived per slice by splitRange.
+// Options.CacheBudgetBytes is a per-compute-node budget — every compute
+// node has its own DRAM, so each node's λ shards split one full budget.
 func OpenCluster(d *Deployment, opts Options, lambda int, boundaries [][]byte, shardBounds func(compute int) [][]byte) *ClusterDB {
 	c := len(d.Compute)
 	if len(boundaries) != c-1 {

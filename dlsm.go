@@ -40,6 +40,10 @@ import (
 type (
 	// Options configures a DB; see DefaultOptions.
 	Options = engine.Options
+	// ReadOptions tunes one read (cache fill policy, scan prefetch).
+	ReadOptions = engine.ReadOptions
+	// Batch buffers writes for Session.Apply (one sequence-range claim).
+	Batch = engine.Batch
 	// Seq is a snapshot sequence number.
 	Seq = keys.Seq
 	// LinkParams models one network link.
@@ -50,6 +54,13 @@ type (
 
 // ErrNotFound is returned by Get for missing keys.
 var ErrNotFound = engine.ErrNotFound
+
+// ErrClosed is returned by writes through a closed Session or DB.
+var ErrClosed = engine.ErrClosed
+
+// ErrStalled is returned when a write stalled longer than
+// Options.StallTimeout (0 disables the timeout).
+var ErrStalled = engine.ErrStalled
 
 // Compaction / transport / switch-policy selectors (see DESIGN.md).
 const (
@@ -218,17 +229,34 @@ type Session struct {
 // NewSession creates a thread-local handle.
 func (db *DB) NewSession() *Session { return &Session{inner: db.inner.NewSession()} }
 
-// Put inserts or overwrites key.
-func (s *Session) Put(key, value []byte) { s.inner.Put(key, value) }
+// Put inserts or overwrites key. It returns ErrClosed on a closed session
+// or DB and ErrStalled when the write outwaits Options.StallTimeout.
+func (s *Session) Put(key, value []byte) error { return s.inner.Put(key, value) }
 
-// Delete removes key (a tombstone write).
-func (s *Session) Delete(key []byte) { s.inner.Delete(key) }
+// Delete removes key (a tombstone write). Errors as for Put.
+func (s *Session) Delete(key []byte) error { return s.inner.Delete(key) }
+
+// Apply writes every operation buffered in b, claiming one sequence range
+// per shard touched instead of one per entry. Entries become visible as
+// they are inserted; Apply is a throughput construct, not a transaction.
+func (s *Session) Apply(b *Batch) error { return s.inner.Apply(b) }
 
 // Get returns the newest visible value of key or ErrNotFound.
 func (s *Session) Get(key []byte) ([]byte, error) { return s.inner.Get(key) }
 
+// GetOpts is Get with an explicit read policy (ReadOptions.FillCache).
+func (s *Session) GetOpts(key []byte, ro ReadOptions) ([]byte, error) {
+	return s.inner.GetOpts(key, ro)
+}
+
 // NewIterator opens a snapshot-consistent scan in key order.
 func (s *Session) NewIterator() *Iterator { return &Iterator{inner: s.inner.NewIterator()} }
+
+// NewIteratorOpts is NewIterator with an explicit read policy
+// (ReadOptions.PrefetchBytes; scans bypass the hot-KV cache).
+func (s *Session) NewIteratorOpts(ro ReadOptions) *Iterator {
+	return &Iterator{inner: s.inner.NewIteratorOpts(ro)}
+}
 
 // Close releases the session's fabric resources.
 func (s *Session) Close() { s.inner.Close() }

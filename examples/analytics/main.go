@@ -36,10 +36,17 @@ func main() {
 				defer wg.Done()
 				s := db.NewSession()
 				defer s.Close()
+				// Batch one timestamp tick across this thread's sensors:
+				// one sequence-range claim per tick.
+				var b dlsm.Batch
 				for e := 0; e < eventsPerShard; e++ {
 					for sensor := t; sensor < sensors; sensor += 8 {
-						s.Put(eventKey(sensor, e), payload(sensor, e))
+						b.Put(eventKey(sensor, e), payload(sensor, e))
 					}
+					if err := s.Apply(&b); err != nil {
+						panic(err)
+					}
+					b.Reset()
 				}
 			})
 		}
@@ -55,7 +62,9 @@ func main() {
 			w := db.NewSession()
 			defer w.Close()
 			for e := eventsPerShard; e < eventsPerShard+500; e++ {
-				w.Put(eventKey(17, e), payload(17, e))
+				if err := w.Put(eventKey(17, e), payload(17, e)); err != nil {
+					panic(err)
+				}
 			}
 		})
 

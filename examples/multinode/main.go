@@ -59,7 +59,9 @@ func main() {
 					lo := total * node / computeNodes
 					for i := t; i < keysPerCompute; i += threadsPerNode {
 						k := format(lo + i)
-						s.Put(k, []byte(fmt.Sprintf("v-%0400d", i)))
+						if err := s.Put(k, []byte(fmt.Sprintf("v-%0400d", i))); err != nil {
+							panic(err)
+						}
 					}
 				})
 			}

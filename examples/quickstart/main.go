@@ -23,14 +23,28 @@ func main() {
 		s := db.NewSession()
 		defer s.Close()
 
+		// Batched writes claim one sequence range per Apply instead of one
+		// per Put; writes return an error (closed session, stall timeout).
+		var b dlsm.Batch
 		for i := 0; i < 50_000; i++ {
-			s.Put(key(i), []byte(fmt.Sprintf("value-%06d", i)))
+			b.Put(key(i), []byte(fmt.Sprintf("value-%06d", i)))
+			if b.Len() == 1000 {
+				if err := s.Apply(&b); err != nil {
+					panic(err)
+				}
+				b.Reset()
+			}
+		}
+		if err := s.Apply(&b); err != nil {
+			panic(err)
 		}
 
 		v, err := s.Get(key(4242))
 		fmt.Printf("Get(%s) = %s (err=%v)\n", key(4242), v, err)
 
-		s.Delete(key(4242))
+		if err := s.Delete(key(4242)); err != nil {
+			panic(err)
+		}
 		if _, err := s.Get(key(4242)); err == dlsm.ErrNotFound {
 			fmt.Println("deleted key is gone")
 		}

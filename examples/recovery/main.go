@@ -36,7 +36,9 @@ func main() {
 		var log []command
 		apply := func(s *engine.Session, c command) {
 			log = append(log, c)
-			s.Put([]byte(c.key), []byte(c.value))
+			if err := s.Put([]byte(c.key), []byte(c.value)); err != nil {
+				panic(err)
+			}
 		}
 
 		for i := 0; i < 80_000; i++ {
@@ -67,9 +69,14 @@ func main() {
 		}
 		s2 := db2.NewSession()
 
-		// Re-execute the command log past the horizon.
+		// Re-execute the command log past the horizon, batched (one
+		// sequence-range claim for the whole replay).
+		var rb engine.Batch
 		for _, c := range log[horizon:] {
-			s2.Put([]byte(c.key), []byte(c.value))
+			rb.Put([]byte(c.key), []byte(c.value))
+		}
+		if err := s2.Apply(&rb); err != nil {
+			panic(err)
 		}
 		fmt.Printf("replayed %d post-checkpoint commands\n", len(log)-horizon)
 

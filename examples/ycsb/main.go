@@ -39,7 +39,8 @@ func runWorkload(lambda int) float64 {
 			dlsm.UniformBoundaries(lambda, numKeys, format))
 		defer db.Close()
 
-		// Load phase: every key once.
+		// Load phase: every key once, batched — one sequence-range claim
+		// per 512 keys instead of one per Put.
 		loadStart := d.Env.Now()
 		wg := sim.NewWaitGroup(d.Env)
 		for t := 0; t < threads; t++ {
@@ -49,8 +50,18 @@ func runWorkload(lambda int) float64 {
 				defer wg.Done()
 				s := db.NewSession()
 				defer s.Close()
+				var b dlsm.Batch
 				for i := t; i < numKeys; i += threads {
-					s.Put(format(i), value(i))
+					b.Put(format(i), value(i))
+					if b.Len() == 512 {
+						if err := s.Apply(&b); err != nil {
+							panic(err)
+						}
+						b.Reset()
+					}
+				}
+				if err := s.Apply(&b); err != nil {
+					panic(err)
 				}
 			})
 		}
@@ -75,8 +86,8 @@ func runWorkload(lambda int) float64 {
 						if _, err := s.Get(format(k)); err != nil {
 							panic(err)
 						}
-					} else {
-						s.Put(format(k), value(k))
+					} else if err := s.Put(format(k), value(k)); err != nil {
+						panic(err)
 					}
 				}
 			})

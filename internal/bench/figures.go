@@ -217,6 +217,51 @@ func Fig11(n int, threads int) *Figure {
 	return f
 }
 
+// FigCache sweeps the compute-side hot-KV cache budget on a Zipf-skewed
+// readrandom workload (s=1.2, scrambled hot set). Budget 0 is the cache
+// disabled — the pre-cache read path, unchanged. Each point reports the
+// telemetry hit rate alongside throughput.
+func FigCache(n, threads int) *Figure {
+	f := &Figure{Name: "Fig cache", Title: "hot-KV cache: Zipf(1.2) readrandom vs budget", XLabel: "budget"}
+	// Intermediate points sit below the laptop-scale working set so every
+	// step of the sweep moves throughput; 64 MB is the paper-scale budget
+	// (fully saturated at the default -n).
+	budgets := []int64{0, 256 << 10, 1 << 20, 4 << 20, 64 << 20}
+	s := Series{Label: "dLSM"}
+	for _, b := range budgets {
+		r := ReadRandom(Config{System: DLSM, Threads: threads, N: n, KeyRange: n,
+			Zipf: 1.2, CacheBudgetBytes: b})
+		progress("figcache budget=%s: %s ops/s (hit rate %.1f%%, neg hits %d)",
+			fmtBudget(b), fmtTput(r.Throughput), cacheHitRate(r)*100,
+			r.Metrics.Counters["cache.neg_hits"])
+		s.Points = append(s.Points, Point{X: fmtBudget(b), R: r})
+	}
+	f.Series = append(f.Series, s)
+	return f
+}
+
+// cacheHitRate extracts the value-cache hit fraction from a run's
+// telemetry snapshot (0 when the cache was off).
+func cacheHitRate(r Result) float64 {
+	h := r.Metrics.Counters["cache.hits"]
+	m := r.Metrics.Counters["cache.misses"]
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+func fmtBudget(b int64) string {
+	switch {
+	case b == 0:
+		return "off"
+	case b < 1<<20:
+		return fmt.Sprintf("%dKB", b>>10)
+	default:
+		return fmt.Sprintf("%dMB", b>>20)
+	}
+}
+
 // Fig12 reproduces Fig 12: the impact of remote CPU cores on near-data
 // compaction at different writer counts, with compute-side compaction as
 // the rightmost group. Each point is annotated with remote CPU

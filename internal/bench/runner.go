@@ -177,10 +177,12 @@ func measure(env *sim.Env, fab *rdma.Fabric, cfg Config, kind opKind, db kvDB, c
 }
 
 // opLoop executes per point operations, sampling latency every 32nd op.
+// Key choice is uniform, or Zipf-skewed when cfg.Zipf > 1.
 func opLoop(env *sim.Env, cfg Config, kind opKind, s kvSession, rnd *rand.Rand, per int, lat *[]time.Duration) int64 {
+	z := cfg.zipf(rnd)
 	var ops int64
 	for i := 0; i < per; i++ {
-		k := rnd.Intn(cfg.KeyRange)
+		k := cfg.nextKey(rnd, z)
 		read := kind == opRead || (kind == opMixed && rnd.Float64() < cfg.ReadRatio)
 		sample := i%32 == 0
 		var t0 sim.Time

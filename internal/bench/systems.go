@@ -100,6 +100,8 @@ func engineOptions(sys System, cfg Config, lambda int) engine.Options {
 	o.CompactionWorkers = workersPerShard(12, lambda)
 	o.Subcompactions = 12
 	o.ReplyBufSize = 32 << 20
+	// Whole-node cache budget; shard.New splits it across the λ shards.
+	o.CacheBudgetBytes = cfg.CacheBudgetBytes
 
 	switch sys {
 	case DLSM:
@@ -228,7 +230,13 @@ func (l *lsmDB) TelemetrySnapshot() telemetry.Snapshot {
 
 type lsmSession struct{ s *shard.Session }
 
-func (s *lsmSession) Put(k, v []byte) { s.s.Put(k, v) }
+// Put panics on write errors: bench never sets StallTimeout or writes to
+// closed sessions, so any error here is an engine bug, not load shedding.
+func (s *lsmSession) Put(k, v []byte) {
+	if err := s.s.Put(k, v); err != nil {
+		panic(fmt.Sprintf("bench: put: %v", err))
+	}
+}
 func (s *lsmSession) Get(k []byte) ([]byte, error) {
 	v, err := s.s.Get(k)
 	if err == engine.ErrNotFound {

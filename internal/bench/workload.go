@@ -21,6 +21,16 @@ type Config struct {
 	Lambda    int     // dLSM shard count (§VII)
 	Bulkload  bool    // level0_stop_writes_trigger = infinity
 
+	// Zipf > 1 skews measured-phase key choice with a Zipf(s=Zipf)
+	// distribution whose ranks are scrambled across the key space (so hot
+	// keys spread over shards). <= 1 keeps the uniform db_bench draw,
+	// bit-identical to the pre-Zipf workloads.
+	Zipf float64
+
+	// CacheBudgetBytes enables the compute-side hot-KV cache (0 = off,
+	// the historical behavior). Passed through to engine.Options.
+	CacheBudgetBytes int64
+
 	DisableNearData bool // dLSM ablation: compact on the compute node instead
 
 	// Cluster shape (Fig 12/14/15); zero means the single-node testbed.
@@ -119,4 +129,34 @@ func (c Config) Value(i int) []byte {
 // threadRand returns the per-thread random stream.
 func (c Config) threadRand(thread int) *rand.Rand {
 	return rand.New(rand.NewSource(c.Seed + int64(thread)*7919))
+}
+
+// zipf builds the thread's skewed rank generator, or nil for uniform runs.
+func (c Config) zipf(r *rand.Rand) *rand.Zipf {
+	if c.Zipf <= 1 {
+		return nil
+	}
+	return rand.NewZipf(r, c.Zipf, 1, uint64(c.KeyRange-1))
+}
+
+// nextKey draws one key index: uniform when z is nil (the historical
+// stream, unchanged), else a Zipf rank scrambled over [0, KeyRange).
+func (c Config) nextKey(r *rand.Rand, z *rand.Zipf) int {
+	if z == nil {
+		return r.Intn(c.KeyRange)
+	}
+	return int(scramble(z.Uint64()) % uint64(c.KeyRange))
+}
+
+// scramble is splitmix64's finalizer: it maps the dense hot ranks
+// 0,1,2,... onto keys scattered across the whole space, so skew stresses
+// the cache rather than one shard.
+func scramble(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }

@@ -1,0 +1,420 @@
+// Package cache implements dLSM's compute-side hot-KV cache: a budgeted,
+// sharded, concurrent cache that serves point reads from local DRAM before
+// the engine falls back to the one-sided RDMA read (the communication-
+// efficiency lever DEX and Outback make for disaggregated indexes).
+//
+// Entries are keyed by (SSTable file number, entry index). Table files are
+// immutable and file numbers are never reused within a DB, so a cached
+// value can never go stale: when compaction obsoletes a table the engine's
+// onObsolete hook calls DropTable, which merely reclaims the dead entries'
+// budget. A small direct-mapped negative-lookup cache absorbs repeated
+// misses that survive the bloom filter (bloom false positives), keyed by
+// (table, user-key hash); negative entries for dead tables are harmless —
+// the read path only consults tables in the current version — so they are
+// simply overwritten over time.
+//
+// Eviction is CLOCK over fixed-size slot segments: slots are allocated a
+// segment at a time, freed slots are recycled through a free list, and
+// values reuse each slot's byte capacity, so a warm cache allocates almost
+// nothing (the arena discipline of the rest of the stack). All virtual CPU
+// costs (probe, value copy) are charged through Config.Charge to the sim
+// core pool, and never while a shard lock is held — blocking on virtual
+// time under a host mutex would wedge the simulation scheduler.
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"dlsm/internal/telemetry"
+)
+
+// Metrics holds the telemetry handles the cache reports into. Fields may
+// be nil (nil handles are inert).
+type Metrics struct {
+	Hits          *telemetry.Counter // value-cache hits
+	Misses        *telemetry.Counter // value-cache misses (probe found nothing)
+	NegHits       *telemetry.Counter // negative-cache hits (miss answered locally)
+	Fills         *telemetry.Counter // values inserted
+	Evictions     *telemetry.Counter // entries evicted for budget
+	Invalidations *telemetry.Counter // entries dropped with their table
+	Bytes         *telemetry.Gauge   // bytes currently cached (values + slot overhead)
+	HitRate       *telemetry.Gauge   // hits/(hits+misses) in basis points
+}
+
+// Config sizes and wires a Cache.
+type Config struct {
+	// Budget is the total byte budget across all shards; values plus a
+	// fixed per-slot overhead are charged against it.
+	Budget int64
+	// Shards is the concurrency shard count (rounded up to a power of two,
+	// default 8). Each shard owns Budget/Shards bytes.
+	Shards int
+	// NegSlots is the per-shard size of the direct-mapped negative cache
+	// (default 2048 slots, allocated lazily on first negative fill).
+	NegSlots int
+	// ProbeCost is the virtual CPU charged per cache probe.
+	ProbeCost time.Duration
+	// CopyNSPerByte is the virtual CPU per byte of value copied in or out.
+	CopyNSPerByte float64
+	// Charge accounts virtual CPU to the compute node; nil disables.
+	Charge func(time.Duration)
+	// Metrics receives hit/miss/eviction telemetry.
+	Metrics Metrics
+}
+
+// slotOverhead approximates the per-entry bookkeeping (slot struct + index
+// map entry) charged against the budget alongside the value bytes.
+const slotOverhead = 64
+
+// segSize is the number of slots per allocation segment.
+const segSize = 256
+
+// ckey identifies one cached value: (table file number, entry index).
+type ckey struct {
+	table uint64
+	entry uint32
+}
+
+type slot struct {
+	key  ckey
+	val  []byte
+	ref  bool // CLOCK reference bit
+	live bool
+}
+
+type negEnt struct {
+	table uint64
+	fp    uint64
+}
+
+type shard struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	index  map[ckey]int32
+	segs   [][]slot
+	nslots int32
+	hand   int32
+	free   []int32
+	neg    []negEnt
+}
+
+// Cache is the sharded hot-KV cache. All methods are safe for concurrent
+// use; all methods on a nil *Cache are inert, so callers need no guards.
+type Cache struct {
+	cfg    Config
+	mask   uint64
+	shards []shard
+}
+
+// New builds a cache with cfg. A non-positive budget returns nil (off);
+// the nil receiver is safe to use.
+func New(cfg Config) *Cache {
+	if cfg.Budget <= 0 {
+		return nil
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	if cfg.NegSlots <= 0 {
+		cfg.NegSlots = 2048
+	}
+	c := &Cache{cfg: cfg, mask: uint64(n - 1), shards: make([]shard, n)}
+	per := cfg.Budget / int64(n)
+	if per < slotOverhead*2 {
+		per = slotOverhead * 2
+	}
+	for i := range c.shards {
+		c.shards[i].budget = per
+		c.shards[i].index = make(map[ckey]int32)
+	}
+	return c
+}
+
+// mix is splitmix64's finalizer: a cheap, well-distributed 64-bit mixer.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (c *Cache) shardFor(h uint64) *shard { return &c.shards[h&c.mask] }
+
+func (c *Cache) charge(d time.Duration) {
+	if c.cfg.Charge != nil && d > 0 {
+		c.cfg.Charge(d)
+	}
+}
+
+func (c *Cache) copyCost(n int) time.Duration {
+	return time.Duration(float64(n) * c.cfg.CopyNSPerByte)
+}
+
+// updateHitRate refreshes the hit-rate gauge (basis points) from the
+// hit/miss counters.
+func (c *Cache) updateHitRate() {
+	m := c.cfg.Metrics
+	if m.HitRate == nil {
+		return
+	}
+	h, ms := m.Hits.Load(), m.Misses.Load()
+	if t := h + ms; t > 0 {
+		m.HitRate.Set(h * 10000 / t)
+	}
+}
+
+// GetValue returns a stable copy of the cached value for (table, entry).
+func (c *Cache) GetValue(table uint64, entry uint32) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.charge(c.cfg.ProbeCost)
+	sh := c.shardFor(mix(table ^ uint64(entry)<<1))
+	sh.mu.Lock()
+	idx, ok := sh.index[ckey{table, entry}]
+	if !ok {
+		sh.mu.Unlock()
+		c.cfg.Metrics.Misses.Inc()
+		c.updateHitRate()
+		return nil, false
+	}
+	s := sh.slot(idx)
+	s.ref = true
+	out := append([]byte(nil), s.val...)
+	sh.mu.Unlock()
+	c.cfg.Metrics.Hits.Inc()
+	c.updateHitRate()
+	c.charge(c.copyCost(len(out)))
+	return out, true
+}
+
+// FillValue inserts a copy of val under (table, entry), evicting via CLOCK
+// until the shard fits its budget. Values larger than the shard budget are
+// not cached; refilling an existing key only refreshes its reference bit
+// (table contents are immutable, so the value cannot have changed).
+func (c *Cache) FillValue(table uint64, entry uint32, val []byte) {
+	if c == nil {
+		return
+	}
+	need := int64(len(val)) + slotOverhead
+	sh := c.shardFor(mix(table ^ uint64(entry)<<1))
+	if need > sh.budget {
+		return
+	}
+	c.charge(c.cfg.ProbeCost + c.copyCost(len(val)))
+	var evictedBytes int64
+	var evictedEnts int64
+	filled := false
+	sh.mu.Lock()
+	k := ckey{table, entry}
+	if idx, ok := sh.index[k]; ok {
+		sh.slot(idx).ref = true
+		sh.mu.Unlock()
+		return
+	}
+	for sh.used+need > sh.budget {
+		freed, ok := sh.evictOne()
+		if !ok {
+			break
+		}
+		evictedBytes += freed
+		evictedEnts++
+	}
+	if sh.used+need <= sh.budget {
+		idx := sh.takeSlot()
+		s := sh.slot(idx)
+		s.key = k
+		s.val = append(s.val[:0], val...)
+		// Inserted with the reference bit clear: an entry earns its second
+		// chance by being read, otherwise one sweep degenerates CLOCK into
+		// evict-at-hand and churning fills can push out the hot set.
+		s.ref = false
+		s.live = true
+		sh.index[k] = idx
+		sh.used += need
+		filled = true
+	}
+	sh.mu.Unlock()
+	if filled {
+		c.cfg.Metrics.Fills.Inc()
+		c.cfg.Metrics.Bytes.Add(need - evictedBytes)
+	} else if evictedBytes > 0 {
+		c.cfg.Metrics.Bytes.Add(-evictedBytes)
+	}
+	if evictedEnts > 0 {
+		c.cfg.Metrics.Evictions.Add(evictedEnts)
+	}
+}
+
+// Negative reports whether (table, keyHash) is a recorded miss.
+func (c *Cache) Negative(table, keyHash uint64) bool {
+	if c == nil {
+		return false
+	}
+	c.charge(c.cfg.ProbeCost)
+	sh := c.shardFor(keyHash)
+	sh.mu.Lock()
+	hit := false
+	if sh.neg != nil {
+		e := sh.neg[mix(table^keyHash)%uint64(len(sh.neg))]
+		hit = e.table == table && e.fp == keyHash
+	}
+	sh.mu.Unlock()
+	if hit {
+		c.cfg.Metrics.NegHits.Inc()
+	}
+	return hit
+}
+
+// FillNegative records that table has no visible version of the key hashed
+// to keyHash (a miss that survived the bloom filter).
+func (c *Cache) FillNegative(table, keyHash uint64) {
+	if c == nil {
+		return
+	}
+	sh := c.shardFor(keyHash)
+	sh.mu.Lock()
+	if sh.neg == nil {
+		sh.neg = make([]negEnt, c.cfg.NegSlots)
+	}
+	sh.neg[mix(table^keyHash)%uint64(len(sh.neg))] = negEnt{table: table, fp: keyHash}
+	sh.mu.Unlock()
+}
+
+// DropTable removes every value cached for table, reclaiming its budget.
+// Called from the engine's onObsolete hook when compaction retires the
+// table; it takes only host mutexes (no virtual-time blocking), so it is
+// safe under engine and version-set locks.
+func (c *Cache) DropTable(table uint64) {
+	if c == nil {
+		return
+	}
+	var dropped, bytes int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, idx := range sh.index {
+			if k.table == table {
+				bytes += sh.removeAt(idx)
+				dropped++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if dropped > 0 {
+		c.cfg.Metrics.Invalidations.Add(dropped)
+		c.cfg.Metrics.Bytes.Add(-bytes)
+	}
+}
+
+// Used returns the bytes currently charged against the budget.
+func (c *Cache) Used() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.used
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Budget returns the total configured byte budget.
+func (c *Cache) Budget() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].budget
+	}
+	return n
+}
+
+// Len returns the number of live cached values.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.index)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// --- shard internals (all under sh.mu) --------------------------------------
+
+func (sh *shard) slot(idx int32) *slot {
+	return &sh.segs[idx/segSize][idx%segSize]
+}
+
+// takeSlot returns a free slot index, growing by one fixed-size segment
+// when the free list is empty. Slot growth is bounded: every live slot
+// pins at least slotOverhead bytes of budget, so the segment count tops
+// out near budget/(slotOverhead*segSize).
+func (sh *shard) takeSlot() int32 {
+	if n := len(sh.free); n > 0 {
+		idx := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		return idx
+	}
+	sh.segs = append(sh.segs, make([]slot, segSize))
+	base := sh.nslots
+	sh.nslots += segSize
+	for i := int32(segSize) - 1; i > 0; i-- {
+		sh.free = append(sh.free, base+i)
+	}
+	return base
+}
+
+// evictOne runs the CLOCK hand until it reclaims one live slot, returning
+// the bytes freed. Returns false when nothing is evictable.
+func (sh *shard) evictOne() (int64, bool) {
+	if sh.nslots == 0 || len(sh.index) == 0 {
+		return 0, false
+	}
+	// Two full sweeps clear every reference bit; a third pass must evict.
+	for i := int32(0); i < 2*sh.nslots+1; i++ {
+		idx := sh.hand
+		sh.hand = (sh.hand + 1) % sh.nslots
+		s := sh.slot(idx)
+		if !s.live {
+			continue
+		}
+		if s.ref {
+			s.ref = false
+			continue
+		}
+		return sh.removeAt(idx), true
+	}
+	return 0, false
+}
+
+// removeAt frees the slot at idx, returning the budget bytes reclaimed.
+// The value's capacity is kept for reuse by the next fill.
+func (sh *shard) removeAt(idx int32) int64 {
+	s := sh.slot(idx)
+	freed := int64(len(s.val)) + slotOverhead
+	delete(sh.index, s.key)
+	sh.used -= freed
+	s.val = s.val[:0]
+	s.live = false
+	s.ref = false
+	sh.free = append(sh.free, idx)
+	return freed
+}

@@ -1,0 +1,229 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dlsm/internal/telemetry"
+)
+
+func testMetrics(reg *telemetry.Registry) Metrics {
+	return Metrics{
+		Hits:          reg.Counter("cache.hits"),
+		Misses:        reg.Counter("cache.misses"),
+		NegHits:       reg.Counter("cache.neg_hits"),
+		Fills:         reg.Counter("cache.fills"),
+		Evictions:     reg.Counter("cache.evictions"),
+		Invalidations: reg.Counter("cache.invalidations"),
+		Bytes:         reg.Gauge("cache.bytes"),
+		HitRate:       reg.Gauge("cache.hit_rate_bp"),
+	}
+}
+
+func newTestCache(budget int64, shards int) (*Cache, Metrics) {
+	reg := telemetry.NewRegistry(nil)
+	m := testMetrics(reg)
+	return New(Config{Budget: budget, Shards: shards, Metrics: m}), m
+}
+
+func TestNilAndOff(t *testing.T) {
+	var c *Cache
+	if _, ok := c.GetValue(1, 0); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.FillValue(1, 0, []byte("x"))
+	c.FillNegative(1, 2)
+	if c.Negative(1, 2) {
+		t.Fatal("nil cache negative hit")
+	}
+	c.DropTable(1)
+	if c.Used() != 0 || c.Budget() != 0 || c.Len() != 0 {
+		t.Fatal("nil cache has size")
+	}
+	if New(Config{Budget: 0}) != nil {
+		t.Fatal("zero budget must return nil")
+	}
+}
+
+func TestFillHit(t *testing.T) {
+	c, m := newTestCache(1<<20, 1)
+	val := []byte("hello-value")
+	if _, ok := c.GetValue(7, 3); ok {
+		t.Fatal("hit before fill")
+	}
+	c.FillValue(7, 3, val)
+	got, ok := c.GetValue(7, 3)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("GetValue = %q, %v", got, ok)
+	}
+	// The returned slice must be a stable copy.
+	got[0] = 'X'
+	got2, _ := c.GetValue(7, 3)
+	if !bytes.Equal(got2, val) {
+		t.Fatal("cached value aliased caller slice")
+	}
+	if m.Hits.Load() != 2 || m.Misses.Load() != 1 || m.Fills.Load() != 1 {
+		t.Fatalf("hits=%d misses=%d fills=%d", m.Hits.Load(), m.Misses.Load(), m.Fills.Load())
+	}
+	if hr := m.HitRate.Load(); hr != 2*10000/3 {
+		t.Fatalf("hit rate = %d bp", hr)
+	}
+	if want := int64(len(val)) + slotOverhead; c.Used() != want || m.Bytes.Load() != want {
+		t.Fatalf("used=%d gauge=%d want %d", c.Used(), m.Bytes.Load(), want)
+	}
+}
+
+func TestEvictionUnderBudgetPressure(t *testing.T) {
+	// One shard, budget for ~8 entries of 64B values.
+	per := int64(64+slotOverhead) * 8
+	c, m := newTestCache(per, 1)
+	val := make([]byte, 64)
+	for i := 0; i < 100; i++ {
+		c.FillValue(1, uint32(i), val)
+	}
+	if c.Used() > c.Budget() {
+		t.Fatalf("used %d exceeds budget %d", c.Used(), c.Budget())
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len = %d, want 8", c.Len())
+	}
+	if m.Evictions.Load() != 100-8 {
+		t.Fatalf("evictions = %d, want %d", m.Evictions.Load(), 100-8)
+	}
+	if m.Bytes.Load() != c.Used() {
+		t.Fatalf("bytes gauge %d != used %d", m.Bytes.Load(), c.Used())
+	}
+	// A value larger than the shard budget is refused outright.
+	c.FillValue(2, 0, make([]byte, int(per)))
+	if _, ok := c.GetValue(2, 0); ok {
+		t.Fatal("oversized value cached")
+	}
+}
+
+func TestClockKeepsHotEntry(t *testing.T) {
+	per := int64(64+slotOverhead) * 4
+	c, _ := newTestCache(per, 1)
+	val := make([]byte, 64)
+	c.FillValue(1, 0, val)
+	for i := 1; i < 50; i++ {
+		c.GetValue(1, 0) // keep the reference bit set
+		c.FillValue(1, uint32(i), val)
+	}
+	if _, ok := c.GetValue(1, 0); !ok {
+		t.Fatal("hot entry evicted while cold entries churned")
+	}
+}
+
+func TestNegativeCache(t *testing.T) {
+	c, m := newTestCache(1<<20, 1)
+	if c.Negative(5, 0xfeed) {
+		t.Fatal("negative hit before fill")
+	}
+	c.FillNegative(5, 0xfeed)
+	if !c.Negative(5, 0xfeed) {
+		t.Fatal("negative miss after fill")
+	}
+	if c.Negative(6, 0xfeed) {
+		t.Fatal("negative hit for wrong table")
+	}
+	if m.NegHits.Load() != 1 {
+		t.Fatalf("neg hits = %d", m.NegHits.Load())
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c, m := newTestCache(1<<20, 4)
+	val := make([]byte, 100)
+	for i := 0; i < 32; i++ {
+		c.FillValue(1, uint32(i), val)
+		c.FillValue(2, uint32(i), val)
+	}
+	before := c.Used()
+	c.DropTable(1)
+	if got := m.Invalidations.Load(); got != 32 {
+		t.Fatalf("invalidations = %d, want 32", got)
+	}
+	if c.Len() != 32 {
+		t.Fatalf("len = %d, want 32 survivors", c.Len())
+	}
+	if _, ok := c.GetValue(1, 0); ok {
+		t.Fatal("dropped table still served")
+	}
+	if _, ok := c.GetValue(2, 0); !ok {
+		t.Fatal("surviving table lost its entries")
+	}
+	if c.Used() != before/2 || m.Bytes.Load() != c.Used() {
+		t.Fatalf("used=%d gauge=%d want %d", c.Used(), m.Bytes.Load(), before/2)
+	}
+	// Slot recycling: refills after a drop must not grow the footprint.
+	for i := 0; i < 32; i++ {
+		c.FillValue(3, uint32(i), val)
+	}
+	if c.Used() != before {
+		t.Fatalf("used=%d after refill, want %d", c.Used(), before)
+	}
+}
+
+func TestChargeAccounting(t *testing.T) {
+	var charged time.Duration
+	reg := telemetry.NewRegistry(nil)
+	c := New(Config{
+		Budget:        1 << 20,
+		ProbeCost:     100,
+		CopyNSPerByte: 1,
+		Charge:        func(d time.Duration) { charged += d },
+		Metrics:       testMetrics(reg),
+	})
+	val := make([]byte, 50)
+	c.FillValue(1, 0, val) // probe + 50B copy-in = 150ns
+	charged = 0
+	c.GetValue(1, 0) // probe + 50B copy-out
+	if charged != 100+50 {
+		t.Fatalf("hit charged %dns, want 150", charged)
+	}
+	charged = 0
+	c.GetValue(1, 99) // miss: probe only, no copy
+	if charged != 100 {
+		t.Fatalf("miss charged %dns, want 100", charged)
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	c, _ := newTestCache(256<<10, 8)
+	const tables = 4
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val := []byte(fmt.Sprintf("value-from-goroutine-%d", g))
+			for i := 0; i < 5000; i++ {
+				tb := uint64(i % tables)
+				e := uint32(i % 512)
+				switch i % 4 {
+				case 0:
+					c.FillValue(tb, e, val)
+				case 1:
+					if v, ok := c.GetValue(tb, e); ok && len(v) == 0 {
+						t.Error("empty cached value")
+					}
+				case 2:
+					c.FillNegative(tb, uint64(e)*2654435761)
+					c.Negative(tb, uint64(e)*2654435761)
+				case 3:
+					if i%1024 == 3 {
+						c.DropTable(tb)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Used() > c.Budget() {
+		t.Fatalf("used %d exceeds budget %d after churn", c.Used(), c.Budget())
+	}
+}

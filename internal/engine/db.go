@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dlsm/internal/cache"
 	"dlsm/internal/keys"
 	"dlsm/internal/memnode"
 	"dlsm/internal/memtable"
@@ -69,6 +70,10 @@ type DB struct {
 	tel   *telemetry.Registry
 	stats Stats
 	m     dbMetrics
+
+	// kv is the compute-side hot-KV cache; nil when CacheBudgetBytes is 0
+	// (all cache methods are nil-receiver-safe).
+	kv *cache.Cache
 }
 
 // Open creates a DB on compute node cn backed by the memory node server
@@ -102,6 +107,22 @@ func Open(cn *rdma.Node, srv *memnode.Server, opts Options) *DB {
 	// per-level compaction section in snapshots.
 	db.compactionLevelCounters(0)
 	db.bgCond = sim.NewNamedCond(env, db.mu, "engine.bg")
+	db.kv = cache.New(cache.Config{
+		Budget:        opts.CacheBudgetBytes,
+		ProbeCost:     opts.Costs.CacheProbe,
+		CopyNSPerByte: opts.Costs.MemcpyByte,
+		Charge:        db.charge,
+		Metrics: cache.Metrics{
+			Hits:          db.stats.CacheHits,
+			Misses:        db.stats.CacheMisses,
+			NegHits:       db.stats.CacheNegHits,
+			Fills:         db.stats.CacheFills,
+			Evictions:     db.stats.CacheEvictions,
+			Invalidations: db.stats.CacheInvalidations,
+			Bytes:         db.stats.CacheBytes,
+			HitRate:       db.stats.CacheHitRate,
+		},
+	})
 	db.vs = version.New(db.onObsolete)
 	db.notifier = rpc.NotifierFor(cn)
 
@@ -159,12 +180,18 @@ func (db *DB) broadcastLocked() {
 }
 
 // onObsolete routes an unreachable table to the GC worker. It may run
-// under version-set or engine locks, so it only enqueues (§V-B).
+// under version-set or engine locks, so it only enqueues (§V-B) — and
+// drops the table's hot-KV cache entries (DropTable takes host mutexes
+// only, so it is safe here too).
 func (db *DB) onObsolete(m *sstable.Meta) {
+	db.kv.DropTable(m.ID)
 	if !db.gcCh.TrySend(m) {
 		panic("engine: gc queue overflow")
 	}
 }
+
+// Cache returns the hot-KV cache, or nil when CacheBudgetBytes is 0.
+func (db *DB) Cache() *cache.Cache { return db.kv }
 
 // registerSnapshot pins seq against compaction dropping versions <= seq.
 func (db *DB) registerSnapshot(seq keys.Seq) {
@@ -202,6 +229,15 @@ func (db *DB) Flush() {
 	db.switchMu.Lock()
 	mt := db.cur.Load()
 	if !mt.Empty() {
+		// Truncate the retired table's sequence range at a burned fence
+		// (as sizeSwitch does): without it the table keeps owning the
+		// rest of its range, and post-flush writes with those sequences
+		// would route into it through tableFor's straggler path after it
+		// has already been serialized — silently lost.
+		if db.opts.SwitchPolicy == SwitchSeqRange {
+			fence := keys.Seq(db.seq.Add(1))
+			mt.TruncateHi(fence + 1)
+		}
 		db.switchLocked(mt)
 	}
 	db.switchMu.Unlock()

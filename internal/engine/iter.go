@@ -32,6 +32,14 @@ type Iterator struct {
 // NewIterator opens a scan at the current sequence. Close it to release
 // the pinned snapshot.
 func (s *Session) NewIterator() *Iterator {
+	return s.NewIteratorOpts(ReadOptions{})
+}
+
+// NewIteratorOpts is NewIterator with an explicit read policy. Only
+// ReadOptions.PrefetchBytes applies: scans bypass the hot-KV cache
+// entirely (prefetched chunks are the wrong granularity to cache), so
+// FillCache is ignored.
+func (s *Session) NewIteratorOpts(ro ReadOptions) *Iterator {
 	db := s.db
 	snap := db.CurrentSeq()
 	db.registerSnapshot(snap)
@@ -43,6 +51,9 @@ func (s *Session) NewIterator() *Iterator {
 
 	opts := sstable.Options{Costs: db.opts.Costs, Charge: db.charge}
 	prefetch := db.opts.PrefetchBytes
+	if ro.PrefetchBytes > 0 {
+		prefetch = ro.PrefetchBytes
+	}
 
 	var children []sstable.Iterator
 	children = append(children, mem.NewIterator())

@@ -86,6 +86,17 @@ type Options struct {
 
 	PrefetchBytes int // range-scan read-ahead
 
+	// CacheBudgetBytes is the byte budget of the compute-side hot-KV cache
+	// (internal/cache). 0 — the default — disables caching entirely, so
+	// every figure that predates the cache is unchanged unless it opts in.
+	CacheBudgetBytes int64
+
+	// StallTimeout bounds how long Put/Delete/Apply may block on a write
+	// stall (flush backlog or L0 stop trigger) before returning ErrStalled.
+	// 0 — the default — waits indefinitely, the pre-v2 behavior. The
+	// timeout is checked each time background progress wakes the writer.
+	StallTimeout time.Duration
+
 	// SyncOverhead is CPU charged inside the global write lock under
 	// SwitchLocked — the synchronization cost dLSM eliminates (§IV).
 	SyncOverhead time.Duration

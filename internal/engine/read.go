@@ -13,13 +13,35 @@ import (
 // ErrNotFound is returned by Get when no visible version of a key exists.
 var ErrNotFound = errors.New("dlsm: key not found")
 
+// ReadOptions tunes one read operation (API v2). The zero value is a valid
+// "don't touch the cache, default prefetch" policy.
+type ReadOptions struct {
+	// FillCache inserts values this read fetches from remote memory (and
+	// negative results that survived the bloom filter) into the hot-KV
+	// cache. Cache lookups happen regardless; this only gates pollution.
+	// Plain Get fills; one-off scans of cold data should leave it false.
+	FillCache bool
+	// PrefetchBytes overrides Options.PrefetchBytes for this iterator
+	// (read-ahead chunk size of range scans). 0 keeps the DB default.
+	PrefetchBytes int
+}
+
 // Get reads the newest visible value of key (snapshot = current sequence).
 func (s *Session) Get(key []byte) ([]byte, error) {
-	return s.GetAt(key, s.db.CurrentSeq())
+	return s.getAt(key, s.db.CurrentSeq(), ReadOptions{FillCache: true})
+}
+
+// GetOpts is Get with an explicit read policy.
+func (s *Session) GetOpts(key []byte, ro ReadOptions) ([]byte, error) {
+	return s.getAt(key, s.db.CurrentSeq(), ro)
 }
 
 // GetAt reads key at an explicit snapshot sequence.
 func (s *Session) GetAt(key []byte, snap keys.Seq) ([]byte, error) {
+	return s.getAt(key, snap, ReadOptions{FillCache: true})
+}
+
+func (s *Session) getAt(key []byte, snap keys.Seq, ro ReadOptions) ([]byte, error) {
 	db := s.db
 	db.stats.Reads.Add(1)
 	sp := db.m.readLat.Span(db.m.clock)
@@ -59,7 +81,7 @@ func (s *Session) GetAt(key []byte, snap keys.Seq) ([]byte, error) {
 		if !keyInRange(key, f.Meta) {
 			continue
 		}
-		val, found, deleted, err := s.tableGet(f.Meta, key, snap)
+		val, found, deleted, err := s.tableGet(f.Meta, key, snap, ro)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +96,7 @@ func (s *Session) GetAt(key []byte, snap keys.Seq) ([]byte, error) {
 		if f == nil {
 			continue
 		}
-		val, found, deleted, err := s.tableGet(f.Meta, key, snap)
+		val, found, deleted, err := s.tableGet(f.Meta, key, snap, ro)
 		if err != nil {
 			return nil, err
 		}
@@ -85,12 +107,19 @@ func (s *Session) GetAt(key []byte, snap keys.Seq) ([]byte, error) {
 	return nil, ErrNotFound
 }
 
-func (s *Session) tableGet(meta *sstable.Meta, key []byte, snap keys.Seq) ([]byte, bool, bool, error) {
-	r := sstable.NewReader(meta, s.fetcher(meta), sstable.Options{
+func (s *Session) tableGet(meta *sstable.Meta, key []byte, snap keys.Seq, ro ReadOptions) ([]byte, bool, bool, error) {
+	o := sstable.Options{
 		Costs:   s.db.opts.Costs,
 		Charge:  s.db.charge,
 		Metrics: &s.db.m.reader,
-	})
+	}
+	// Only a concrete cache goes in the interface field (a typed-nil would
+	// make the reader pay the probe bookkeeping for nothing).
+	if s.db.kv != nil {
+		o.Cache = s.db.kv
+		o.FillCache = ro.FillCache
+	}
+	r := sstable.NewReader(meta, s.fetcher(meta), o)
 	val, found, deleted, err := r.Get(key, snap)
 	if err != nil || !found || deleted {
 		return nil, found, deleted, err

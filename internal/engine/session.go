@@ -23,6 +23,7 @@ type Session struct {
 	// holds a claim below the table's range end.
 	claim atomic.Uint64
 
+	closed     atomic.Bool
 	pendingCPU time.Duration
 }
 
@@ -36,7 +37,11 @@ func (db *DB) NewSession() *Session {
 }
 
 // Close releases the session's fabric resources and deregisters it.
+// Subsequent writes through the session return ErrClosed.
 func (s *Session) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
 	s.FlushCPU()
 	db := s.db
 	db.sessMu.Lock()

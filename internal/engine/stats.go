@@ -38,6 +38,17 @@ type Stats struct {
 
 	TablesFreed    *telemetry.Counter
 	RemoteFreeRPCs *telemetry.Counter
+
+	// Hot-KV cache (internal/cache). All stay zero when CacheBudgetBytes
+	// is 0: the cache is never constructed.
+	CacheHits          *telemetry.Counter
+	CacheMisses        *telemetry.Counter
+	CacheNegHits       *telemetry.Counter // misses answered by the negative cache
+	CacheFills         *telemetry.Counter
+	CacheEvictions     *telemetry.Counter
+	CacheInvalidations *telemetry.Counter // entries dropped with obsoleted tables
+	CacheBytes         *telemetry.Gauge   // bytes currently cached
+	CacheHitRate       *telemetry.Gauge   // hits/(hits+misses), basis points
 }
 
 func newStats(reg *telemetry.Registry) Stats {
@@ -71,6 +82,15 @@ func newStats(reg *telemetry.Registry) Stats {
 
 		TablesFreed:    reg.Counter("engine.gc.tables_freed"),
 		RemoteFreeRPCs: reg.Counter("engine.gc.remote_free_rpcs"),
+
+		CacheHits:          reg.Counter("cache.hits"),
+		CacheMisses:        reg.Counter("cache.misses"),
+		CacheNegHits:       reg.Counter("cache.neg_hits"),
+		CacheFills:         reg.Counter("cache.fills"),
+		CacheEvictions:     reg.Counter("cache.evictions"),
+		CacheInvalidations: reg.Counter("cache.invalidations"),
+		CacheBytes:         reg.Gauge("cache.bytes"),
+		CacheHitRate:       reg.Gauge("cache.hit_rate_bp"),
 	}
 }
 

@@ -1,23 +1,36 @@
 package engine
 
 import (
+	"errors"
 	"time"
 
 	"dlsm/internal/keys"
 	"dlsm/internal/memtable"
 )
 
+// ErrClosed is returned by writes against a closed Session or DB.
+var ErrClosed = errors.New("dlsm: closed")
+
+// ErrStalled is returned when a write stalled longer than
+// Options.StallTimeout. The write was not applied; retrying later is safe.
+var ErrStalled = errors.New("dlsm: write stalled longer than StallTimeout")
+
 // Put inserts key -> value through the session's thread context.
-func (s *Session) Put(key, value []byte) { s.write(keys.KindSet, key, value) }
+func (s *Session) Put(key, value []byte) error { return s.write(keys.KindSet, key, value) }
 
 // Delete writes a tombstone for key.
-func (s *Session) Delete(key []byte) { s.write(keys.KindDelete, key, nil) }
+func (s *Session) Delete(key []byte) error { return s.write(keys.KindDelete, key, nil) }
 
-func (s *Session) write(kind keys.Kind, key, value []byte) {
+func (s *Session) write(kind keys.Kind, key, value []byte) error {
 	db := s.db
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	sp := db.m.writeLat.Span(db.m.clock)
 	defer sp.End()
-	db.maybeStall()
+	if err := db.maybeStall(); err != nil {
+		return err
+	}
 
 	var seq keys.Seq
 	var mt *memtable.MemTable
@@ -60,6 +73,7 @@ func (s *Session) write(kind keys.Kind, key, value []byte) {
 		mt.ApproximateSize() >= db.opts.MemTableSize && db.cur.Load() == mt {
 		db.sizeSwitch(mt)
 	}
+	return nil
 }
 
 // sizeSwitch retires mt because it reached its size limit, truncating its
@@ -140,14 +154,26 @@ func (db *DB) switchLocked(mt *memtable.MemTable) {
 // maybeStall blocks the writer while the LSM cannot absorb more writes:
 // too many immutable tables (flush behind) or too many L0 files
 // (level0_stop_writes_trigger, §XI-C1). Bulkload mode disables the latter.
-func (db *DB) maybeStall() {
+// Returns ErrClosed if the DB closes mid-stall, or ErrStalled once the
+// stall outlives Options.StallTimeout; the timeout is evaluated whenever
+// background progress (a flush or compaction completing) wakes the writer.
+func (db *DB) maybeStall() error {
 	if !db.shouldStall() {
-		return
+		return nil
 	}
 	l0 := db.opts.L0StopTrigger > 0 && int(db.l0count.Load()) >= db.opts.L0StopTrigger
 	start := db.env.Now()
+	var err error
 	db.mu.Lock()
-	for db.shouldStall() && !db.closed {
+	for db.shouldStall() {
+		if db.closed {
+			err = ErrClosed
+			break
+		}
+		if t := db.opts.StallTimeout; t > 0 && time.Duration(db.env.Now()-start) >= t {
+			err = ErrStalled
+			break
+		}
 		db.bgCond.Wait()
 	}
 	db.mu.Unlock()
@@ -159,6 +185,7 @@ func (db *DB) maybeStall() {
 	} else {
 		db.stats.StallImmTime.Add(d)
 	}
+	return err
 }
 
 // shouldStall uses atomic counters only, so it is safe both before and

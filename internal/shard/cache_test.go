@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"testing"
+
+	"dlsm/internal/memnode"
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+)
+
+// TestPerShardBudgetIsolation checks that shard.New splits one whole-node
+// cache budget into λ independent per-shard caches: filling one shard's
+// cache must not consume another shard's budget.
+func TestPerShardBudgetIsolation(t *testing.T) {
+	const n, lambda = 2000, 4
+	const totalBudget = int64(4 << 20)
+
+	env := sim.NewEnv()
+	fab := rdma.NewFabric(env, rdma.EDR100())
+	cn := fab.AddNode("compute", 24)
+	mn := fab.AddNode("memory", 12)
+	cfg := memnode.DefaultConfig()
+	cfg.ComputeRegionSize = 128 << 20
+	cfg.SelfRegionSize = 128 << 20
+	srv := memnode.NewServer(mn, cfg)
+	srv.Start()
+	env.Run(func() {
+		o := opts()
+		o.CacheBudgetBytes = totalBudget
+		db := New(cn, []*memnode.Server{srv}, lambda, UniformBoundaries(lambda, n, key), o)
+		defer func() { db.Close(); fab.Close() }()
+
+		for i := 0; i < lambda; i++ {
+			c := db.Shard(i).Cache()
+			if c == nil {
+				t.Fatalf("shard %d has no cache", i)
+			}
+			if got := c.Budget(); got != totalBudget/lambda {
+				t.Fatalf("shard %d budget = %d, want %d", i, got, totalBudget/lambda)
+			}
+		}
+
+		s := db.NewSession()
+		defer s.Close()
+		for i := 0; i < n; i++ {
+			if err := s.Put(key(i), key(i)); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+		db.Flush()
+		db.WaitForCompactions()
+
+		// Read only shard 0's slice of the key space (route splits at
+		// n/lambda); only shard 0's cache may accumulate bytes.
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < n/lambda; i++ {
+				if _, err := s.Get(key(i)); err != nil {
+					t.Fatalf("Get(%d): %v", i, err)
+				}
+			}
+		}
+		if used := db.Shard(0).Cache().Used(); used == 0 {
+			t.Fatal("shard 0 cache unused after repeated reads of its slice")
+		}
+		for i := 1; i < lambda; i++ {
+			if used := db.Shard(i).Cache().Used(); used != 0 {
+				t.Fatalf("shard %d cache used %d bytes without being read", i, used)
+			}
+		}
+	})
+	env.Wait()
+}

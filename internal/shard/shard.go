@@ -38,6 +38,9 @@ func New(cn *rdma.Node, servers []*memnode.Server, lambda int, boundaries [][]by
 			panic("shard: boundaries not ascending")
 		}
 	}
+	// Options.CacheBudgetBytes is the whole compute node's cache DRAM;
+	// each shard gets an equal slice so λ doesn't multiply the footprint.
+	opts.CacheBudgetBytes /= int64(lambda)
 	db := &DB{boundaries: boundaries}
 	for i := 0; i < lambda; i++ {
 		srv := servers[i%len(servers)]
@@ -134,13 +137,41 @@ func (s *Session) Close() {
 }
 
 // Put writes key to its shard.
-func (s *Session) Put(key, value []byte) {
-	s.sessions[s.db.route(key)].Put(key, value)
+func (s *Session) Put(key, value []byte) error {
+	return s.sessions[s.db.route(key)].Put(key, value)
 }
 
 // Delete tombstones key in its shard.
-func (s *Session) Delete(key []byte) {
-	s.sessions[s.db.route(key)].Delete(key)
+func (s *Session) Delete(key []byte) error {
+	return s.sessions[s.db.route(key)].Delete(key)
+}
+
+// Apply routes the batch's operations to their shards and applies every
+// shard's sub-batch with one sequence-range claim (engine.Session.Apply).
+// The single-shard case forwards the batch untouched.
+func (s *Session) Apply(b *engine.Batch) error {
+	if len(s.sessions) == 1 {
+		return s.sessions[0].Apply(b)
+	}
+	subs := make([]engine.Batch, len(s.sessions))
+	for i := 0; i < b.Len(); i++ {
+		key, value, del := b.Entry(i)
+		sub := &subs[s.db.route(key)]
+		if del {
+			sub.Delete(key)
+		} else {
+			sub.Put(key, value)
+		}
+	}
+	for i := range subs {
+		if subs[i].Len() == 0 {
+			continue
+		}
+		if err := s.sessions[i].Apply(&subs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Get reads key from its shard.
@@ -148,12 +179,22 @@ func (s *Session) Get(key []byte) ([]byte, error) {
 	return s.sessions[s.db.route(key)].Get(key)
 }
 
+// GetOpts is Get with an explicit read policy.
+func (s *Session) GetOpts(key []byte, ro engine.ReadOptions) ([]byte, error) {
+	return s.sessions[s.db.route(key)].GetOpts(key, ro)
+}
+
 // NewIterator scans across all shards in key order. Shards are disjoint
 // ranges, so the scan simply concatenates per-shard iterators.
 func (s *Session) NewIterator() *Iterator {
+	return s.NewIteratorOpts(engine.ReadOptions{})
+}
+
+// NewIteratorOpts is NewIterator with an explicit read policy.
+func (s *Session) NewIteratorOpts(ro engine.ReadOptions) *Iterator {
 	its := make([]*engine.Iterator, len(s.sessions))
 	for i, es := range s.sessions {
-		its[i] = es.NewIterator()
+		its[i] = es.NewIteratorOpts(ro)
 	}
 	return &Iterator{db: s.db, its: its, cur: -1}
 }

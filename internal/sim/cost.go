@@ -15,6 +15,7 @@ type CostModel struct {
 	IndexSearch Duration // binary search of a cached SSTable index
 	BloomProbe  Duration // one bloom-filter membership test
 	EntryParse  Duration // decode one KV during iteration
+	CacheProbe  Duration // one hot-KV cache probe (hash + shard map touch)
 
 	// Bulk byte processing (per byte).
 	SerializeByte float64 // ns/B: building SSTable bytes from entries
@@ -35,6 +36,7 @@ func DefaultCosts() CostModel {
 		IndexSearch:   600 * time.Nanosecond,
 		BloomProbe:    150 * time.Nanosecond,
 		EntryParse:    120 * time.Nanosecond,
+		CacheProbe:    120 * time.Nanosecond,
 		SerializeByte: 0.55,
 		MergeEntry:    900 * time.Nanosecond,
 		BlockByte:     0.8,

@@ -73,12 +73,37 @@ type ReaderMetrics struct {
 	FetchedBytes *telemetry.Counter
 }
 
+// ValueCache is the compute-side hot-KV cache consulted by point reads
+// (implemented by internal/cache). Values are keyed by (table file number,
+// entry index) — table files are immutable and ids are never reused, so
+// cached values cannot go stale. The negative side records misses that
+// survived the bloom filter, keyed by (table, user-key hash). All methods
+// must be safe for concurrent use and account their own virtual CPU.
+type ValueCache interface {
+	// GetValue returns a stable copy of the cached value, if present.
+	GetValue(table uint64, entry uint32) ([]byte, bool)
+	// FillValue caches a copy of val under (table, entry).
+	FillValue(table uint64, entry uint32, val []byte)
+	// Negative reports a recorded bloom-surviving miss.
+	Negative(table, keyHash uint64) bool
+	// FillNegative records a bloom-surviving miss.
+	FillNegative(table, keyHash uint64)
+}
+
 // Options bundles the cost model, charger, and metrics used by readers and
 // writers.
 type Options struct {
 	Costs   sim.CostModel
 	Charge  Charger
 	Metrics *ReaderMetrics
+
+	// Cache, when non-nil, is the hot-KV cache point reads consult before
+	// fetching from remote memory. Scans leave it nil (bypass): one value
+	// per RDMA round trip is where caching pays; prefetched chunks are not.
+	Cache ValueCache
+	// FillCache gates inserting fetched values and negative results into
+	// Cache (ReadOptions.FillCache); lookups happen regardless.
+	FillCache bool
 }
 
 // QPFetcher reads table bytes from remote memory with one-sided RDMA reads

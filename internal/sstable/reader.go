@@ -43,6 +43,15 @@ func (r *Reader) countFetch(n int64) {
 // visible version; deleted=true means a tombstone shadows the key.
 func (r *Reader) Get(ukey []byte, seq keys.Seq) (value []byte, found, deleted bool, err error) {
 	c := r.opts.Costs
+	var kh uint64
+	if r.opts.Cache != nil {
+		// The negative cache answers repeated bloom-false-positive misses
+		// before even the bloom probe is paid.
+		kh = keyHash(ukey)
+		if r.opts.Cache.Negative(r.meta.ID, kh) {
+			return nil, false, false, nil
+		}
+	}
 	if r.meta.Filter != nil {
 		r.charge(c.BloomProbe)
 		if !r.meta.Filter.MayContain(ukey) {
@@ -55,21 +64,34 @@ func (r *Reader) Get(ukey []byte, seq keys.Seq) (value []byte, found, deleted bo
 	lookup := keys.AppendLookup(make([]byte, 0, len(ukey)+keys.TrailerLen), ukey, seq)
 	r.charge(c.IndexSearch)
 	if r.meta.Format == ByteAddr {
-		return r.getByteAddr(ukey, lookup)
+		return r.getByteAddr(ukey, lookup, kh)
 	}
-	return r.getBlock(ukey, lookup)
+	return r.getBlock(ukey, lookup, kh)
+}
+
+// fillNegative records a miss that survived the bloom filter, so the next
+// lookup of the same absent key skips this table's bloom and index work
+// (and, under the block layout, the block fetch).
+func (r *Reader) fillNegative(kh uint64) {
+	if r.opts.Cache != nil && r.opts.FillCache {
+		r.opts.Cache.FillNegative(r.meta.ID, kh)
+	}
 }
 
 // getByteAddr resolves the entry from the per-entry index and fetches
 // exactly the value bytes — one small RDMA read, no read amplification.
-func (r *Reader) getByteAddr(ukey, lookup []byte) (value []byte, found, deleted bool, err error) {
+// With a hot-KV cache wired in, the index still resolves the entry (cheap
+// compute-local work) but a cache hit replaces the RDMA round trip.
+func (r *Reader) getByteAddr(ukey, lookup []byte, kh uint64) (value []byte, found, deleted bool, err error) {
 	ix := &r.meta.Index
 	i := ix.SeekGE(lookup, keys.Compare)
 	if i >= ix.NumRecords() {
+		r.fillNegative(kh)
 		return nil, false, false, nil
 	}
 	key, off, klen, vlen := ix.Record(i)
 	if !bytes.Equal(keys.UserKey(key), ukey) {
+		r.fillNegative(kh)
 		return nil, false, false, nil
 	}
 	_, _, kind, perr := keys.Parse(key)
@@ -80,21 +102,43 @@ func (r *Reader) getByteAddr(ukey, lookup []byte) (value []byte, found, deleted 
 		// Tombstones need no data fetch: the index alone answers them.
 		return nil, true, true, nil
 	}
+	if kc := r.opts.Cache; kc != nil {
+		if v, ok := kc.GetValue(r.meta.ID, uint32(i)); ok {
+			return v, true, false, nil
+		}
+	}
 	b, err := r.fetch.ReadAt(int(off)+int(klen), int(vlen))
 	if err != nil {
 		return nil, false, false, err
 	}
 	r.countFetch(int64(vlen))
 	r.charge(r.opts.Costs.EntryParse)
+	if kc := r.opts.Cache; kc != nil && r.opts.FillCache {
+		kc.FillValue(r.meta.ID, uint32(i), b)
+	}
 	return b, true, false, nil
 }
 
+// keyHash is FNV-1a over the user key, the fingerprint the negative cache
+// stores. It only has to be consistent within this package.
+func keyHash(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
 // getBlock fetches the whole candidate block and searches inside it — the
-// read amplification the byte-addressable layout removes (Fig 13).
-func (r *Reader) getBlock(ukey, lookup []byte) (value []byte, found, deleted bool, err error) {
+// read amplification the byte-addressable layout removes (Fig 13). The
+// per-entry value cache does not apply here (the entry index within a block
+// is unknowable before the fetch); only the negative cache participates.
+func (r *Reader) getBlock(ukey, lookup []byte, kh uint64) (value []byte, found, deleted bool, err error) {
 	ix := &r.meta.Index
 	bi := ix.SeekGE(lookup, keys.Compare)
 	if bi >= ix.NumRecords() {
+		r.fillNegative(kh)
 		return nil, false, false, nil
 	}
 	_, off, blen, _ := ix.Record(bi)
@@ -111,10 +155,12 @@ func (r *Reader) getBlock(ukey, lookup []byte) (value []byte, found, deleted boo
 	r.charge(c.BlockTouch + time.Duration(float64(blen)*c.BlockByte))
 	j := blk.seekGE(lookup)
 	if j >= blk.count {
+		r.fillNegative(kh)
 		return nil, false, false, nil
 	}
 	ikey, val := blk.entry(j)
 	if !bytes.Equal(keys.UserKey(ikey), ukey) {
+		r.fillNegative(kh)
 		return nil, false, false, nil
 	}
 	_, _, kind, perr := keys.Parse(ikey)
