@@ -239,6 +239,11 @@ func (s *Session) Delete(key []byte) error { return s.inner.Delete(key) }
 // Apply writes every operation buffered in b, claiming one sequence range
 // per shard touched instead of one per entry. Entries become visible as
 // they are inserted; Apply is a throughput construct, not a transaction.
+// On a sharded DB the batch is applied shard by shard (not in insertion
+// order); every shard is attempted even if one fails, and the returned
+// error joins the per-shard failures — operations routed to a failed shard
+// were not applied while the other shards' operations were. Use errors.Is
+// to test for ErrClosed or ErrStalled.
 func (s *Session) Apply(b *Batch) error { return s.inner.Apply(b) }
 
 // Get returns the newest visible value of key or ErrNotFound.

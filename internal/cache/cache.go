@@ -9,9 +9,12 @@
 // onObsolete hook calls DropTable, which merely reclaims the dead entries'
 // budget. A small direct-mapped negative-lookup cache absorbs repeated
 // misses that survive the bloom filter (bloom false positives), keyed by
-// (table, user-key hash); negative entries for dead tables are harmless —
-// the read path only consults tables in the current version — so they are
-// simply overwritten over time.
+// (table, user-key hash) and tagged with the read snapshot that observed
+// the miss — "nothing visible at snapshot S" only answers readers at
+// snapshots <= S, so a miss recorded by an old-snapshot read can never
+// hide versions newer than S from current readers. Negative entries for
+// dead tables are harmless — the read path only consults tables in the
+// current version — so they are simply overwritten over time.
 //
 // Eviction is CLOCK over fixed-size slot segments: slots are allocated a
 // segment at a time, freed slots are recycled through a free list, and
@@ -86,6 +89,7 @@ type slot struct {
 type negEnt struct {
 	table uint64
 	fp    uint64
+	seq   uint64 // newest snapshot the miss was observed at
 }
 
 type shard struct {
@@ -254,8 +258,12 @@ func (c *Cache) FillValue(table uint64, entry uint32, val []byte) {
 	}
 }
 
-// Negative reports whether (table, keyHash) is a recorded miss.
-func (c *Cache) Negative(table, keyHash uint64) bool {
+// Negative reports whether (table, keyHash) is a recorded miss that
+// answers a read at snapshot snap. A miss recorded at snapshot S proves no
+// version with sequence <= S exists in the (immutable) table, which also
+// answers any snap <= S; newer snapshots may see versions the recording
+// read could not, so they fall through to the bloom/index path.
+func (c *Cache) Negative(table, keyHash, snap uint64) bool {
 	if c == nil {
 		return false
 	}
@@ -265,7 +273,7 @@ func (c *Cache) Negative(table, keyHash uint64) bool {
 	hit := false
 	if sh.neg != nil {
 		e := sh.neg[mix(table^keyHash)%uint64(len(sh.neg))]
-		hit = e.table == table && e.fp == keyHash
+		hit = e.table == table && e.fp == keyHash && snap <= e.seq
 	}
 	sh.mu.Unlock()
 	if hit {
@@ -274,9 +282,11 @@ func (c *Cache) Negative(table, keyHash uint64) bool {
 	return hit
 }
 
-// FillNegative records that table has no visible version of the key hashed
-// to keyHash (a miss that survived the bloom filter).
-func (c *Cache) FillNegative(table, keyHash uint64) {
+// FillNegative records that table has no version of the key hashed to
+// keyHash visible at snapshot snap (a miss that survived the bloom filter).
+// Re-recording an existing key keeps the newest snapshot, which covers the
+// widest range of readers.
+func (c *Cache) FillNegative(table, keyHash, snap uint64) {
 	if c == nil {
 		return
 	}
@@ -285,7 +295,10 @@ func (c *Cache) FillNegative(table, keyHash uint64) {
 	if sh.neg == nil {
 		sh.neg = make([]negEnt, c.cfg.NegSlots)
 	}
-	sh.neg[mix(table^keyHash)%uint64(len(sh.neg))] = negEnt{table: table, fp: keyHash}
+	e := &sh.neg[mix(table^keyHash)%uint64(len(sh.neg))]
+	if !(e.table == table && e.fp == keyHash && e.seq >= snap) {
+		*e = negEnt{table: table, fp: keyHash, seq: snap}
+	}
 	sh.mu.Unlock()
 }
 

@@ -35,8 +35,8 @@ func TestNilAndOff(t *testing.T) {
 		t.Fatal("nil cache hit")
 	}
 	c.FillValue(1, 0, []byte("x"))
-	c.FillNegative(1, 2)
-	if c.Negative(1, 2) {
+	c.FillNegative(1, 2, 3)
+	if c.Negative(1, 2, 3) {
 		t.Fatal("nil cache negative hit")
 	}
 	c.DropTable(1)
@@ -119,18 +119,41 @@ func TestClockKeepsHotEntry(t *testing.T) {
 
 func TestNegativeCache(t *testing.T) {
 	c, m := newTestCache(1<<20, 1)
-	if c.Negative(5, 0xfeed) {
+	if c.Negative(5, 0xfeed, 10) {
 		t.Fatal("negative hit before fill")
 	}
-	c.FillNegative(5, 0xfeed)
-	if !c.Negative(5, 0xfeed) {
+	c.FillNegative(5, 0xfeed, 10)
+	if !c.Negative(5, 0xfeed, 10) {
 		t.Fatal("negative miss after fill")
 	}
-	if c.Negative(6, 0xfeed) {
+	if c.Negative(6, 0xfeed, 10) {
 		t.Fatal("negative hit for wrong table")
 	}
 	if m.NegHits.Load() != 1 {
 		t.Fatalf("neg hits = %d", m.NegHits.Load())
+	}
+}
+
+func TestNegativeCacheSnapshots(t *testing.T) {
+	c, _ := newTestCache(1<<20, 1)
+	// A miss recorded at snapshot 10 answers snapshots <= 10 only: the
+	// table may hold versions newer than 10 that later readers must find.
+	c.FillNegative(5, 0xfeed, 10)
+	if !c.Negative(5, 0xfeed, 4) {
+		t.Fatal("older snapshot not answered by newer recorded miss")
+	}
+	if c.Negative(5, 0xfeed, 11) {
+		t.Fatal("newer snapshot answered by older recorded miss")
+	}
+	// Re-recording keeps the newest snapshot...
+	c.FillNegative(5, 0xfeed, 20)
+	if !c.Negative(5, 0xfeed, 15) {
+		t.Fatal("refreshed entry lost coverage")
+	}
+	// ...and an older fill never downgrades it.
+	c.FillNegative(5, 0xfeed, 3)
+	if !c.Negative(5, 0xfeed, 20) {
+		t.Fatal("older fill downgraded the recorded snapshot")
 	}
 }
 
@@ -212,8 +235,8 @@ func TestConcurrentReadersWriters(t *testing.T) {
 						t.Error("empty cached value")
 					}
 				case 2:
-					c.FillNegative(tb, uint64(e)*2654435761)
-					c.Negative(tb, uint64(e)*2654435761)
+					c.FillNegative(tb, uint64(e)*2654435761, uint64(i))
+					c.Negative(tb, uint64(e)*2654435761, uint64(i))
 				case 3:
 					if i%1024 == 3 {
 						c.DropTable(tb)

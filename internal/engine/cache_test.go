@@ -102,6 +102,39 @@ func TestNoStaleReadsAfterCompaction(t *testing.T) {
 	})
 }
 
+func TestOldSnapshotMissDoesNotPoisonNewReads(t *testing.T) {
+	harness(t, cacheOpts(), func(env *sim.Env, db *DB) {
+		s := db.NewSession()
+		defer s.Close()
+		// Snapshot taken before any key exists: every version written below
+		// is invisible to it.
+		snap := db.CurrentSeq()
+		const n = 500
+		for i := 0; i < n; i++ {
+			if err := s.Put(key(i), value(i)); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+		db.Flush()
+		db.WaitForCompactions()
+		// These misses survive the bloom filter (the keys ARE in the
+		// tables) and fill the negative cache at the old snapshot.
+		for i := 0; i < n; i++ {
+			if _, err := s.GetAt(key(i), snap); err != ErrNotFound {
+				t.Fatalf("GetAt old snap (%d) = %v, want ErrNotFound", i, err)
+			}
+		}
+		// Current-snapshot reads must still find every key: the recorded
+		// misses answer only snapshots <= snap.
+		for i := 0; i < n; i++ {
+			v, err := s.Get(key(i))
+			if err != nil || !bytes.Equal(v, value(i)) {
+				t.Fatalf("negative cache poisoned Get(%d) = %q, %v", i, v, err)
+			}
+		}
+	})
+}
+
 func TestClosedSessionWriteError(t *testing.T) {
 	harness(t, smallOpts(), func(env *sim.Env, db *DB) {
 		s := db.NewSession()
@@ -191,6 +224,30 @@ func TestStallTimeout(t *testing.T) {
 		}
 		db.l0count.Store(0)
 		// With the pressure gone the same write succeeds.
+		if err := s.Put(key(0), value(0)); err != nil {
+			t.Fatalf("Put after stall cleared: %v", err)
+		}
+	})
+}
+
+func TestStallTimeoutWithoutBackgroundProgress(t *testing.T) {
+	o := smallOpts()
+	o.StallTimeout = time.Millisecond
+	harness(t, o, func(env *sim.Env, db *DB) {
+		s := db.NewSession()
+		defer s.Close()
+		// Wedged background: the stall predicate holds and no flush or
+		// compaction will ever signal bgCond — the deadline alarm alone
+		// must deliver ErrStalled.
+		db.l0count.Store(int32(o.L0StopTrigger) + 100)
+		start := env.Now()
+		if err := s.Put(key(0), value(0)); err != ErrStalled {
+			t.Fatalf("stalled Put = %v, want ErrStalled", err)
+		}
+		if d := time.Duration(env.Now() - start); d < o.StallTimeout {
+			t.Fatalf("ErrStalled after %v, before StallTimeout %v", d, o.StallTimeout)
+		}
+		db.l0count.Store(0)
 		if err := s.Put(key(0), value(0)); err != nil {
 			t.Fatalf("Put after stall cleared: %v", err)
 		}

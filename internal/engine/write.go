@@ -6,6 +6,7 @@ import (
 
 	"dlsm/internal/keys"
 	"dlsm/internal/memtable"
+	"dlsm/internal/sim"
 )
 
 // ErrClosed is returned by writes against a closed Session or DB.
@@ -155,14 +156,31 @@ func (db *DB) switchLocked(mt *memtable.MemTable) {
 // too many immutable tables (flush behind) or too many L0 files
 // (level0_stop_writes_trigger, §XI-C1). Bulkload mode disables the latter.
 // Returns ErrClosed if the DB closes mid-stall, or ErrStalled once the
-// stall outlives Options.StallTimeout; the timeout is evaluated whenever
-// background progress (a flush or compaction completing) wakes the writer.
+// stall outlives Options.StallTimeout. Background progress (a flush or
+// compaction completing) wakes the writer to re-evaluate; a virtual-time
+// alarm at the deadline guarantees ErrStalled fires even when the
+// background workers are wedged and never signal.
 func (db *DB) maybeStall() error {
 	if !db.shouldStall() {
 		return nil
 	}
 	l0 := db.opts.L0StopTrigger > 0 && int(db.l0count.Load()) >= db.opts.L0StopTrigger
 	start := db.env.Now()
+	var alarm *sim.Alarm
+	if t := db.opts.StallTimeout; t > 0 {
+		// The timer entity parks on a cancellable alarm: if the deadline
+		// fires it broadcasts bgCond so the loop below re-evaluates the
+		// timeout; if the stall ends first, Cancel wakes it without leaving
+		// a pending wakeup to drag the virtual clock forward.
+		alarm = db.env.Clock().NewAlarm(start+sim.Time(t), "engine.stallTimer")
+		db.env.Go(func() {
+			if alarm.Wait() {
+				db.mu.Lock()
+				db.bgCond.Broadcast()
+				db.mu.Unlock()
+			}
+		})
+	}
 	var err error
 	db.mu.Lock()
 	for db.shouldStall() {
@@ -177,6 +195,9 @@ func (db *DB) maybeStall() error {
 		db.bgCond.Wait()
 	}
 	db.mu.Unlock()
+	if alarm != nil {
+		alarm.Cancel()
+	}
 	d := int64(db.env.Now() - start)
 	db.stats.StallTime.Add(d)
 	db.stats.Stalls.Add(1)

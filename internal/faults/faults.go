@@ -6,9 +6,11 @@
 // memory-node crash/restart schedules.
 //
 // Every probabilistic decision is a pure hash of (injector seed, rule name,
-// attempt number) via sim.Mix64 — no shared RNG stream exists, so two runs
-// with the same seed and workload inject exactly the same faults at exactly
-// the same virtual times.
+// the op's virtual time and signature) via sim.Mix64 — no shared RNG stream
+// or arrival-order counter exists, so two runs with the same seed and
+// workload inject exactly the same faults at exactly the same virtual
+// times, no matter how the host scheduler interleaves concurrent entities
+// posting at the same virtual instant.
 //
 // Everything the injector does is counted in the fabric's telemetry registry
 // under "faults.*", so benchmark figures and tests can assert on injected
@@ -67,13 +69,13 @@ type Rule struct {
 
 // window is one link-degradation or flap interval.
 type window struct {
-	a, b     int // unordered pair, Any allowed
-	from     sim.Time
-	until    sim.Time // 0 = forever
-	latMult  float64
-	bwMult   float64
-	downFor  sim.Duration // nonzero for flaps
-	upFor    sim.Duration
+	a, b    int // unordered pair, Any allowed
+	from    sim.Time
+	until   sim.Time // 0 = forever
+	latMult float64
+	bwMult  float64
+	downFor sim.Duration // nonzero for flaps
+	upFor   sim.Duration
 }
 
 func (w *window) active(now sim.Time) bool {
@@ -126,13 +128,24 @@ type Injector struct {
 	mu      sync.Mutex
 	rules   []*liveRule
 	windows []*window
+	lastNow sim.Time         // instant the occ map describes
+	occ     map[opSig]uint64 // same-instant occurrence index per signature
 }
 
 type liveRule struct {
 	Rule
 	key   uint64 // Mix64(seed, fnv(Name)): base of the rule's random stream
-	tries uint64 // consults so far (attempt number for the hash)
 	fired int
+}
+
+// opSig is the stable signature of one posted work request; together with
+// the posting instant and a same-instant occurrence index it keys every
+// probabilistic draw, replacing an arrival-order counter that would make
+// the fault assignment depend on host scheduling.
+type opSig struct {
+	op       rdma.OpCode
+	from, to int
+	bytes    int
 }
 
 // New creates an injector seeded from the environment seed XOR salt and
@@ -219,6 +232,20 @@ func (in *Injector) At(t sim.Time, fn func()) {
 func (in *Injector) OnOp(op rdma.OpCode, from, to, bytes int) rdma.Fault {
 	now := in.env.Now()
 	in.mu.Lock()
+	// The occurrence index distinguishes identical ops posted at the same
+	// virtual instant so each draws independently, while keeping every draw
+	// a pure function of virtual state — the order in which concurrent
+	// entities happen to reach this lock never changes who gets faulted.
+	if now != in.lastNow {
+		in.lastNow = now
+		clear(in.occ)
+	}
+	if in.occ == nil {
+		in.occ = make(map[opSig]uint64)
+	}
+	sig := opSig{op: op, from: from, to: to, bytes: bytes}
+	occ := in.occ[sig]
+	in.occ[sig]++
 	// A flapping link in its down phase beats every rule: nothing traverses
 	// a dead link, whatever the rules say.
 	for _, w := range in.windows {
@@ -245,9 +272,8 @@ func (in *Injector) OnOp(op rdma.OpCode, from, to, bytes int) rdma.Fault {
 		if r.Count != 0 && r.fired >= r.Count {
 			continue
 		}
-		try := r.tries
-		r.tries++
-		if r.Prob != 0 && r.Prob < 1 && sim.MixFloat(r.key, try) >= r.Prob {
+		if r.Prob != 0 && r.Prob < 1 &&
+			sim.MixFloat(r.key, uint64(now), uint64(op), uint64(from), uint64(to), uint64(bytes), occ) >= r.Prob {
 			continue
 		}
 		r.fired++

@@ -331,8 +331,7 @@ func (s *Server) handleCompact(from int, argBytes []byte) ([]byte, error) {
 	s.evictJobsLocked()
 	s.jobMu.Unlock()
 	for _, ch := range waiters {
-		s.env.Clock().Unblock("memnode.job")
-		close(ch)
+		s.env.Clock().Ready("memnode.job", ch)
 	}
 	return reply, err
 }

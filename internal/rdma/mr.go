@@ -40,8 +40,7 @@ func (r *MemoryRegion) wake(w *mrWatcher) {
 		w.alarm.Cancel()
 		return
 	}
-	r.node.env().Clock().Unblock("mr.poll")
-	close(w.ch)
+	r.node.env().Clock().Ready("mr.poll", w.ch)
 }
 
 // RemoteAddr is a wire-transferable pointer into a registered region.

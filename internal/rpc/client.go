@@ -3,6 +3,7 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"dlsm/internal/rdma"
@@ -34,8 +35,8 @@ type Policy struct {
 	// MaxBackoff caps the exponential backoff. 0 = uncapped.
 	MaxBackoff sim.Duration
 	// Jitter randomizes each backoff by ±Jitter fraction (0..1), hashed
-	// deterministically from the client identity and attempt number — no
-	// global RNG stream is consumed.
+	// deterministically from the client identity, method, call start time
+	// and attempt number — no global RNG stream is consumed.
 	Jitter float64
 }
 
@@ -109,10 +110,23 @@ func NewClient(node, peer *rdma.Node, notifier *Notifier, replyBuf int) *Client 
 		retries:  tel.Counter("rpc.retries"),
 		timeouts: tel.Counter("rpc.timeouts"),
 	}
-	// The initial reply rkey is allocated deterministically, making it a
-	// stable per-client identity for the jitter hash.
-	c.salt = sim.Mix64(uint64(env.Seed()), uint64(node.ID), uint64(c.reply.RKey()))
+	// The salt must be a pure function of stable identifiers: rkeys and
+	// wake-up ids come from shared allocators whose hand-out order depends
+	// on host scheduling when clients are created lazily by concurrent
+	// workers, so they must not leak into the jitter stream.
+	c.salt = sim.Mix64(uint64(env.Seed()), uint64(node.ID), uint64(peer.ID))
 	return c
+}
+
+// callSalt derives one call's jitter stream from the client's stable
+// identity, the method, and the call's start in virtual time — all pure
+// virtual-state inputs, so same-seed runs draw identical backoff jitter no
+// matter how host threads interleave, while concurrent calls (which start
+// at different virtual instants) still decorrelate.
+func (c *Client) callSalt(method string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(method))
+	return sim.Mix64(c.salt, h.Sum64(), uint64(c.env.Now()))
 }
 
 // Call performs a general-purpose RPC with no deadline and no retries: SEND
@@ -129,6 +143,7 @@ func (c *Client) Call(method string, args []byte) ([]byte, error) {
 // responder's NIC instead of corrupting the retry.
 func (c *Client) CallPolicy(method string, args []byte, p Policy) ([]byte, error) {
 	attempts := p.attempts()
+	salt := c.callSalt(method)
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		flagOff := c.reply.Size() - 1
@@ -159,7 +174,7 @@ func (c *Client) CallPolicy(method string, args []byte, p Policy) ([]byte, error
 			return nil, lastErr
 		}
 		c.retries.Inc()
-		if d := p.backoffFor(c.salt, attempt); d > 0 {
+		if d := p.backoffFor(salt, attempt); d > 0 {
 			c.env.Sleep(d)
 		}
 		c.renewReply()
@@ -183,6 +198,7 @@ func (c *Client) CallLargePolicy(method string, args []byte, p Policy) ([]byte, 
 		return nil, errors.New("rpc: CallLarge requires a notifier")
 	}
 	attempts := p.attempts()
+	salt := c.callSalt(method)
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		c.stageArgs(args)
@@ -220,7 +236,7 @@ func (c *Client) CallLargePolicy(method string, args []byte, p Policy) ([]byte, 
 			return nil, lastErr
 		}
 		c.retries.Inc()
-		if d := p.backoffFor(c.salt, attempt); d > 0 {
+		if d := p.backoffFor(salt, attempt); d > 0 {
 			c.env.Sleep(d)
 		}
 		c.renewReply()
@@ -409,11 +425,10 @@ func (n *Notifier) wakeLocked(w *Waiter) {
 	case w.alarm != nil:
 		w.alarm.Cancel()
 	case w.blocked:
-		n.env.Clock().Unblock("rpc.sleep")
-		close(w.ch)
+		n.env.Clock().Ready("rpc.sleep", w.ch)
 	default:
 		// Not parked yet: Wait (or Disarm) observes signaled and never
-		// blocks, so no Unblock is owed.
+		// blocks, so the scheduler is not involved.
 		close(w.ch)
 	}
 }

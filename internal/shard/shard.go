@@ -7,6 +7,8 @@ package shard
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"sort"
 
 	"dlsm/internal/engine"
@@ -148,7 +150,11 @@ func (s *Session) Delete(key []byte) error {
 
 // Apply routes the batch's operations to their shards and applies every
 // shard's sub-batch with one sequence-range claim (engine.Session.Apply).
-// The single-shard case forwards the batch untouched.
+// Operations apply in shard order, not the batch's insertion order. Every
+// shard is attempted even after a failure, so one stalled shard cannot
+// silently strand later shards' operations; the returned error joins the
+// per-shard failures (a failed shard's sub-batch was not applied, the
+// other shards' were). The single-shard case forwards the batch untouched.
 func (s *Session) Apply(b *engine.Batch) error {
 	if len(s.sessions) == 1 {
 		return s.sessions[0].Apply(b)
@@ -163,15 +169,16 @@ func (s *Session) Apply(b *engine.Batch) error {
 			sub.Put(key, value)
 		}
 	}
+	var errs []error
 	for i := range subs {
 		if subs[i].Len() == 0 {
 			continue
 		}
 		if err := s.sessions[i].Apply(&subs[i]); err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Get reads key from its shard.

@@ -47,8 +47,7 @@ func (c *Chan[T]) Send(v T) {
 		c.recvq = c.recvq[1:]
 		w.v, w.ok = v, true
 		c.mu.Unlock()
-		c.clock.Unblock("chan.recv")
-		close(w.ch)
+		c.clock.Ready("chan.recv", w.ch)
 		return
 	}
 	if len(c.buf) < c.cap {
@@ -75,8 +74,7 @@ func (c *Chan[T]) TrySend(v T) bool {
 		c.recvq = c.recvq[1:]
 		w.v, w.ok = v, true
 		c.mu.Unlock()
-		c.clock.Unblock("chan.recv")
-		close(w.ch)
+		c.clock.Ready("chan.recv", w.ch)
 		return true
 	}
 	if len(c.buf) < c.cap {
@@ -101,8 +99,7 @@ func (c *Chan[T]) Recv() (v T, ok bool) {
 			c.sendq = c.sendq[1:]
 			c.buf = append(c.buf, s.v)
 			c.mu.Unlock()
-			c.clock.Unblock("chan.send")
-			close(s.ch)
+			c.clock.Ready("chan.send", s.ch)
 			return v, true
 		}
 		c.mu.Unlock()
@@ -112,8 +109,7 @@ func (c *Chan[T]) Recv() (v T, ok bool) {
 		s := c.sendq[0]
 		c.sendq = c.sendq[1:]
 		c.mu.Unlock()
-		c.clock.Unblock("chan.send")
-		close(s.ch)
+		c.clock.Ready("chan.send", s.ch)
 		return s.v, true
 	}
 	if c.closed {
@@ -140,8 +136,7 @@ func (c *Chan[T]) TryRecv() (v T, ok bool) {
 			s := c.sendq[0]
 			c.sendq = c.sendq[1:]
 			c.buf = append(c.buf, s.v)
-			c.clock.Unblock("chan.send")
-			close(s.ch)
+			c.clock.Ready("chan.send", s.ch)
 		}
 		return v, true
 	}
@@ -162,13 +157,11 @@ func (c *Chan[T]) Close() {
 	c.sendq = nil
 	c.mu.Unlock()
 	for _, w := range q {
-		c.clock.Unblock("chan.recv")
-		close(w.ch)
+		c.clock.Ready("chan.recv", w.ch)
 	}
 	// Parked senders wake with their values discarded.
 	for _, s := range sq {
-		c.clock.Unblock("chan.send")
-		close(s.ch)
+		c.clock.Ready("chan.send", s.ch)
 	}
 }
 

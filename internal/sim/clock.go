@@ -1,19 +1,27 @@
 // Package sim implements a discrete-event simulation kernel with a virtual
 // clock. Simulated threads ("entities") are real goroutines executing real
 // code; only *time* is virtual. An entity is either running (executing Go
-// code on the host) or blocked (waiting on the virtual clock or on a
-// sim-aware synchronization primitive). The clock advances to the next
-// pending wakeup only when every entity is blocked, so virtual timestamps
-// are consistent regardless of how many physical cores the host has.
+// code on the host), ready (runnable, awaiting dispatch) or blocked
+// (waiting on the virtual clock or on a sim-aware synchronization
+// primitive).
+//
+// Scheduling is cooperative and serial: at most one entity executes at a
+// time. Entities made runnable — woken by a primitive, newly spawned, or
+// released by a canceled alarm — join a FIFO ready queue, and the next one
+// is dispatched only when the current runner blocks or exits. When nothing
+// is runnable the clock advances to the earliest pending wakeup and
+// dispatches that single waiter. Serial dispatch makes every arrival order
+// in the simulation — mutex queues, CPU core assignment, channel handoffs —
+// a pure function of virtual state rather than of host scheduling, so a
+// run's virtual timeline is reproducible on any host.
 //
 // Rules for code running under the simulator:
 //
 //   - All cross-entity blocking must use sim primitives (Mutex, Cond, Chan,
-//     Semaphore, WaitGroup) or clock waits. Host sync primitives may be used
-//     only for critical sections that never block on a sim primitive while
-//     held.
+//     WaitGroup) or clock waits. Host sync primitives may be used only for
+//     critical sections that never block on a sim primitive while held.
 //   - Every goroutine that touches sim primitives must be spawned with
-//     Env.Go (or registered with Env.Enter/Exit).
+//     Env.Go (or driven through Env.Run).
 //
 // Virtual time is int64 nanoseconds since simulation start.
 package sim
@@ -41,11 +49,12 @@ const (
 )
 
 type waiter struct {
-	at    Time
-	seq   uint64 // tie-break so equal timestamps wake FIFO
-	ch    chan struct{}
-	where string // description for deadlock reports
-	state int    // pending / fired / canceled
+	at     Time
+	seq    uint64 // tie-break so equal timestamps wake FIFO
+	ch     chan struct{}
+	where  string // description for deadlock reports
+	state  int    // pending / fired / canceled
+	parked bool   // owner is inside Alarm.Wait (alarms only)
 }
 
 type waitHeap []*waiter
@@ -68,12 +77,14 @@ func (h *waitHeap) Pop() any {
 	return w
 }
 
-// Clock is the virtual clock shared by all entities of one simulation.
+// Clock is the virtual clock and scheduler shared by all entities of one
+// simulation.
 type Clock struct {
 	mu      sync.Mutex
 	now     Time
-	runners int // entities currently executing host code
-	blocked int // entities blocked on non-clock sim primitives
+	runners int             // entities currently dispatched (0 or 1)
+	blocked int             // entities blocked on non-clock sim primitives
+	ready   []chan struct{} // FIFO of runnable entities awaiting dispatch
 	seq     uint64
 	heap    waitHeap
 	stalled map[string]int // where -> count, for deadlock diagnostics
@@ -93,14 +104,31 @@ func (c *Clock) Now() Time {
 	return c.now
 }
 
-// enter registers one more running entity. Must be paired with exit.
-func (c *Clock) enter() {
-	c.mu.Lock()
+// dispatchLocked hands the run slot to the longest-ready entity.
+// Caller holds c.mu and has established runners == 0.
+func (c *Clock) dispatchLocked() {
+	ch := c.ready[0]
+	c.ready = c.ready[1:]
 	c.runners++
-	c.mu.Unlock()
+	close(ch)
 }
 
-// exit deregisters a running entity, possibly advancing the clock.
+// join registers a new entity (spawned goroutine or Run driver) and
+// returns the gate channel that closes when the scheduler dispatches it.
+func (c *Clock) join() chan struct{} {
+	c.mu.Lock()
+	ch := make(chan struct{})
+	c.ready = append(c.ready, ch)
+	// An idle simulation (no current runner) has nothing that will reach a
+	// dispatch point, so dispatch here; this is how the first entity starts.
+	if c.runners == 0 {
+		c.dispatchLocked()
+	}
+	c.mu.Unlock()
+	return ch
+}
+
+// exit deregisters the running entity, dispatching the next one.
 func (c *Clock) exit() {
 	c.mu.Lock()
 	c.runners--
@@ -145,9 +173,9 @@ func (c *Clock) sleepUntilLocked(t Time, where string) {
 	<-w.ch
 }
 
-// block parks the calling entity on an external primitive (mutex queue,
-// channel, ...). The primitive wakes it via unblock. where describes the
-// wait site for deadlock reports.
+// Block parks the calling entity on an external primitive (mutex queue,
+// channel, ...). The primitive hands it back to the scheduler with Ready.
+// where describes the wait site for deadlock reports.
 func (c *Clock) Block(where string) {
 	c.mu.Lock()
 	c.runners--
@@ -160,63 +188,62 @@ func (c *Clock) Block(where string) {
 	}
 }
 
-// unblock marks one entity previously parked with block as runnable again.
-// It is called by the waker *before* signaling the waiter's channel.
-func (c *Clock) Unblock(where string) {
+// Ready marks an entity previously parked with Block as runnable: it joins
+// the dispatch queue and its channel ch closes when it is dispatched. The
+// waker keeps the run slot and continues; this is what keeps wake order a
+// function of program order rather than of host scheduling.
+func (c *Clock) Ready(where string, ch chan struct{}) {
 	c.mu.Lock()
-	c.runners++
 	c.blocked--
 	c.stalled[where]--
 	if c.stalled[where] == 0 {
 		delete(c.stalled, where)
 	}
+	c.ready = append(c.ready, ch)
+	// Wakes from host (non-entity) code while the simulation is idle must
+	// dispatch here or the wake would be lost.
+	if c.runners == 0 {
+		c.dispatchLocked()
+	}
 	c.mu.Unlock()
 }
 
-// maybeAdvanceLocked advances virtual time to the earliest pending wakeup if
-// no entity is running. It returns a non-empty diagnostic when the
+// maybeAdvanceLocked dispatches the next ready entity if no entity is
+// running, advancing virtual time to the earliest pending wakeup when the
+// ready queue is empty. It returns a non-empty diagnostic when the
 // simulation is deadlocked; the caller must release c.mu before panicking.
 // Caller holds c.mu.
 func (c *Clock) maybeAdvanceLocked() (deadlock string) {
 	if c.runners > 0 || c.dead {
 		return ""
 	}
-	for {
-		// Canceled alarms are heap garbage; drop them before deciding.
-		for len(c.heap) > 0 && c.heap[0].state == waiterCanceled {
-			heap.Pop(&c.heap)
-		}
-		if len(c.heap) == 0 {
-			if c.blocked > 0 && c.active > 0 {
-				// A driver is inside Run, every entity is parked on a
-				// primitive, and nothing is scheduled to wake: the
-				// simulation cannot make progress. (With no active driver,
-				// parked service entities are just idle, not deadlocked.)
-				c.dead = true
-				return c.stallReportLocked()
-			}
-			return ""
-		}
-		next := c.heap[0].at
-		woke := 0
-		// Wake every waiter scheduled for this instant. Each wakes as a
-		// runner.
-		for len(c.heap) > 0 && c.heap[0].at == next {
-			w := heap.Pop(&c.heap).(*waiter)
-			if w.state == waiterCanceled {
-				continue
-			}
-			w.state = waiterFired
-			c.runners++
-			woke++
-			close(w.ch)
-		}
-		if woke > 0 {
-			c.now = next
-			return ""
-		}
-		// Everything at this instant was canceled; try the next one.
+	if len(c.ready) > 0 {
+		c.dispatchLocked()
+		return ""
 	}
+	// Canceled alarms are heap garbage; drop them before deciding.
+	for len(c.heap) > 0 && c.heap[0].state == waiterCanceled {
+		heap.Pop(&c.heap)
+	}
+	if len(c.heap) == 0 {
+		if c.blocked > 0 && c.active > 0 {
+			// A driver is inside Run, every entity is parked on a
+			// primitive, and nothing is scheduled to wake: the
+			// simulation cannot make progress. (With no active driver,
+			// parked service entities are just idle, not deadlocked.)
+			c.dead = true
+			return c.stallReportLocked()
+		}
+		return ""
+	}
+	// Wake the single earliest waiter; later waiters at the same instant
+	// dispatch one at a time as earlier ones block again.
+	w := heap.Pop(&c.heap).(*waiter)
+	w.state = waiterFired
+	c.now = w.at
+	c.runners++
+	close(w.ch)
+	return ""
 }
 
 // Alarm is a cancellable virtual-time wakeup. The owning entity schedules
@@ -249,6 +276,13 @@ func (c *Clock) NewAlarm(t Time, where string) *Alarm {
 func (a *Alarm) Wait() bool {
 	c := a.c
 	c.mu.Lock()
+	if a.w.state == waiterCanceled {
+		// Canceled before the owner parked: return without ever leaving
+		// the run slot; the heap entry is dropped as garbage.
+		c.mu.Unlock()
+		return false
+	}
+	a.w.parked = true
 	c.runners--
 	dead := c.maybeAdvanceLocked()
 	c.mu.Unlock()
@@ -273,9 +307,14 @@ func (a *Alarm) Cancel() {
 		return
 	}
 	a.w.state = waiterCanceled
-	c.runners++ // the owner becomes runnable again
+	if a.w.parked {
+		// The owner is parked in Wait; hand it to the dispatch queue.
+		c.ready = append(c.ready, a.w.ch)
+		if c.runners == 0 {
+			c.dispatchLocked()
+		}
+	}
 	c.mu.Unlock()
-	close(a.w.ch)
 }
 
 func (c *Clock) stallReportLocked() string {

@@ -32,14 +32,16 @@ func (e *Env) Sleep(d Duration) { e.clock.Sleep(d) }
 // WaitUntil blocks the calling entity until virtual time t.
 func (e *Env) WaitUntil(t Time) { e.clock.WaitUntil(t) }
 
-// Go spawns fn as a new simulated entity. The entity participates in
-// virtual-time accounting from the moment Go returns until fn returns.
+// Go spawns fn as a new simulated entity. The entity joins the scheduler's
+// ready queue when Go returns and starts executing at its first dispatch
+// (when the spawning entity next blocks, or immediately if nothing runs).
 func (e *Env) Go(fn func()) {
 	e.wg.Add(1)
-	e.clock.enter()
+	gate := e.clock.join()
 	go func() {
 		defer e.wg.Done()
 		defer e.clock.exit()
+		<-gate
 		fn()
 	}()
 }
@@ -53,7 +55,7 @@ func (e *Env) Run(fn func()) {
 	e.clock.mu.Lock()
 	e.clock.active++
 	e.clock.mu.Unlock()
-	e.clock.enter()
+	<-e.clock.join()
 	defer func() {
 		e.clock.mu.Lock()
 		e.clock.active--

@@ -310,3 +310,47 @@ func TestWaitGroupZeroWaitReturnsImmediately(t *testing.T) {
 		wg.Wait() // must not block
 	})
 }
+
+// TestSchedulerDeterministicTimeline runs a contended workload twice and
+// requires identical per-entity virtual timelines. With cooperative serial
+// dispatch, same-instant contention — CPU core queueing, mutex handoff
+// order, channel FIFO order — must resolve identically on every run, no
+// matter how the host schedules the underlying goroutines.
+func TestSchedulerDeterministicTimeline(t *testing.T) {
+	run := func() []Time {
+		e := NewEnv()
+		const n = 8
+		out := make([]Time, n)
+		e.Run(func() {
+			cpu := NewCPU(e, 2)
+			mu := NewMutex(e)
+			ch := NewChan[int](e, 2)
+			wg := NewWaitGroup(e)
+			for i := 0; i < n; i++ {
+				i := i
+				wg.Add(1)
+				e.Go(func() {
+					defer wg.Done()
+					for j := 0; j < 4; j++ {
+						cpu.Use(Duration(1+(i*7+j*3)%5) * time.Microsecond)
+						mu.Lock()
+						e.Sleep(time.Microsecond)
+						mu.Unlock()
+						ch.Send(i)
+						ch.Recv()
+					}
+					out[i] = e.Now()
+				})
+			}
+			wg.Wait()
+		})
+		e.Wait()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entity %d finished at %d vs %d across identical runs", i, a[i], b[i])
+		}
+	}
+}

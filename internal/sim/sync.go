@@ -56,8 +56,7 @@ func (m *Mutex) Unlock() {
 	ch := m.queue[0]
 	m.queue = m.queue[1:]
 	m.mu.Unlock()
-	m.clock.Unblock("mutex") // ownership hands off; held stays true
-	close(ch)
+	m.clock.Ready("mutex", ch) // ownership hands off; held stays true
 }
 
 // Cond is a condition variable whose waiters are simulated entities.
@@ -102,8 +101,7 @@ func (c *Cond) Signal() {
 	ch := c.queue[0]
 	c.queue = c.queue[1:]
 	c.mu.Unlock()
-	c.clock.Unblock(c.name)
-	close(ch)
+	c.clock.Ready(c.name, ch)
 }
 
 // Broadcast wakes all waiters.
@@ -113,8 +111,7 @@ func (c *Cond) Broadcast() {
 	c.queue = nil
 	c.mu.Unlock()
 	for _, ch := range q {
-		c.clock.Unblock(c.name)
-		close(ch)
+		c.clock.Ready(c.name, ch)
 	}
 }
 
@@ -144,8 +141,7 @@ func (w *WaitGroup) Add(delta int) {
 	}
 	w.mu.Unlock()
 	for _, ch := range q {
-		w.clock.Unblock("waitgroup")
-		close(ch)
+		w.clock.Ready("waitgroup", ch)
 	}
 }
 

@@ -77,17 +77,21 @@ type ReaderMetrics struct {
 // (implemented by internal/cache). Values are keyed by (table file number,
 // entry index) — table files are immutable and ids are never reused, so
 // cached values cannot go stale. The negative side records misses that
-// survived the bloom filter, keyed by (table, user-key hash). All methods
-// must be safe for concurrent use and account their own virtual CPU.
+// survived the bloom filter, keyed by (table, user-key hash) and tagged
+// with the read snapshot: a miss at snapshot S only answers readers at
+// snapshots <= S, so an old-snapshot read can never hide newer versions
+// from current readers. All methods must be safe for concurrent use and
+// account their own virtual CPU.
 type ValueCache interface {
 	// GetValue returns a stable copy of the cached value, if present.
 	GetValue(table uint64, entry uint32) ([]byte, bool)
 	// FillValue caches a copy of val under (table, entry).
 	FillValue(table uint64, entry uint32, val []byte)
-	// Negative reports a recorded bloom-surviving miss.
-	Negative(table, keyHash uint64) bool
-	// FillNegative records a bloom-surviving miss.
-	FillNegative(table, keyHash uint64)
+	// Negative reports a recorded bloom-surviving miss valid at snapshot
+	// snap (a sequence number widened to uint64).
+	Negative(table, keyHash, snap uint64) bool
+	// FillNegative records a bloom-surviving miss observed at snapshot snap.
+	FillNegative(table, keyHash, snap uint64)
 }
 
 // Options bundles the cost model, charger, and metrics used by readers and

@@ -46,9 +46,11 @@ func (r *Reader) Get(ukey []byte, seq keys.Seq) (value []byte, found, deleted bo
 	var kh uint64
 	if r.opts.Cache != nil {
 		// The negative cache answers repeated bloom-false-positive misses
-		// before even the bloom probe is paid.
+		// before even the bloom probe is paid. Entries are snapshot-tagged,
+		// so a miss recorded by an old-snapshot read never hides versions
+		// newer than that snapshot from this one.
 		kh = keyHash(ukey)
-		if r.opts.Cache.Negative(r.meta.ID, kh) {
+		if r.opts.Cache.Negative(r.meta.ID, kh, uint64(seq)) {
 			return nil, false, false, nil
 		}
 	}
@@ -64,17 +66,18 @@ func (r *Reader) Get(ukey []byte, seq keys.Seq) (value []byte, found, deleted bo
 	lookup := keys.AppendLookup(make([]byte, 0, len(ukey)+keys.TrailerLen), ukey, seq)
 	r.charge(c.IndexSearch)
 	if r.meta.Format == ByteAddr {
-		return r.getByteAddr(ukey, lookup, kh)
+		return r.getByteAddr(ukey, lookup, kh, seq)
 	}
-	return r.getBlock(ukey, lookup, kh)
+	return r.getBlock(ukey, lookup, kh, seq)
 }
 
-// fillNegative records a miss that survived the bloom filter, so the next
-// lookup of the same absent key skips this table's bloom and index work
-// (and, under the block layout, the block fetch).
-func (r *Reader) fillNegative(kh uint64) {
+// fillNegative records a miss at snapshot seq that survived the bloom
+// filter, so the next lookup of the same absent key at that snapshot (or
+// an older one) skips this table's bloom and index work (and, under the
+// block layout, the block fetch).
+func (r *Reader) fillNegative(kh uint64, seq keys.Seq) {
 	if r.opts.Cache != nil && r.opts.FillCache {
-		r.opts.Cache.FillNegative(r.meta.ID, kh)
+		r.opts.Cache.FillNegative(r.meta.ID, kh, uint64(seq))
 	}
 }
 
@@ -82,16 +85,16 @@ func (r *Reader) fillNegative(kh uint64) {
 // exactly the value bytes — one small RDMA read, no read amplification.
 // With a hot-KV cache wired in, the index still resolves the entry (cheap
 // compute-local work) but a cache hit replaces the RDMA round trip.
-func (r *Reader) getByteAddr(ukey, lookup []byte, kh uint64) (value []byte, found, deleted bool, err error) {
+func (r *Reader) getByteAddr(ukey, lookup []byte, kh uint64, seq keys.Seq) (value []byte, found, deleted bool, err error) {
 	ix := &r.meta.Index
 	i := ix.SeekGE(lookup, keys.Compare)
 	if i >= ix.NumRecords() {
-		r.fillNegative(kh)
+		r.fillNegative(kh, seq)
 		return nil, false, false, nil
 	}
 	key, off, klen, vlen := ix.Record(i)
 	if !bytes.Equal(keys.UserKey(key), ukey) {
-		r.fillNegative(kh)
+		r.fillNegative(kh, seq)
 		return nil, false, false, nil
 	}
 	_, _, kind, perr := keys.Parse(key)
@@ -134,11 +137,11 @@ func keyHash(b []byte) uint64 {
 // read amplification the byte-addressable layout removes (Fig 13). The
 // per-entry value cache does not apply here (the entry index within a block
 // is unknowable before the fetch); only the negative cache participates.
-func (r *Reader) getBlock(ukey, lookup []byte, kh uint64) (value []byte, found, deleted bool, err error) {
+func (r *Reader) getBlock(ukey, lookup []byte, kh uint64, seq keys.Seq) (value []byte, found, deleted bool, err error) {
 	ix := &r.meta.Index
 	bi := ix.SeekGE(lookup, keys.Compare)
 	if bi >= ix.NumRecords() {
-		r.fillNegative(kh)
+		r.fillNegative(kh, seq)
 		return nil, false, false, nil
 	}
 	_, off, blen, _ := ix.Record(bi)
@@ -155,12 +158,12 @@ func (r *Reader) getBlock(ukey, lookup []byte, kh uint64) (value []byte, found, 
 	r.charge(c.BlockTouch + time.Duration(float64(blen)*c.BlockByte))
 	j := blk.seekGE(lookup)
 	if j >= blk.count {
-		r.fillNegative(kh)
+		r.fillNegative(kh, seq)
 		return nil, false, false, nil
 	}
 	ikey, val := blk.entry(j)
 	if !bytes.Equal(keys.UserKey(ikey), ukey) {
-		r.fillNegative(kh)
+		r.fillNegative(kh, seq)
 		return nil, false, false, nil
 	}
 	_, _, kind, perr := keys.Parse(ikey)
