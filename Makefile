@@ -1,12 +1,12 @@
 # Developer entry points. `make check` is the tier-1 verification gate
 # (see ROADMAP.md) plus a -race pass over the packages with the most
-# lock-free concurrency.
+# lock-free concurrency and a short fuzz of the recovery decoders.
 
 GO ?= go
 
-.PHONY: check build test vet race bench cache faults
+.PHONY: check build test vet race fuzz bench cache faults wal
 
-check: vet build test race
+check: vet build test race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -20,11 +20,23 @@ test:
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/engine/... \
 		./internal/rpc/... ./internal/memnode/... ./internal/faults/... \
-		./internal/cache/... ./internal/shard/...
+		./internal/cache/... ./internal/shard/... ./internal/wal/...
+
+# Short fuzz of the bytes recovery trusts from remote memory: checkpoint
+# blobs must decode or error, never panic. The corpus seeds cover valid,
+# truncated and corrupt inputs; CI keeps the budget small.
+fuzz:
+	$(GO) test ./internal/engine/ -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime 10s
 
 # Hot-KV cache budget sweep (Zipf readrandom, cache off -> 64MB).
 cache:
 	$(GO) run ./cmd/dlsm-bench -fig cache -n 100000
+
+# Remote-WAL durability sweep (randomfill): logging off, Async and Sync,
+# each with group commit and with one doorbell per write. Sync with group
+# commit must strictly beat sync+perwrite.
+wal:
+	$(GO) run ./cmd/dlsm-bench -fig wal -n 100000
 
 # Fault-scenario suite. Every scenario pins its own sim seed, so the
 # fault schedule and the virtual-time results are bit-identical per run.

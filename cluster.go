@@ -1,6 +1,10 @@
 package dlsm
 
-import "dlsm/internal/memnode"
+import (
+	"fmt"
+
+	"dlsm/internal/memnode"
+)
 
 // ClusterDB deploys dLSM across c compute nodes and m memory nodes (§IX):
 // the key space splits into c contiguous slices (one per compute node, so
@@ -23,21 +27,56 @@ func OpenCluster(d *Deployment, opts Options, lambda int, boundaries [][]byte, s
 		panic("dlsm: OpenCluster needs computeNodes-1 boundaries")
 	}
 	cl := &ClusterDB{boundaries: boundaries}
-	m := len(d.Servers)
 	for i := 0; i < c; i++ {
 		// Round-robin shard->memory-node placement across the cluster:
 		// compute i's λ shards start at memory node (i*lambda) mod m.
-		servers := make([]*memnode.Server, lambda)
-		for j := 0; j < lambda; j++ {
-			servers[j] = d.Servers[(i*lambda+j)%m]
-		}
 		var sb [][]byte
 		if shardBounds != nil {
 			sb = shardBounds(i)
 		}
-		cl.dbs = append(cl.dbs, OpenAt(d, i, servers, opts, lambda, sb))
+		cl.dbs = append(cl.dbs, OpenAt(d, i, clusterServers(d, i, lambda), opts, lambda, sb))
 	}
 	return cl
+}
+
+// clusterServers returns compute node i's round-robin shard→memory-node
+// placement, shared by OpenCluster and RecoverCluster (the two must agree
+// or recovery would read the wrong memory nodes).
+func clusterServers(d *Deployment, i, lambda int) []*memnode.Server {
+	m := len(d.Servers)
+	servers := make([]*memnode.Server, lambda)
+	for j := 0; j < lambda; j++ {
+		servers[j] = d.Servers[(i*lambda+j)%m]
+	}
+	return servers
+}
+
+// RecoverCluster rebuilds every compute node's DB from the remote
+// write-ahead logs after a full compute-tier restart. The arguments must
+// match the original OpenCluster call, and opts must have Durability set.
+// Each compute node i recovers its own slice (WALOwner = i, assigned by
+// OpenCluster via OpenAt) onto the same node index. To recover a single
+// crashed compute node instead, call RecoverAt with owner = that node's
+// index and swap the result into place.
+func RecoverCluster(d *Deployment, opts Options, lambda int, boundaries [][]byte, shardBounds func(compute int) [][]byte) (*ClusterDB, error) {
+	c := len(d.Compute)
+	if len(boundaries) != c-1 {
+		panic("dlsm: RecoverCluster needs computeNodes-1 boundaries")
+	}
+	cl := &ClusterDB{boundaries: boundaries}
+	for i := 0; i < c; i++ {
+		var sb [][]byte
+		if shardBounds != nil {
+			sb = shardBounds(i)
+		}
+		db, err := RecoverAt(d, i, i, clusterServers(d, i, lambda), opts, lambda, sb)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("dlsm: recovering compute %d: %w", i, err)
+		}
+		cl.dbs = append(cl.dbs, db)
+	}
+	return cl, nil
 }
 
 // Compute returns the DB owned by compute node i. Benchmark drivers that

@@ -52,6 +52,20 @@ type (
 	MemNodeConfig = memnode.Config
 )
 
+// Durability selects how writes interact with the remote write-ahead log
+// (internal/wal): DurabilityNone (default) disables logging, DurabilityAsync
+// acknowledges before the log write lands, DurabilitySync acknowledges only
+// once the record is in remote memory — Recover then restores 100% of
+// acknowledged writes after a compute-node crash.
+type Durability = engine.Durability
+
+// Durability modes for Options.Durability.
+const (
+	DurabilityNone  = engine.DurabilityNone
+	DurabilityAsync = engine.DurabilityAsync
+	DurabilitySync  = engine.DurabilitySync
+)
+
 // ErrNotFound is returned by Get for missing keys.
 var ErrNotFound = engine.ErrNotFound
 
@@ -173,9 +187,43 @@ func OpenSharded(d *Deployment, opts Options, lambda int, boundaries [][]byte) *
 }
 
 // OpenAt creates a DB on compute node computeIdx whose shards round-robin
-// across servers (§IX).
+// across servers (§IX). With Options.Durability set, the facade manages
+// log-slot identity itself: Options.WALOwner is overwritten with
+// computeIdx (and each shard gets WALShard = its index), so DBs on
+// different compute nodes sharing a memory node never collide. Use the
+// engine package directly for manual slot control.
 func OpenAt(d *Deployment, computeIdx int, servers []*memnode.Server, opts Options, lambda int, boundaries [][]byte) *DB {
+	opts.WALOwner = computeIdx
 	return &DB{inner: shard.New(d.Compute[computeIdx], servers, lambda, boundaries, opts)}
+}
+
+// Recover rebuilds the DB a crashed compute node ran via Open, replaying
+// its remote write-ahead logs (§VIII). opts must have Durability set and
+// otherwise match the dead DB's Open. The DB is rebuilt on the
+// deployment's first compute node (in the simulator a crashed node can be
+// Restarted and reused); use RecoverAt to rebuild elsewhere.
+func Recover(d *Deployment, opts Options) (*DB, error) {
+	return RecoverAt(d, 0, 0, d.Servers, opts, 1, nil)
+}
+
+// RecoverSharded rebuilds a λ-sharded DB opened with OpenSharded on the
+// first compute node.
+func RecoverSharded(d *Deployment, opts Options, lambda int, boundaries [][]byte) (*DB, error) {
+	return RecoverAt(d, 0, 0, d.Servers, opts, lambda, boundaries)
+}
+
+// RecoverAt rebuilds, on compute node computeIdx, the DB that compute
+// node owner opened with OpenAt(d, owner, servers, ...) before crashing.
+// servers, opts, lambda and boundaries must match that OpenAt call; the
+// rebuilt DB keeps logging under the same owner so a later recovery finds
+// the same slots.
+func RecoverAt(d *Deployment, computeIdx, owner int, servers []*memnode.Server, opts Options, lambda int, boundaries [][]byte) (*DB, error) {
+	opts.WALOwner = owner
+	inner, err := shard.Recover(d.Compute[computeIdx], servers, lambda, boundaries, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
 }
 
 // UniformBoundaries splits a formatted integer key space into lambda equal

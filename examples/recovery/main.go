@@ -1,99 +1,78 @@
-// Recovery: the §VIII story end to end. dLSM serves a main-memory database
-// that persists through command logging: the index periodically produces a
-// transactionally consistent checkpoint (sequence horizon + table metadata;
-// the table bytes already live in remote memory, which survives a compute
-// node failure). After a "crash", a replacement compute node rebuilds the
-// index from the checkpoint and the database re-executes the command log
-// past the horizon.
+// Recovery: the §VIII story end to end, now on the remote write-ahead
+// log. With Options.Durability = DurabilitySync every acknowledged write
+// has its log record in remote memory — placed there by a one-sided RDMA
+// write, no memory-node CPU — before Put returns. When the compute node
+// dies, a standby calls dlsm.RecoverAt: the log slot is read back, the
+// embedded checkpoint rebuilds the table metadata, and every record past
+// the checkpoint horizon is re-applied. Nothing acknowledged is lost, not
+// even writes still sitting in the MemTable at the moment of the crash.
 package main
 
 import (
 	"fmt"
 
-	"dlsm/internal/engine"
-	"dlsm/internal/memnode"
-	"dlsm/internal/rdma"
-	"dlsm/internal/sim"
+	"dlsm"
 )
 
-type command struct{ key, value string }
-
 func main() {
-	env := sim.NewEnv()
-	fab := rdma.NewFabric(env, rdma.EDR100())
-	cn1 := fab.AddNode("compute-1", 24)
-	cn2 := fab.AddNode("compute-2", 24) // standby replacement
-	mn := fab.AddNode("memory", 12)
-	srv := memnode.NewServer(mn, memnode.DefaultConfig())
-	srv.Start()
+	cfg := dlsm.SingleNodeConfig()
+	cfg.ComputeNodes = 2 // compute-1 is the standby
+	d := dlsm.NewDeployment(cfg)
 
-	env.Run(func() {
-		opts := engine.DLSM()
-		db := engine.Open(cn1, srv, opts)
+	d.Run(func() {
+		opts := dlsm.DefaultOptions()
+		opts.Durability = dlsm.DurabilitySync
+
+		db := dlsm.Open(d, opts) // runs on compute-0 (log owner 0)
 		s := db.NewSession()
 
-		// The command log the database layer maintains (simplified).
-		var log []command
-		apply := func(s *engine.Session, c command) {
-			log = append(log, c)
-			if err := s.Put([]byte(c.key), []byte(c.value)); err != nil {
-				panic(err)
-			}
-		}
-
+		// A main-memory database's write traffic: every nil error below is
+		// an acknowledgment the client may act on.
 		for i := 0; i < 80_000; i++ {
-			apply(s, command{fmt.Sprintf("acct-%06d", i%20000), fmt.Sprintf("balance=%d", i)})
+			put(s, fmt.Sprintf("acct-%06d", i%20000), fmt.Sprintf("balance=%d", i))
 		}
 
-		// Checkpoint: flush the MemTables and snapshot the index metadata.
-		db.Flush()
-		cp := db.Checkpoint()
-		horizon := len(log) // commands up to here are covered by cp
-		fmt.Printf("checkpoint: %d KB of metadata covering %d commands (seq %d)\n",
-			len(cp)>>10, horizon, db.CurrentSeq())
+		// One last write, deliberately NOT flushed: it exists only in
+		// compute-0's MemTable and in the remote log.
+		put(s, "acct-marker", "acked-but-unflushed")
+		fmt.Println("80001 writes acknowledged (last one never flushed)")
 
-		// More traffic after the checkpoint — covered only by the log.
-		for i := 0; i < 5_000; i++ {
-			apply(s, command{fmt.Sprintf("acct-%06d", i), fmt.Sprintf("post-cp=%d", i)})
-		}
-
-		// 💥 the compute node fails. Sessions and in-DRAM state are gone;
-		// remote memory (the SSTables) survives on the memory node.
+		// 💥 compute-0 fails. Its DRAM — MemTables, metadata, caches — is
+		// gone; remote memory (SSTables and the log slot) survives.
+		d.Compute[0].Crash()
 		s.Close()
 		db.Close()
-		fmt.Println("compute node lost; recovering on standby...")
+		fmt.Println("compute-0 lost; recovering on standby compute-1...")
 
-		db2, err := engine.OpenFromCheckpoint(cn2, srv, opts, cp)
+		// The standby rebuilds owner 0's DB from the remote log.
+		db2, err := dlsm.RecoverAt(d, 1, 0, d.Servers, opts, 1, nil)
 		if err != nil {
 			panic(err)
 		}
+		fmt.Printf("replayed %d log entries past the checkpoint horizon\n",
+			db2.Stats()[0].WALReplayed.Load())
+
+		// Verify: flushed state came back through the checkpoint's table
+		// metadata, and the never-flushed acknowledged write came back
+		// through log replay.
 		s2 := db2.NewSession()
-
-		// Re-execute the command log past the horizon, batched (one
-		// sequence-range claim for the whole replay).
-		var rb engine.Batch
-		for _, c := range log[horizon:] {
-			rb.Put([]byte(c.key), []byte(c.value))
-		}
-		if err := s2.Apply(&rb); err != nil {
-			panic(err)
-		}
-		fmt.Printf("replayed %d post-checkpoint commands\n", len(log)-horizon)
-
-		// Verify: pre-checkpoint state recovered from remote memory,
-		// post-checkpoint state recovered from the log.
-		mustEqual(s2, "acct-019999", "balance=79999") // last pre-cp write to it
-		mustEqual(s2, "acct-000042", "post-cp=42")    // replayed
-		fmt.Println("recovery verified: both checkpointed and replayed state intact")
+		mustEqual(s2, "acct-019999", "balance=79999")
+		mustEqual(s2, "acct-marker", "acked-but-unflushed")
+		fmt.Println("recovery verified: checkpointed and unflushed acked state intact")
 
 		s2.Close()
 		db2.Close()
-		fab.Close()
 	})
-	env.Wait()
+	d.Close()
 }
 
-func mustEqual(s *engine.Session, key, want string) {
+func put(s *dlsm.Session, key, value string) {
+	if err := s.Put([]byte(key), []byte(value)); err != nil {
+		panic(err)
+	}
+}
+
+func mustEqual(s *dlsm.Session, key, want string) {
 	v, err := s.Get([]byte(key))
 	if err != nil || string(v) != want {
 		panic(fmt.Sprintf("Get(%s) = %q, %v; want %q", key, v, err, want))

@@ -5,6 +5,7 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"dlsm/internal/engine"
 	"dlsm/internal/rdma"
 )
 
@@ -235,6 +236,39 @@ func FigCache(n, threads int) *Figure {
 			fmtBudget(b), fmtTput(r.Throughput), cacheHitRate(r)*100,
 			r.Metrics.Counters["cache.neg_hits"])
 		s.Points = append(s.Points, Point{X: fmtBudget(b), R: r})
+	}
+	f.Series = append(f.Series, s)
+	return f
+}
+
+// FigWAL sweeps the remote write-ahead log's durability modes on a
+// randomfill workload: logging off (the pre-WAL write path, the bit-exact
+// baseline for every other figure), Async and Sync — each with group
+// commit (default) and with one doorbell per write (WALPerWrite). The
+// per-point doorbell counts show the coalescing: in Sync mode group
+// commit must strictly beat per-write doorbells.
+func FigWAL(n, threads int) *Figure {
+	f := &Figure{Name: "Fig WAL", Title: "remote WAL durability modes (randomfill)", XLabel: "mode"}
+	variants := []struct {
+		label    string
+		d        engine.Durability
+		perWrite bool
+	}{
+		{"off", engine.DurabilityNone, false},
+		{"async", engine.DurabilityAsync, false},
+		{"async+perwrite", engine.DurabilityAsync, true},
+		{"sync", engine.DurabilitySync, false},
+		{"sync+perwrite", engine.DurabilitySync, true},
+	}
+	s := Series{Label: "dLSM"}
+	for _, v := range variants {
+		r := FillRandom(Config{System: DLSM, Threads: threads, N: n,
+			Durability: v.d, WALPerWrite: v.perWrite})
+		c := r.Metrics.Counters
+		progress("figwal %s: %s ops/s (appends %d, doorbells %d, ring stalls %d)",
+			v.label, fmtTput(r.Throughput),
+			c["wal.appends"], c["wal.doorbells"], c["wal.ring_stalls"])
+		s.Points = append(s.Points, Point{X: v.label, R: r})
 	}
 	f.Series = append(f.Series, s)
 	return f

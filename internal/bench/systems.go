@@ -102,6 +102,10 @@ func engineOptions(sys System, cfg Config, lambda int) engine.Options {
 	o.ReplyBufSize = 32 << 20
 	// Whole-node cache budget; shard.New splits it across the λ shards.
 	o.CacheBudgetBytes = cfg.CacheBudgetBytes
+	// Remote WAL mode (FigWAL sweep); WALSize keeps its default of
+	// 8 MemTables per shard slot.
+	o.Durability = cfg.Durability
+	o.WALPerWriteCommit = cfg.WALPerWrite
 
 	switch sys {
 	case DLSM:
@@ -326,6 +330,13 @@ func deployment(cfg Config) (*sim.Env, *rdma.Fabric, []*rdma.Node, []*memnode.Se
 	mcfg.ComputeRegionSize = cfg.regionSize()
 	mcfg.SelfRegionSize = cfg.regionSize()
 	mcfg.Subcompactions = 12
+	// The log region registers lazily on first OpenLog, so runs without
+	// durability pay nothing; with it on, size for λ slots of 8 MemTables.
+	if cfg.Durability == engine.DurabilityNone {
+		mcfg.LogRegionSize = 0
+	} else {
+		mcfg.LogRegionSize = 8*cfg.memTableSize() + 64<<20
+	}
 	for i := 0; i < memoryNodes; i++ {
 		mn := fab.AddNode(fmt.Sprintf("memory-%d", i), memoryCores)
 		srv := memnode.NewServer(mn, mcfg)

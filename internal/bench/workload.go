@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dlsm/internal/engine"
 	"dlsm/internal/rdma"
 )
 
@@ -32,6 +33,14 @@ type Config struct {
 	CacheBudgetBytes int64
 
 	DisableNearData bool // dLSM ablation: compact on the compute node instead
+
+	// Durability selects the remote write-ahead log mode (engine.Options):
+	// DurabilityNone (default) keeps every figure bit-identical to the
+	// pre-WAL runs; Async/Sync log each write over one-sided RDMA.
+	Durability engine.Durability
+	// WALPerWrite disables group commit: one doorbell per write (the
+	// FigWAL ablation baseline).
+	WALPerWrite bool
 
 	// Cluster shape (Fig 12/14/15); zero means the single-node testbed.
 	ComputeNodes int

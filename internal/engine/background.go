@@ -80,6 +80,13 @@ func (db *DB) flushOne(w *bgWorker, mt *memtable.MemTable) {
 	// Quiesce: wait until no writer can still insert into mt.
 	_, hi := mt.SeqRange()
 	for !mt.QuiesceDone() || !db.noClaimsBelow(uint64(hi)) {
+		if db.cn.Crashed() {
+			// A crashed writer's claim never clears. Drop the table
+			// instead of spinning: with Durability on, Recover replays the
+			// remote log; without it the data is lost either way.
+			db.finishFlush(mt, nil)
+			return
+		}
 		db.env.Sleep(200 * time.Nanosecond)
 	}
 
@@ -103,6 +110,12 @@ func (db *DB) flushOne(w *bgWorker, mt *memtable.MemTable) {
 		// The write failed (fabric fault, service outage). The MemTable is
 		// immutable, so the build can simply run again after a pause.
 		db.stats.FlushErrors.Add(1)
+		if db.cn.Crashed() {
+			// Our own node is gone; retrying cannot succeed. Surrender the
+			// table so Close can still drain — recovery owns the data now.
+			db.finishFlush(mt, nil)
+			return
+		}
 		if attempt >= flushMaxAttempts {
 			panic(fmt.Sprintf("engine: flush failed %d times: %v", attempt, err))
 		}
@@ -190,6 +203,11 @@ func (db *DB) finishFlush(mt *memtable.MemTable, meta *sstable.Meta) {
 		db.vs.UnrefFile(file) // drop the creator reference
 	}
 	mt.Unref()
+
+	// The flushed data is now remotely durable as a table: let the log
+	// publish a fresh checkpoint and reclaim the covered ring records.
+	// Nil-safe, so Durability-off flushes pay nothing.
+	db.wal.RequestRefresh()
 }
 
 func (db *DB) currentL0Count() int {
@@ -534,10 +552,16 @@ func (db *DB) routeFree(m *sstable.Meta, remoteFrees *[][2]int64, fsFrees *[]uin
 	switch {
 	case m.Data.RKey == fsRKeySentinel:
 		*fsFrees = append(*fsFrees, uint64(m.Data.Off))
-	case m.CreatorNode == db.cn.ID:
-		db.freeTableLocal(m)
-	default:
+	case m.CreatorNode == db.mn.ID:
+		// Near-data compaction output: the extent lives in the memory
+		// node's self-controlled area, whose allocator metadata only it
+		// holds — freeing is an RPC. Everything else was carved from the
+		// compute-controlled region, whose (host-shared) allocator this
+		// node can free directly — including tables a crashed predecessor
+		// compute node created, which Recover adopts.
 		*remoteFrees = append(*remoteFrees, [2]int64{int64(m.Data.Off), m.Extent})
+	default:
+		db.freeTableLocal(m)
 	}
 }
 

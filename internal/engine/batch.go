@@ -131,5 +131,17 @@ func (s *Session) Apply(b *Batch) error {
 			db.sizeSwitch(mt)
 		}
 	}
+
+	// Durability: one log append covers the batch's whole sequence range,
+	// so group commit sees it as a single record train (one doorbell).
+	if db.walEnabled() {
+		return db.walAppend(lo, n, func(i int) (byte, []byte, []byte) {
+			key, value, del := b.Entry(i)
+			if del {
+				return byte(keys.KindDelete), key, value
+			}
+			return byte(keys.KindSet), key, value
+		})
+	}
 	return nil
 }

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"dlsm/internal/sstable"
+	"dlsm/internal/version"
+)
+
+// emptyCheckpoint builds the smallest valid checkpoint: a sequence
+// horizon and zero tables on every level.
+func emptyCheckpoint(seq uint64) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, seq)
+	for level := 0; level < version.NumLevels; level++ {
+		b = binary.LittleEndian.AppendUint32(b, 0)
+	}
+	return b
+}
+
+// oneMetaCheckpoint builds a checkpoint carrying a single synthetic L0
+// meta, slim or full.
+func oneMetaCheckpoint(slim bool) []byte {
+	m := &sstable.Meta{
+		ID: 7, Size: 4096, Extent: 8192, IndexLen: 64, FilterLen: 16,
+		Count: 10, Smallest: []byte("a\x00\x00\x00\x00\x00\x00\x00\x01"),
+		Largest: []byte("z\x00\x00\x00\x00\x00\x00\x00\x09"), MaxSeq: 9,
+		Format: sstable.ByteAddr,
+	}
+	enc := sstable.EncodeMeta(m)
+	if slim {
+		enc = sstable.EncodeMetaSlim(m)
+	}
+	b := binary.LittleEndian.AppendUint64(nil, 42)
+	b = binary.LittleEndian.AppendUint32(b, 1)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(enc)))
+	b = append(b, enc...)
+	for level := 1; level < version.NumLevels; level++ {
+		b = binary.LittleEndian.AppendUint32(b, 0)
+	}
+	return b
+}
+
+// reencodeCheckpoint re-serializes a decoded checkpoint with the slim
+// meta encoding (the shape recovery hands back after reloadFooters has
+// not yet run).
+func reencodeCheckpoint(files [version.NumLevels][]*sstable.Meta, seq uint64) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, seq)
+	for level := 0; level < version.NumLevels; level++ {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(files[level])))
+		for _, m := range files[level] {
+			enc := sstable.EncodeMetaSlim(m)
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(enc)))
+			b = append(b, enc...)
+		}
+	}
+	return b
+}
+
+// TestDecodeCheckpointHardened exercises the defensive paths: every
+// truncation of a valid checkpoint must error (not panic), as must
+// dishonest counts, dishonest meta sizes, and trailing garbage.
+func TestDecodeCheckpointHardened(t *testing.T) {
+	valid := oneMetaCheckpoint(false)
+	if _, seq, err := decodeCheckpoint(valid); err != nil || seq != 42 {
+		t.Fatalf("valid checkpoint: seq=%d err=%v", seq, err)
+	}
+	for cut := 0; cut < len(valid); cut++ {
+		if _, _, err := decodeCheckpoint(valid[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		}
+	}
+
+	// A level count far beyond what the remaining bytes could hold must be
+	// rejected up front, not trusted into an allocation loop.
+	huge := emptyCheckpoint(1)
+	binary.LittleEndian.PutUint32(huge[8:], 0xFFFFFFFF)
+	if _, _, err := decodeCheckpoint(huge); err == nil {
+		t.Fatal("absurd meta count decoded successfully")
+	}
+
+	// A meta size prefix larger than the remaining input must be rejected.
+	badSz := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badSz[12:], 0xFFFFFF00)
+	if _, _, err := decodeCheckpoint(badSz); err == nil {
+		t.Fatal("dishonest meta size decoded successfully")
+	}
+
+	// A meta frame padded beyond what DecodeMeta consumes leaves trailing
+	// bytes inside the frame — reject.
+	padded := oneMetaCheckpoint(false)
+	metaLen := binary.LittleEndian.Uint32(padded[12:])
+	binary.LittleEndian.PutUint32(padded[12:], metaLen+3)
+	padded = append(padded[:16+metaLen], append([]byte{0, 0, 0}, padded[16+metaLen:]...)...)
+	if _, _, err := decodeCheckpoint(padded); err == nil {
+		t.Fatal("meta with trailing bytes decoded successfully")
+	}
+
+	// Trailing garbage after the last level must be rejected.
+	if _, _, err := decodeCheckpoint(append(emptyCheckpoint(1), 0xAA)); err == nil {
+		t.Fatal("checkpoint with trailing bytes decoded successfully")
+	}
+
+	// Slim metas (the WAL checkpoint encoding) decode with empty caches.
+	if files, _, err := decodeCheckpoint(oneMetaCheckpoint(true)); err != nil {
+		t.Fatalf("slim checkpoint: %v", err)
+	} else if len(files[0]) != 1 || files[0][0].Index.NumRecords() != 0 {
+		t.Fatal("slim checkpoint should decode with an empty cached index")
+	}
+}
+
+// FuzzDecodeCheckpoint asserts decodeCheckpoint is total on arbitrary
+// bytes — including bit-flipped valid checkpoints — and that anything it
+// accepts survives an encode/decode round trip bit-stably (so recovery
+// never amplifies a corrupt blob into a panic or a divergent tree).
+func FuzzDecodeCheckpoint(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(emptyCheckpoint(0))
+	f.Add(emptyCheckpoint(1 << 40))
+	f.Add(oneMetaCheckpoint(false))
+	f.Add(oneMetaCheckpoint(true))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		files, seq, err := decodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		enc := reencodeCheckpoint(files, seq)
+		files2, seq2, err := decodeCheckpoint(enc)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint fails to decode: %v", err)
+		}
+		if seq2 != seq {
+			t.Fatalf("seq changed across round trip: %d != %d", seq2, seq)
+		}
+		if !bytes.Equal(reencodeCheckpoint(files2, seq2), enc) {
+			t.Fatal("checkpoint encoding is not stable across decode/encode")
+		}
+		for level := 0; level < version.NumLevels; level++ {
+			if len(files2[level]) != len(files[level]) {
+				t.Fatalf("level %d count changed across round trip", level)
+			}
+			for i, m := range files[level] {
+				m2 := files2[level][i]
+				if m2.ID != m.ID || m2.Size != m.Size || m2.Count != m.Count ||
+					m2.MaxSeq != m.MaxSeq || m2.Data != m.Data ||
+					!bytes.Equal(m2.Smallest, m.Smallest) || !bytes.Equal(m2.Largest, m.Largest) {
+					t.Fatalf("level %d meta %d changed across round trip", level, i)
+				}
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"dlsm/internal/sstable"
 	"dlsm/internal/telemetry"
 	"dlsm/internal/version"
+	"dlsm/internal/wal"
 )
 
 // dbInstanceSeq hands every DB a process-unique id; tmpfs file names are
@@ -74,11 +75,30 @@ type DB struct {
 	// kv is the compute-side hot-KV cache; nil when CacheBudgetBytes is 0
 	// (all cache methods are nil-receiver-safe).
 	kv *cache.Cache
+
+	// wal is the remote write-ahead log; nil when Durability is
+	// DurabilityNone. walLive gates the write-path hooks: false while
+	// recovery replays the log, so replayed writes are not re-logged.
+	wal     *wal.Log
+	walLive atomic.Bool
 }
 
 // Open creates a DB on compute node cn backed by the memory node server
-// srv. The server must already be started.
+// srv. The server must already be started. With Durability enabled, Open
+// stamps a fresh epoch on the DB's remote log slot (creating it on
+// demand) and panics if the slot cannot be set up — sizing errors there
+// are configuration bugs, like the flush-queue overflow below.
 func Open(cn *rdma.Node, srv *memnode.Server, opts Options) *DB {
+	db, err := open(cn, srv, opts, false)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// open is Open plus the recovery hook: walRecovering attaches to the
+// existing log slot without touching it (Recover replays it first).
+func open(cn *rdma.Node, srv *memnode.Server, opts Options, walRecovering bool) (*DB, error) {
 	opts = opts.withDefaults()
 	env := cn.Fabric().Env()
 	db := &DB{
@@ -131,6 +151,12 @@ func Open(cn *rdma.Node, srv *memnode.Server, opts Options) *DB {
 	db.cur.Store(first)
 	db.recent = []*memtable.MemTable{first}
 
+	if opts.Durability != DurabilityNone {
+		if err := db.openWAL(walRecovering); err != nil {
+			return nil, err
+		}
+	}
+
 	for i := 0; i < opts.FlushWorkers; i++ {
 		db.wg.Add(1)
 		db.env.Go(func() { defer db.wg.Done(); db.flusher() })
@@ -141,7 +167,7 @@ func Open(cn *rdma.Node, srv *memnode.Server, opts Options) *DB {
 	}
 	db.wg.Add(1)
 	db.env.Go(func() { defer db.wg.Done(); db.gcWorker() })
-	return db
+	return db, nil
 }
 
 // seqRangeLen is how many sequence numbers each MemTable owns: large enough
@@ -289,4 +315,11 @@ func (db *DB) Close() {
 	db.flushCh.Close()
 	db.gcCh.Close()
 	db.wg.Wait()
+	if db.wal != nil {
+		// After the flushers: their final RequestRefresh calls must land
+		// before the log stops. Close drains staged records but publishes
+		// no final checkpoint — the slot stays exactly as durable as the
+		// last acknowledged write, which is what Recover replays.
+		db.wal.Close()
+	}
 }

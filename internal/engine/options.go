@@ -58,6 +58,24 @@ const (
 	TransportTmpfsRPC
 )
 
+// Durability selects what a completed write guarantees when the compute
+// node crashes (§VIII). SSTable bytes always survive in remote memory;
+// the write-ahead log (internal/wal) extends that to MemTable contents.
+type Durability int
+
+const (
+	// DurabilityNone is the historical behavior and the default: no log.
+	// Acknowledged writes still in MemTables die with the compute node.
+	DurabilityNone Durability = iota
+	// DurabilityAsync appends every write to the remote log but
+	// acknowledges before the append is durable: the crash-loss window is
+	// one group-commit round trip instead of a whole MemTable.
+	DurabilityAsync
+	// DurabilitySync acknowledges only after the write's log record is
+	// durable in remote memory; Recover restores every acknowledged write.
+	DurabilitySync
+)
+
 // Options configures a DB.
 type Options struct {
 	Format     sstable.Format
@@ -90,6 +108,27 @@ type Options struct {
 	// (internal/cache). 0 — the default — disables caching entirely, so
 	// every figure that predates the cache is unchanged unless it opts in.
 	CacheBudgetBytes int64
+
+	// Durability selects the write-ahead logging mode (§VIII). The default,
+	// DurabilityNone, allocates no log and leaves the write path untouched.
+	Durability Durability
+
+	// WALSize is the byte size of this DB's remote log slot (header +
+	// checkpoint slots + ring). Filled with 8×MemTableSize only when
+	// Durability is enabled; a ring much smaller than the flush backlog
+	// self-corrects by stalling appends and kicking a MemTable switch.
+	WALSize int64
+
+	// WALPerWriteCommit disables group commit: every staged record gets its
+	// own RDMA doorbell. Exists for the durability ablation (fig wal).
+	WALPerWriteCommit bool
+
+	// WALOwner and WALShard name this DB's log slot on the memory node
+	// (owner = logical compute index, shard = shard index). Every live DB
+	// with Durability enabled must use a distinct (owner, shard) pair per
+	// memory node; Recover uses the same pair to find the slot again.
+	WALOwner int
+	WALShard int
 
 	// StallTimeout bounds how long Put/Delete/Apply may block on a write
 	// stall (flush backlog or L0 stop trigger) before returning ErrStalled.
@@ -234,6 +273,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BlockSize == 0 {
 		o.BlockSize = 8 << 10
+	}
+	// WALSize is only defaulted when logging is on, so DurabilityNone
+	// configurations are byte-identical to builds that predate the WAL.
+	if o.Durability != DurabilityNone && o.WALSize == 0 {
+		o.WALSize = 8 * o.MemTableSize
+		if o.WALSize < 64<<10 {
+			o.WALSize = 64 << 10
+		}
 	}
 	// Writers must never stall below the compaction trigger, or L0 can
 	// never become compactable and the system wedges.

@@ -39,6 +39,16 @@ type Stats struct {
 	TablesFreed    *telemetry.Counter
 	RemoteFreeRPCs *telemetry.Counter
 
+	// Remote write-ahead log (internal/wal). All stay zero when
+	// Durability is DurabilityNone: the log is never constructed.
+	WALAppends     *telemetry.Counter // records staged for the log
+	WALBytes       *telemetry.Counter // record bytes appended remotely
+	WALDoorbells   *telemetry.Counter // RDMA writes posted (group commit coalesces)
+	WALTruncations *telemetry.Counter // checkpoint publishes that freed ring space
+	WALCkptSkips   *telemetry.Counter // checkpoint blobs too large for their slot
+	WALRingStalls  *telemetry.Counter // appends that waited for ring space
+	WALReplayed    *telemetry.Counter // entries re-applied by Recover
+
 	// Hot-KV cache (internal/cache). All stay zero when CacheBudgetBytes
 	// is 0: the cache is never constructed.
 	CacheHits          *telemetry.Counter
@@ -83,6 +93,14 @@ func newStats(reg *telemetry.Registry) Stats {
 		TablesFreed:    reg.Counter("engine.gc.tables_freed"),
 		RemoteFreeRPCs: reg.Counter("engine.gc.remote_free_rpcs"),
 
+		WALAppends:     reg.Counter("wal.appends"),
+		WALBytes:       reg.Counter("wal.append_bytes"),
+		WALDoorbells:   reg.Counter("wal.doorbells"),
+		WALTruncations: reg.Counter("wal.truncations"),
+		WALCkptSkips:   reg.Counter("wal.ckpt_skips"),
+		WALRingStalls:  reg.Counter("wal.ring_stalls"),
+		WALReplayed:    reg.Counter("wal.replayed"),
+
 		CacheHits:          reg.Counter("cache.hits"),
 		CacheMisses:        reg.Counter("cache.misses"),
 		CacheNegHits:       reg.Counter("cache.neg_hits"),
@@ -104,6 +122,8 @@ type dbMetrics struct {
 	switchWait *telemetry.Histogram // engine.memtable.switch_wait_ns
 	flushLat   *telemetry.Histogram // engine.flush.latency_ns
 
+	walGroup *telemetry.Histogram // wal.group_records: records per doorbell group
+
 	switchContended *telemetry.Counter // writers that hit the switch lock
 	memHits         *telemetry.Counter // reads answered by the MemTable
 	immHits         *telemetry.Counter // reads answered by an immutable table
@@ -119,6 +139,7 @@ func newDBMetrics(reg *telemetry.Registry) dbMetrics {
 		readLat:    reg.Histogram("engine.read.latency_ns"),
 		switchWait: reg.Histogram("engine.memtable.switch_wait_ns"),
 		flushLat:   reg.Histogram("engine.flush.latency_ns"),
+		walGroup:   reg.Histogram("wal.group_records"),
 
 		switchContended: reg.Counter("engine.memtable.switch_contended"),
 		memHits:         reg.Counter("engine.read.memtable_hits"),

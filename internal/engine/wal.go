@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+
+	"dlsm/internal/keys"
+	"dlsm/internal/sim"
+	"dlsm/internal/wal"
+)
+
+// walSlotKey names this DB's log slot on the memory node. Recover must
+// derive the same key from the same (WALOwner, WALShard) pair to find
+// the slot the crashed compute node was appending to.
+func walSlotKey(opts Options) uint64 {
+	return sim.Mix64(0x57A1D06, uint64(opts.WALOwner), uint64(opts.WALShard)) | 1
+}
+
+// openWAL attaches the remote write-ahead log. With recovering=true the
+// slot must already exist (Recover found it) and is left untouched until
+// FinishRecovery; otherwise the slot is created on demand and stamped
+// with a fresh epoch.
+func (db *DB) openWAL(recovering bool) error {
+	slot, err := db.srv.OpenLog(walSlotKey(db.opts), db.opts.WALSize)
+	if err != nil {
+		return fmt.Errorf("engine: opening wal slot: %w", err)
+	}
+	l, err := wal.Open(wal.Config{
+		Env:      db.env,
+		Compute:  db.cn,
+		Host:     db.mn,
+		Slot:     slot.Addr,
+		SlotSize: slot.Size,
+		PerWrite: db.opts.WALPerWriteCommit,
+		Refresh:  db.walCheckpoint,
+		Kick:     db.walKick,
+		Charge:   func(n int) { db.charge(sim.Bytes(n, db.opts.Costs.MemcpyByte)) },
+		Metrics: wal.Metrics{
+			Appends:      db.stats.WALAppends,
+			AppendBytes:  db.stats.WALBytes,
+			Doorbells:    db.stats.WALDoorbells,
+			GroupRecords: db.m.walGroup,
+			Truncations:  db.stats.WALTruncations,
+			CkptSkips:    db.stats.WALCkptSkips,
+			RingStalls:   db.stats.WALRingStalls,
+			Replayed:     db.stats.WALReplayed,
+		},
+	}, recovering)
+	if err != nil {
+		return err
+	}
+	db.wal = l
+	if !recovering {
+		db.walLive.Store(true)
+	}
+	return nil
+}
+
+// walCheckpoint is the log's Refresh callback: a slim checkpoint blob
+// (table metas without their cached index/filter bytes, which recovery
+// reloads from the table footers in remote memory) plus the covered
+// horizon. Every sequence number <= covered lives in a table the blob
+// names: covered is one below the lowest sequence range still held by a
+// live MemTable, and the flush quiesce barrier guarantees no in-flight
+// write can land below an already-flushed table's range.
+func (db *DB) walCheckpoint() (blob []byte, covered uint64) {
+	db.switchMu.Lock()
+	db.mu.Lock()
+	lo, _ := db.cur.Load().SeqRange()
+	covered = uint64(lo) - 1
+	for _, mt := range db.imms {
+		if l, _ := mt.SeqRange(); uint64(l)-1 < covered {
+			covered = uint64(l) - 1
+		}
+	}
+	seq := db.seq.Load()
+	v := db.vs.Current()
+	db.mu.Unlock()
+	db.switchMu.Unlock()
+	defer v.Unref()
+	return encodeCheckpointAt(v, seq, true), covered
+}
+
+// walKick is the log's ring-full escape hatch: force the current
+// MemTable toward a flush so the next checkpoint refresh can advance the
+// truncation horizon. Mirrors the switch half of Flush without waiting
+// for the queue to drain (the commit loop re-checks for space as flushes
+// complete).
+func (db *DB) walKick() {
+	db.switchMu.Lock()
+	mt := db.cur.Load()
+	if !mt.Empty() {
+		if db.opts.SwitchPolicy == SwitchSeqRange {
+			fence := keys.Seq(db.seq.Add(1))
+			mt.TruncateHi(fence + 1)
+		}
+		db.switchLocked(mt)
+	}
+	db.switchMu.Unlock()
+}
+
+// walAppend logs n consecutive-sequence entries starting at seqLo, after
+// they are already in the MemTable, and resolves the append per the
+// durability mode: Sync waits for the group-commit doorbell, Async only
+// surfaces an already-broken log. Call with no engine locks held.
+func (db *DB) walAppend(seqLo uint64, n int, ent func(i int) (kind byte, key, value []byte)) error {
+	tok, err := db.wal.Stage(seqLo, n, ent)
+	if err != nil {
+		return err
+	}
+	return db.wal.Commit(tok, db.opts.Durability == DurabilitySync)
+}
+
+// walEnabled reports whether writes should be logged right now (the log
+// exists and recovery replay is not running).
+func (db *DB) walEnabled() bool {
+	return db.wal != nil && db.walLive.Load()
+}
+
+// WAL returns the remote log, or nil when Durability is DurabilityNone.
+func (db *DB) WAL() *wal.Log { return db.wal }

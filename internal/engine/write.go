@@ -74,6 +74,16 @@ func (s *Session) write(kind keys.Kind, key, value []byte) error {
 		mt.ApproximateSize() >= db.opts.MemTableSize && db.cur.Load() == mt {
 		db.sizeSwitch(mt)
 	}
+
+	// Durability: log the write after the insert. A record lost to a crash
+	// between insert and doorbell was never acknowledged, so replay owing
+	// it nothing is exactly the contract; Sync mode returns only once the
+	// record is durable in the remote ring.
+	if db.walEnabled() {
+		return db.walAppend(uint64(seq), 1, func(int) (byte, []byte, []byte) {
+			return byte(kind), key, value
+		})
+	}
 	return nil
 }
 

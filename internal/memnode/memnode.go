@@ -38,6 +38,10 @@ type Config struct {
 	RPCWorkers int
 	// Subcompactions caps the parallel subcompaction workers per job.
 	Subcompactions int
+	// LogRegionSize is the area write-ahead log slots are carved from
+	// (internal/wal). The region is registered lazily on the first OpenLog,
+	// so deployments that never enable durability pay nothing for it.
+	LogRegionSize int64
 	// Costs is the CPU cost model charged against this node's cores.
 	Costs sim.CostModel
 }
@@ -49,6 +53,7 @@ func DefaultConfig() Config {
 		SelfRegionSize:    1 << 30,
 		RPCWorkers:        4,
 		Subcompactions:    12,
+		LogRegionSize:     64 << 20,
 		Costs:             sim.DefaultCosts(),
 	}
 }
@@ -75,8 +80,24 @@ type Server struct {
 	deduped  *telemetry.Counter
 	canceled *telemetry.Counter
 
+	// Write-ahead log slots (internal/wal). The directory maps a stable
+	// log key (owner identity, not physical compute node) to its slot so a
+	// replacement compute node can find the log of a dead one. Like the
+	// data region, slots are plain registered memory: appends are one-sided
+	// RDMA writes and survive both compute crashes and RPC-plane outages.
+	logMu    sync.Mutex
+	logMR    *rdma.MemoryRegion
+	logAlloc *remote.Allocator
+	logs     map[uint64]LogSlot
+
 	fsOnce  sync.Once
 	fsState *tmpfs
+}
+
+// LogSlot locates one write-ahead log inside the log region.
+type LogSlot struct {
+	Addr rdma.RemoteAddr
+	Size int64
 }
 
 // jobState tracks one compaction job from first delivery to eviction.
@@ -158,6 +179,67 @@ func (s *Server) ComputeUsed() int64 { return s.computeAlloc.Used() }
 
 // SelfUsed returns bytes allocated in the self-controlled area.
 func (s *Server) SelfUsed() int64 { return s.selfAlloc.Used() }
+
+// OpenLog returns the write-ahead log slot for key, carving a new one out
+// of the log region on first use. Reopening an existing key returns the
+// surviving slot unchanged (its size is whatever the creator asked for),
+// which is what lets a restarted or replacement compute node recover the
+// log a dead one left behind.
+func (s *Server) OpenLog(key uint64, size int64) (LogSlot, error) {
+	if key == 0 {
+		return LogSlot{}, fmt.Errorf("memnode: zero log key")
+	}
+	if size <= 0 {
+		return LogSlot{}, fmt.Errorf("memnode: log slot size %d", size)
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if slot, ok := s.logs[key]; ok {
+		return slot, nil
+	}
+	if s.logMR == nil {
+		if s.cfg.LogRegionSize <= 0 {
+			return LogSlot{}, fmt.Errorf("memnode: log region disabled (LogRegionSize=%d)", s.cfg.LogRegionSize)
+		}
+		s.logMR = s.node.Register(int(s.cfg.LogRegionSize))
+		s.logAlloc = remote.NewAllocator(s.cfg.LogRegionSize)
+		s.logs = make(map[uint64]LogSlot)
+	}
+	off, err := s.logAlloc.Alloc(int(size))
+	if err != nil {
+		return LogSlot{}, fmt.Errorf("memnode: log region full: %w", err)
+	}
+	slot := LogSlot{Addr: s.logMR.Addr(int(off)), Size: size}
+	s.logs[key] = slot
+	return slot, nil
+}
+
+// FindLog looks up an existing log slot without creating one. Recovery
+// uses it to distinguish "this owner never wrote a log" from a real slot.
+func (s *Server) FindLog(key uint64) (LogSlot, bool) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	slot, ok := s.logs[key]
+	return slot, ok
+}
+
+// LogUsed returns bytes carved out of the log region.
+func (s *Server) LogUsed() int64 {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.logAlloc == nil {
+		return 0
+	}
+	return s.logAlloc.Used()
+}
+
+// LogMR exposes the log region for tests that corrupt or inspect raw log
+// bytes; nil until the first OpenLog.
+func (s *Server) LogMR() *rdma.MemoryRegion {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	return s.logMR
+}
 
 // charge accounts CPU time to this node's core pool.
 func (s *Server) charge(d sim.Duration) { s.node.CPU.Use(d) }

@@ -27,8 +27,44 @@ type DB struct {
 // New opens λ shards on compute node cn. servers selects the backing
 // memory node per shard (round-robin over the slice, §IX); pass one server
 // for the single-memory-node setup. boundaries must be ascending and have
-// length λ-1 (nil for λ=1).
+// length λ-1 (nil for λ=1). Each shard gets Options.WALShard = its index,
+// so with Options.Durability set every shard logs to its own slot and
+// Recover can find them again.
 func New(cn *rdma.Node, servers []*memnode.Server, lambda int, boundaries [][]byte, opts engine.Options) *DB {
+	lambda, opts = normalize(lambda, boundaries, opts)
+	db := &DB{boundaries: boundaries}
+	for i := 0; i < lambda; i++ {
+		opts.WALShard = i
+		db.shards = append(db.shards, engine.Open(cn, servers[i%len(servers)], opts))
+	}
+	return db
+}
+
+// Recover rebuilds a λ-sharded DB from the remote write-ahead logs a
+// crashed compute node left behind. The arguments must match the dead
+// DB's New call (same λ, boundaries, servers order and sizing options —
+// in particular Options.WALOwner); cn may be any live compute node. Each
+// shard replays its own log slot; on any failure the already-recovered
+// shards are closed and the error returned.
+func Recover(cn *rdma.Node, servers []*memnode.Server, lambda int, boundaries [][]byte, opts engine.Options) (*DB, error) {
+	lambda, opts = normalize(lambda, boundaries, opts)
+	db := &DB{boundaries: boundaries}
+	for i := 0; i < lambda; i++ {
+		opts.WALShard = i
+		sh, err := engine.Recover(cn, servers[i%len(servers)], opts)
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		db.shards = append(db.shards, sh)
+	}
+	return db, nil
+}
+
+// normalize validates the shard geometry and derives per-shard options
+// shared by New and Recover (the two must agree or recovery would look
+// for the wrong log slots).
+func normalize(lambda int, boundaries [][]byte, opts engine.Options) (int, engine.Options) {
 	if lambda < 1 {
 		lambda = 1
 	}
@@ -43,12 +79,7 @@ func New(cn *rdma.Node, servers []*memnode.Server, lambda int, boundaries [][]by
 	// Options.CacheBudgetBytes is the whole compute node's cache DRAM;
 	// each shard gets an equal slice so λ doesn't multiply the footprint.
 	opts.CacheBudgetBytes /= int64(lambda)
-	db := &DB{boundaries: boundaries}
-	for i := 0; i < lambda; i++ {
-		srv := servers[i%len(servers)]
-		db.shards = append(db.shards, engine.Open(cn, srv, opts))
-	}
-	return db
+	return lambda, opts
 }
 
 // UniformBoundaries splits the printf("%0*d", width, i) key space used by

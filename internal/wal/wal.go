@@ -1,0 +1,741 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+	"dlsm/internal/telemetry"
+)
+
+// ErrClosed is returned by appends against a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// ErrTooLarge is returned when a single entry cannot fit one log record
+// (bounded by the staging buffer and a quarter of the ring).
+var ErrTooLarge = errors.New("wal: entry too large for log record")
+
+// Metrics is the optional instrumentation bundle; all fields are nil-safe.
+type Metrics struct {
+	Appends      *telemetry.Counter   // records staged
+	AppendBytes  *telemetry.Counter   // framed record bytes staged
+	Doorbells    *telemetry.Counter   // RDMA writes posted for record data
+	GroupRecords *telemetry.Histogram // records coalesced per commit group
+	Truncations  *telemetry.Counter   // checkpoint refreshes published
+	CkptSkips    *telemetry.Counter   // refreshes dropped (blob > slot cap)
+	RingStalls   *telemetry.Counter   // commit-loop waits for ring space
+	Replayed     *telemetry.Counter   // entries re-applied by recovery
+}
+
+// Config wires a Log to its environment.
+type Config struct {
+	Env     *sim.Env
+	Compute *rdma.Node // the appending compute node
+	Host    *rdma.Node // the memory node owning the slot
+
+	Slot     rdma.RemoteAddr // slot base (from memnode.OpenLog)
+	SlotSize int64
+
+	// PerWrite disables group commit: one doorbell per record, for the
+	// durability-sweep ablation.
+	PerWrite bool
+	// MaxStage bounds the local staging buffer — and therefore the bytes
+	// coalesced into one commit group. 0 means 1 MiB.
+	MaxStage int
+
+	// Refresh builds a checkpoint blob plus the covered horizon: every
+	// sequence number <= covered is captured by the blob's tables. The
+	// trimmer calls it outside the log mutex.
+	Refresh func() (blob []byte, covered uint64)
+	// Kick asks the engine to push unflushed data toward a checkpoint
+	// (force a memtable switch); called when appends stall on ring space.
+	Kick func()
+	// Charge accounts serialization/copy CPU to the compute node.
+	Charge func(bytes int)
+
+	Metrics Metrics
+}
+
+// Token identifies a staged append; Commit waits on it.
+type Token struct{ lsn uint64 }
+
+// stagedRec is one framed record awaiting the commit loop.
+type stagedRec struct {
+	lsn    uint64
+	maxSeq uint64
+	buf    []byte // len | body | crc
+}
+
+// liveRec is one record resident in the ring, FIFO by LSN.
+type liveRec struct {
+	lsn       uint64
+	off       int // ring offset
+	size      int
+	padBefore int // pad bytes consumed at the ring tail edge before it
+	maxSeq    uint64
+}
+
+// segment is a contiguous run of ring bytes one doorbell write covers.
+type segment struct {
+	ringOff int
+	data    []byte
+}
+
+// Log is one shard's remote write-ahead log.
+type Log struct {
+	cfg      Config
+	env      *sim.Env
+	ckptCap  int
+	ringBase int
+	ringSize int
+	maxStage int
+
+	qp      *rdma.QP // commit loop's queue pair
+	trimQP  *rdma.QP // trimmer's queue pair (separate completion stream)
+	staging *rdma.MemoryRegion
+
+	mu         *sim.Mutex
+	appendCond *sim.Cond // commit loop <- staged work
+	ackCond    *sim.Cond // writers <- durability advanced
+	spaceCond  *sim.Cond // commit loop <- ring space freed
+	trimCond   *sim.Cond // trimmer <- refresh requested
+	trimMu     *sim.Mutex
+
+	epoch      uint64
+	nextLSN    uint64
+	durableLSN uint64
+	pending    []stagedRec
+	live       []liveRec
+	head, tail int // ring offsets
+	used       int // ring bytes occupied (records + padding)
+
+	durableCovered uint64 // covered horizon of the last published header
+	ckptSlot       uint32 // active checkpoint slot of the last header
+
+	refreshReq bool
+	recovering bool
+	closed     bool
+	broken     bool
+	brokenErr  error
+
+	wg *sim.WaitGroup
+}
+
+const (
+	walMaxAttempts = 8
+	walRetryBase   = 200 * time.Microsecond
+	walRetryMax    = 10 * time.Millisecond
+)
+
+// Open initializes (or, with recovering=true, attaches to) the log slot
+// and starts the commit and trim entities.
+//
+// A fresh Open stamps a new header with a bumped epoch, logically
+// emptying the slot: stale ring bytes from a previous life can never
+// parse as live records. A recovering Open leaves the remote slot
+// untouched and starts with appends and refreshes disabled, so a crash
+// during replay re-runs recovery against the identical surviving state;
+// FinishRecovery performs the single atomic switch to a fresh epoch.
+func Open(cfg Config, recovering bool) (*Log, error) {
+	if cfg.MaxStage <= 0 {
+		cfg.MaxStage = 1 << 20
+	}
+	ckptCap, ringBase, ringSize, err := geometry(cfg.SlotSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		cfg:      cfg,
+		env:      cfg.Env,
+		ckptCap:  ckptCap,
+		ringBase: ringBase,
+		ringSize: ringSize,
+		maxStage: cfg.MaxStage,
+		qp:       cfg.Compute.NewQP(cfg.Host),
+		trimQP:   cfg.Compute.NewQP(cfg.Host),
+		staging:  cfg.Compute.Register(cfg.MaxStage),
+		mu:       sim.NewMutex(cfg.Env),
+		trimMu:   sim.NewMutex(cfg.Env),
+		nextLSN:  1,
+		wg:       sim.NewWaitGroup(cfg.Env),
+	}
+	l.appendCond = sim.NewNamedCond(cfg.Env, l.mu, "wal.append")
+	l.ackCond = sim.NewNamedCond(cfg.Env, l.mu, "wal.ack")
+	l.spaceCond = sim.NewNamedCond(cfg.Env, l.mu, "wal.space")
+	l.trimCond = sim.NewNamedCond(cfg.Env, l.mu, "wal.trim")
+	l.recovering = recovering
+
+	if !recovering {
+		// Read the old header (if any) so the fresh epoch supersedes it.
+		old, err := l.readHeader()
+		epoch := uint64(1)
+		if err == nil {
+			epoch = old.Epoch + 1
+		}
+		l.epoch = epoch
+		if err := l.writeHeader(Header{
+			Epoch: epoch, StartOff: 0, StartLSN: 1, Covered: 0,
+			CkptCap: uint32(ckptCap), CkptSlot: 0, CkptLen: 0, CkptCRC: 0,
+		}); err != nil {
+			l.teardown()
+			return nil, fmt.Errorf("wal: initializing slot: %w", err)
+		}
+	}
+
+	l.wg.Add(2)
+	l.env.Go(l.commitLoop)
+	l.env.Go(l.trimLoop)
+	return l, nil
+}
+
+func (l *Log) teardown() {
+	l.qp.Close()
+	l.trimQP.Close()
+	l.cfg.Compute.Deregister(l.staging)
+}
+
+// readHeader fetches the remote slot header.
+func (l *Log) readHeader() (Header, error) {
+	mr := l.cfg.Compute.Register(HeaderSize)
+	defer l.cfg.Compute.Deregister(mr)
+	if err := l.trimQP.ReadSync(mr, 0, l.cfg.Slot, HeaderSize); err != nil {
+		return Header{}, err
+	}
+	return decodeHeader(append([]byte(nil), mr.Bytes(0, HeaderSize)...))
+}
+
+// writeHeader publishes h as the slot's header, retrying transient faults.
+func (l *Log) writeHeader(h Header) error {
+	mr := l.cfg.Compute.RegisterBuf(encodeHeader(h))
+	defer l.cfg.Compute.Deregister(mr)
+	return l.retrySync(func() error {
+		return l.trimQP.WriteSync(mr, 0, l.cfg.Slot, HeaderSize)
+	})
+}
+
+// retrySync runs op with capped exponential backoff.
+func (l *Log) retrySync(op func() error) error {
+	backoff := walRetryBase
+	var err error
+	for attempt := 0; attempt < walMaxAttempts; attempt++ {
+		if l.cfg.Compute.Crashed() {
+			return rdma.ErrQPBroken
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		l.env.Sleep(backoff)
+		if backoff *= 2; backoff > walRetryMax {
+			backoff = walRetryMax
+		}
+	}
+	return err
+}
+
+// maxBody is the largest record body Stage will build: it must fit the
+// staging buffer and leave the ring room to breathe across wraps.
+func (l *Log) maxBody() int {
+	m := l.ringSize/4 - recOverhead
+	if s := l.maxStage - recOverhead; s < m {
+		m = s
+	}
+	return m
+}
+
+// Stage frames the entries [0,n) — consecutive sequence numbers starting
+// at seqLo — into one or more pending records and returns the token of
+// the last one. The caller then inserts into the MemTable and calls
+// Commit; the commit loop makes staged records durable in LSN order, so
+// an acknowledged (Sync) write is durable before Put returns.
+func (l *Log) Stage(seqLo uint64, n int, ent func(i int) (kind byte, key, value []byte)) (Token, error) {
+	if n <= 0 {
+		return Token{}, nil
+	}
+	maxBody := l.maxBody()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return Token{}, ErrClosed
+	}
+	if l.broken {
+		err := l.brokenErr
+		l.mu.Unlock()
+		return Token{}, err
+	}
+	if l.recovering {
+		l.mu.Unlock()
+		return Token{}, fmt.Errorf("wal: append during recovery")
+	}
+	var tok Token
+	staged := 0
+	for i := 0; i < n; {
+		body := recFixed
+		j := i
+		for j < n {
+			_, key, value := ent(j)
+			sz := entryOverhead + len(key) + len(value)
+			if body+sz > maxBody {
+				break
+			}
+			body += sz
+			j++
+		}
+		if j == i {
+			// A single entry exceeds the record budget; undo nothing —
+			// already-staged chunks are harmless (their seqs never ack).
+			l.mu.Unlock()
+			return Token{}, ErrTooLarge
+		}
+		lsn := l.nextLSN
+		l.nextLSN++
+		base := i
+		buf := appendRecord(make([]byte, 0, body+recOverhead), l.epoch, lsn, seqLo+uint64(base), j-i,
+			func(k int) (byte, []byte, []byte) { return ent(base + k) })
+		l.pending = append(l.pending, stagedRec{lsn: lsn, maxSeq: seqLo + uint64(j) - 1, buf: buf})
+		staged += len(buf)
+		l.cfg.Metrics.Appends.Inc()
+		l.cfg.Metrics.AppendBytes.Add(int64(len(buf)))
+		tok = Token{lsn: lsn}
+		i = j
+	}
+	l.appendCond.Signal()
+	l.mu.Unlock()
+	if l.cfg.Charge != nil {
+		l.cfg.Charge(staged)
+	}
+	return tok, nil
+}
+
+// Commit resolves a staged token. sync waits until the record is durable
+// in the remote ring (one group-commit round trip, shared with every
+// concurrent writer); async returns immediately, only surfacing an
+// already-broken log.
+func (l *Log) Commit(t Token, sync bool) error {
+	if t.lsn == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !sync {
+		if l.broken && l.durableLSN < t.lsn {
+			return l.brokenErr
+		}
+		return nil
+	}
+	for l.durableLSN < t.lsn && !l.broken {
+		l.ackCond.Wait()
+	}
+	if l.durableLSN >= t.lsn {
+		return nil
+	}
+	return l.brokenErr
+}
+
+// RequestRefresh nudges the trimmer to publish a new checkpoint and
+// advance the truncation horizon; the engine calls it after each flush.
+// Nil-safe so Durability-off call sites need no guards.
+func (l *Log) RequestRefresh() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if !l.closed && !l.broken {
+		l.refreshReq = true
+		l.trimCond.Signal()
+	}
+	l.mu.Unlock()
+}
+
+// RefreshNow synchronously publishes a checkpoint (used when opening
+// from an existing checkpoint, so the slot's recovery baseline is the
+// one the caller just installed).
+func (l *Log) RefreshNow() error {
+	blob, covered := l.cfg.Refresh()
+	return l.publishRefresh(blob, covered)
+}
+
+// Broken reports whether the log has failed permanently (the compute
+// node crashed or the fabric gave out); appends and syncs return the
+// underlying error.
+func (l *Log) Broken() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
+}
+
+// Close drains staged records (making them durable if the fabric still
+// works), stops the entities, and releases local resources. It does not
+// publish a final checkpoint: the slot stays exactly as durable as the
+// last acknowledged write, which is what Recover replays.
+func (l *Log) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.appendCond.Broadcast()
+	l.trimCond.Broadcast()
+	l.spaceCond.Broadcast()
+	l.ackCond.Broadcast()
+	l.mu.Unlock()
+	l.wg.Wait()
+	l.teardown()
+}
+
+// --- commit loop -----------------------------------------------------------
+
+func (l *Log) commitLoop() {
+	defer l.wg.Done()
+	l.mu.Lock()
+	for {
+		for len(l.pending) == 0 && !l.closed && !l.broken {
+			l.appendCond.Wait()
+		}
+		if l.broken || (l.closed && len(l.pending) == 0) {
+			break
+		}
+		// Take the commit group: everything staged, bounded by the staging
+		// buffer; or a single record in per-write mode. If the ring lacks
+		// room for the whole group, durable prefixes are flushed first so
+		// the stall can never wait on the group's own unflushed records.
+		group := l.takeGroupLocked()
+		idx := 0
+		for idx < len(group) {
+			segs, placed := l.placeAvailLocked(group[idx:])
+			if placed == 0 {
+				if !l.waitForSpaceLocked(len(group[idx].buf)) {
+					break
+				}
+				continue
+			}
+			l.mu.Unlock()
+			err := l.flushSegments(segs)
+			l.mu.Lock()
+			if err != nil {
+				l.failLocked(fmt.Errorf("wal: append doorbell: %w", err))
+				break
+			}
+			l.durableLSN = group[idx+placed-1].lsn
+			l.cfg.Metrics.GroupRecords.Observe(int64(placed))
+			l.ackCond.Broadcast()
+			idx += placed
+		}
+		if l.broken {
+			break
+		}
+	}
+	l.ackCond.Broadcast()
+	l.mu.Unlock()
+}
+
+// failLocked marks the log permanently broken and wakes everyone.
+func (l *Log) failLocked(err error) {
+	if !l.broken {
+		l.broken = true
+		l.brokenErr = err
+	}
+	l.ackCond.Broadcast()
+	l.appendCond.Broadcast()
+	l.spaceCond.Broadcast()
+	l.trimCond.Broadcast()
+}
+
+func (l *Log) takeGroupLocked() []stagedRec {
+	if l.cfg.PerWrite {
+		group := l.pending[:1:1]
+		l.pending = l.pending[1:]
+		return group
+	}
+	// Leave headroom in the staging budget for one wrap's pad marker.
+	budget := l.maxStage - 8
+	total, n := 0, 0
+	for n < len(l.pending) {
+		total += len(l.pending[n].buf)
+		if n > 0 && total > budget {
+			break
+		}
+		n++
+	}
+	group := l.pending[:n:n]
+	l.pending = l.pending[n:]
+	return group
+}
+
+// padBytes is the wrap marker stamped at the ring's tail edge.
+var padBytes = []byte{0xFF, 0xFF, 0xFF, 0xFF}
+
+// fitsLocked reports whether a record of size need fits the ring now,
+// along with the padding a placement would burn at the tail edge.
+func (l *Log) fitsLocked(need int) (pad int, ok bool) {
+	if l.tail+need > l.ringSize {
+		pad = l.ringSize - l.tail
+	}
+	return pad, l.used+pad+need <= l.ringSize
+}
+
+// placeAvailLocked greedily assigns ring offsets to a prefix of group
+// without waiting, returning the contiguous segments to write and how
+// many records were placed.
+func (l *Log) placeAvailLocked(group []stagedRec) ([]segment, int) {
+	var segs []segment
+	put := func(off int, b []byte) {
+		if n := len(segs); n > 0 && segs[n-1].ringOff+len(segs[n-1].data) == off {
+			segs[n-1].data = append(segs[n-1].data, b...)
+			return
+		}
+		segs = append(segs, segment{ringOff: off, data: append([]byte(nil), b...)})
+	}
+	placed := 0
+	for _, r := range group {
+		need := len(r.buf)
+		pad, ok := l.fitsLocked(need)
+		if !ok {
+			break
+		}
+		off := l.tail
+		if pad > 0 {
+			if pad >= 4 {
+				put(l.tail, padBytes)
+			}
+			off = 0
+		}
+		put(off, r.buf)
+		l.live = append(l.live, liveRec{lsn: r.lsn, off: off, size: need, padBefore: pad, maxSeq: r.maxSeq})
+		l.tail = off + need
+		if l.tail == l.ringSize {
+			l.tail = 0
+		}
+		l.used += pad + need
+		placed++
+	}
+	return segs, placed
+}
+
+// waitForSpaceLocked parks the commit loop until a record of size need
+// fits the ring, prodding the trimmer (and, through Kick, the engine's
+// flush pipeline) to advance the truncation horizon. Returns false when
+// the log broke or closed while waiting.
+func (l *Log) waitForSpaceLocked(need int) bool {
+	for {
+		if _, ok := l.fitsLocked(need); ok {
+			return true
+		}
+		if l.broken || l.closed {
+			return false
+		}
+		l.cfg.Metrics.RingStalls.Inc()
+		l.refreshReq = true
+		l.trimCond.Signal()
+		if l.cfg.Kick != nil {
+			l.mu.Unlock()
+			l.cfg.Kick()
+			l.mu.Lock()
+			// Re-check before parking: the kick (or a refresh racing it)
+			// may already have freed space, and its broadcast is gone.
+			if _, ok := l.fitsLocked(need); ok {
+				return true
+			}
+			if l.broken || l.closed {
+				return false
+			}
+		}
+		l.spaceCond.Wait()
+	}
+}
+
+// flushSegments copies the group into the staging region and issues one
+// doorbell write per contiguous segment (normally exactly one), then
+// waits for the completions. The writes are one-sided: the memory node's
+// CPU is never involved.
+func (l *Log) flushSegments(segs []segment) error {
+	total := 0
+	for _, s := range segs {
+		copy(l.staging.Bytes(total, len(s.data)), s.data)
+		total += len(s.data)
+	}
+	if l.cfg.Charge != nil {
+		l.cfg.Charge(total)
+	}
+	return l.retrySync(func() error {
+		off := 0
+		for i, s := range segs {
+			l.qp.Write(l.staging, off, l.cfg.Slot.Add(l.ringBase+s.ringOff), len(s.data), uint64(i))
+			off += len(s.data)
+		}
+		var err error
+		for range segs {
+			if c := l.qp.WaitCQ(); c.Err != nil {
+				err = c.Err
+			}
+		}
+		if err == nil {
+			l.cfg.Metrics.Doorbells.Add(int64(len(segs)))
+		}
+		return err
+	})
+}
+
+// --- truncation / checkpoint refresh ---------------------------------------
+
+func (l *Log) trimLoop() {
+	defer l.wg.Done()
+	l.mu.Lock()
+	for {
+		for !l.closed && !l.broken && (!l.refreshReq || l.recovering) {
+			l.trimCond.Wait()
+		}
+		if l.closed || l.broken {
+			break
+		}
+		l.refreshReq = false
+		l.mu.Unlock()
+		blob, covered := l.cfg.Refresh()
+		err := l.publishRefresh(blob, covered)
+		l.mu.Lock()
+		if err != nil {
+			l.failLocked(fmt.Errorf("wal: checkpoint refresh: %w", err))
+			break
+		}
+	}
+	l.mu.Unlock()
+}
+
+// publishRefresh writes blob into the inactive checkpoint slot, flips the
+// header to it (also advancing the ring start past every durable record
+// the checkpoint covers), and only then — once the new header is durable
+// — releases the trimmed ring space for reuse. A crash at any point
+// leaves either the old or the new header, each self-consistent.
+func (l *Log) publishRefresh(blob []byte, covered uint64) error {
+	if len(blob) > l.ckptCap {
+		l.cfg.Metrics.CkptSkips.Inc()
+		return nil
+	}
+	l.trimMu.Lock()
+	defer l.trimMu.Unlock()
+
+	l.mu.Lock()
+	if covered < l.durableCovered {
+		covered = l.durableCovered // horizons never move backwards
+	}
+	target := 1 - l.ckptSlot
+	epoch := l.epoch
+	// Trim plan: pop durable records fully below the horizon. The frees
+	// are applied only after the header lands.
+	trimN, freed := 0, 0
+	startOff, startLSN := l.head, uint64(0)
+	for _, r := range l.live {
+		if r.lsn > l.durableLSN || r.maxSeq > covered {
+			break
+		}
+		trimN++
+		freed += r.padBefore + r.size
+		startOff = r.off + r.size
+		if startOff == l.ringSize {
+			startOff = 0
+		}
+	}
+	if trimN > 0 {
+		startLSN = l.live[trimN-1].lsn + 1
+	} else if len(l.live) > 0 {
+		startOff, startLSN = l.live[0].off, l.live[0].lsn
+	} else {
+		startOff, startLSN = l.tail, l.nextLSN
+	}
+	l.mu.Unlock()
+
+	if len(blob) > 0 {
+		mr := l.cfg.Compute.RegisterBuf(append([]byte(nil), blob...))
+		err := l.retrySync(func() error {
+			return l.trimQP.WriteSync(mr, 0, l.cfg.Slot.Add(HeaderSize+int(target)*l.ckptCap), len(blob))
+		})
+		l.cfg.Compute.Deregister(mr)
+		if err != nil {
+			return err
+		}
+	}
+	h := Header{
+		Epoch: epoch, StartOff: uint64(startOff), StartLSN: startLSN, Covered: covered,
+		CkptCap: uint32(l.ckptCap), CkptSlot: target,
+		CkptLen: uint32(len(blob)), CkptCRC: crc32.ChecksumIEEE(blob),
+	}
+	if err := l.writeHeader(h); err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	l.live = l.live[trimN:]
+	l.used -= freed
+	l.head = startOff
+	l.durableCovered = covered
+	l.ckptSlot = target
+	l.cfg.Metrics.Truncations.Inc()
+	if freed > 0 {
+		l.spaceCond.Broadcast()
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// FinishRecovery atomically switches a recovering log to a fresh, live
+// epoch: the caller has re-applied and flushed every surviving record,
+// so the new checkpoint (built by Refresh) covers them all and the ring
+// restarts empty. A crash before the header write re-runs recovery
+// against the untouched old state.
+func (l *Log) FinishRecovery() error {
+	l.mu.Lock()
+	if !l.recovering {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: not recovering")
+	}
+	l.mu.Unlock()
+
+	old, err := l.readHeader()
+	epoch := uint64(1)
+	if err == nil {
+		epoch = old.Epoch + 1
+	}
+	blob, covered := l.cfg.Refresh()
+	if len(blob) > l.ckptCap {
+		return fmt.Errorf("wal: recovery checkpoint (%d bytes) exceeds slot capacity %d", len(blob), l.ckptCap)
+	}
+	target := uint32(0)
+	if err == nil {
+		target = 1 - old.CkptSlot&1
+	}
+	if len(blob) > 0 {
+		mr := l.cfg.Compute.RegisterBuf(append([]byte(nil), blob...))
+		werr := l.retrySync(func() error {
+			return l.trimQP.WriteSync(mr, 0, l.cfg.Slot.Add(HeaderSize+int(target)*l.ckptCap), len(blob))
+		})
+		l.cfg.Compute.Deregister(mr)
+		if werr != nil {
+			return werr
+		}
+	}
+	if err := l.writeHeader(Header{
+		Epoch: epoch, StartOff: 0, StartLSN: 1, Covered: covered,
+		CkptCap: uint32(l.ckptCap), CkptSlot: target,
+		CkptLen: uint32(len(blob)), CkptCRC: crc32.ChecksumIEEE(blob),
+	}); err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	l.epoch = epoch
+	l.nextLSN = 1
+	l.durableLSN = 0
+	l.pending = nil
+	l.live = nil
+	l.head, l.tail, l.used = 0, 0, 0
+	l.durableCovered = covered
+	l.ckptSlot = target
+	l.recovering = false
+	l.appendCond.Broadcast()
+	l.trimCond.Broadcast()
+	l.mu.Unlock()
+	return nil
+}
