@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race fuzz bench cache faults wal
+.PHONY: check build test vet race fuzz bench cache faults wal scan
 
 check: vet build test race fuzz
 
@@ -20,13 +20,17 @@ test:
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/engine/... \
 		./internal/rpc/... ./internal/memnode/... ./internal/faults/... \
-		./internal/cache/... ./internal/shard/... ./internal/wal/...
+		./internal/cache/... ./internal/shard/... ./internal/wal/... \
+		./internal/sstable/... ./internal/iterx/... ./internal/readahead/...
 
-# Short fuzz of the bytes recovery trusts from remote memory: checkpoint
-# blobs must decode or error, never panic. The corpus seeds cover valid,
-# truncated and corrupt inputs; CI keeps the budget small.
+# Short fuzz of the bytes recovery trusts from remote memory (checkpoint
+# blobs must decode or error, never panic) and of the merge iterator the
+# whole read path sits on (sorted, deduped-to-newest, never yields a
+# deleted key). Corpus seeds cover valid, truncated and corrupt inputs;
+# CI keeps the budget small.
 fuzz:
 	$(GO) test ./internal/engine/ -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime 10s
+	$(GO) test ./internal/iterx/ -run '^$$' -fuzz FuzzMergeIterator -fuzztime 5s
 
 # Hot-KV cache budget sweep (Zipf readrandom, cache off -> 64MB).
 cache:
@@ -37,6 +41,12 @@ cache:
 # commit must strictly beat sync+perwrite.
 wal:
 	$(GO) run ./cmd/dlsm-bench -fig wal -n 100000
+
+# Pipelined scan prefetching sweep: depth {1,2,4,8} x chunk ceiling on
+# readseq and scanrandom. Depth 1 is the synchronous path (byte-identical
+# to Fig 11); every depth > 1 must strictly improve throughput.
+scan:
+	$(GO) run ./cmd/dlsm-bench -fig scan -n 100000
 
 # Fault-scenario suite. Every scenario pins its own sim seed, so the
 # fault schedule and the virtual-time results are bit-identical per run.

@@ -8,7 +8,7 @@
 //	dlsm-bench -fig 7a [-n 200000] [-threads 1,2,4,8,16]
 //	dlsm-bench -fig all -n 100000
 //
-// Figures: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal all.
+// Figures: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal scan all.
 // Throughput is virtual-time based (see DESIGN.md); -n scales the paper's
 // 100M-key workloads down to laptop runtimes while preserving the
 // data:memtable:sstable ratios.
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to reproduce: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal all")
+		fig     = flag.String("fig", "", "figure to reproduce: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal scan all")
 		n       = flag.Int("n", 200_000, "operations per data point (paper: 100M)")
 		threads = flag.String("threads", "1,2,4,8,16", "thread counts for thread-sweep figures")
 		quiet   = flag.Bool("q", false, "suppress per-point progress output")
@@ -47,7 +47,7 @@ func main() {
 	ths := parseInts(*threads)
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"7a", "7b", "8", "9", "10", "11", "12", "13", "14a", "14b", "15", "cache", "faults", "wal"}
+		figs = []string{"7a", "7b", "8", "9", "10", "11", "12", "13", "14a", "14b", "15", "cache", "faults", "wal", "scan"}
 	}
 	for _, f := range figs {
 		runFigure(f, *n, ths, *metrics)
@@ -111,6 +111,11 @@ func runFigure(fig string, n int, threads []int, metrics bool) {
 		show(bench.FigFaults(n, maxOf(threads)))
 	case "wal":
 		show(bench.FigWAL(n, maxOf(threads)))
+	case "scan":
+		// Two scanning threads: latency hiding is visible when the wire has
+		// headroom; at 8+ threads concurrent scans saturate the link and
+		// every depth converges on its bandwidth ceiling.
+		show(bench.FigScan(n, 2))
 	case "15":
 		w, r := bench.Fig15(n/4, []int{1, 2, 4, 8}, 8)
 		show(w)

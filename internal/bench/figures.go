@@ -218,6 +218,43 @@ func Fig11(n int, threads int) *Figure {
 	return f
 }
 
+// FigScan sweeps the pipelined scan prefetcher: depth {1,2,4,8} crossed
+// with chunk ceiling {256KB, 2MB} on full-table scans (readseq) and
+// 100-entry random range scans (scanrandom). Depth 1 is the synchronous
+// path, byte-identical to the pre-pipeline scans. Run with few threads:
+// pipelining hides chunk wire latency behind consumption, which shows
+// only while the link has headroom — many concurrent scans saturate the
+// wire at any depth. Each point reports the prefetch telemetry.
+func FigScan(n, threads int) *Figure {
+	f := &Figure{Name: "Fig scan", Title: "pipelined scan prefetching: depth x chunk", XLabel: "depth"}
+	workloads := []struct {
+		label string
+		run   func(Config) Result
+	}{
+		{"readseq", ReadSeq},
+		{"scanrandom", ScanRandom},
+	}
+	chunks := []int{256 << 10, 2 << 20}
+	depths := []int{1, 2, 4, 8}
+	for _, w := range workloads {
+		for _, chunk := range chunks {
+			s := Series{Label: fmt.Sprintf("dLSM %s, %dKB chunks", w.label, chunk>>10)}
+			for _, d := range depths {
+				r := w.run(Config{System: DLSM, Threads: threads, N: n, KeyRange: n,
+					PrefetchDepth: d, PrefetchBytes: chunk})
+				c := r.Metrics.Counters
+				progress("figscan %s chunk=%dKB depth=%d: %s entries/s (prefetched %dMB, wasted %dKB, stalled %dms)",
+					w.label, chunk>>10, d, fmtTput(r.Throughput),
+					c["scan.bytes_prefetched"]>>20, c["scan.bytes_wasted"]>>10,
+					c["scan.stall_ns"]/1e6)
+				s.Points = append(s.Points, Point{X: fmt.Sprint(d), R: r})
+			}
+			f.Series = append(f.Series, s)
+		}
+	}
+	return f
+}
+
 // FigCache sweeps the compute-side hot-KV cache budget on a Zipf-skewed
 // readrandom workload (s=1.2, scrambled hot set). Budget 0 is the cache
 // disabled — the pre-cache read path, unchanged. Each point reports the

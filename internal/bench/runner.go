@@ -42,6 +42,7 @@ const (
 	opRead
 	opMixed
 	opScan
+	opScanRand
 )
 
 // FillRandom measures random-write throughput from an empty tree
@@ -59,6 +60,11 @@ func Mixed(cfg Config) Result { return run(cfg.Normalize(), opMixed, true) }
 // ReadSeq preloads, settles, then measures full-table scans ("readseq",
 // Fig 11); throughput is entries/second.
 func ReadSeq(cfg Config) Result { return run(cfg.Normalize(), opScan, true) }
+
+// ScanRandom preloads, settles, then measures ScanLen-entry range scans
+// from uniform random start keys ("seekrandom"); throughput is
+// entries/second.
+func ScanRandom(cfg Config) Result { return run(cfg.Normalize(), opScanRand, true) }
 
 func run(cfg Config, kind opKind, preload bool) Result {
 	env, fab, cns, servers := deployment(cfg)
@@ -136,6 +142,8 @@ func measure(env *sim.Env, fab *rdma.Fabric, cfg Config, kind opKind, db kvDB, c
 			switch kind {
 			case opScan:
 				outs[t].ops = scanOnce(env, s, &outs[t].lat)
+			case opScanRand:
+				outs[t].ops = scanRandomLoop(env, cfg, s, rnd, per, &outs[t].lat)
 			default:
 				outs[t].ops = opLoop(env, cfg, kind, s, rnd, per, &outs[t].lat)
 			}
@@ -200,6 +208,30 @@ func opLoop(env *sim.Env, cfg Config, kind opKind, s kvSession, rnd *rand.Rand, 
 		ops++
 	}
 	return ops
+}
+
+// scanRandomLoop runs per/ScanLen bounded scans from random start keys,
+// counting entries visited; per-entry latency is sampled every 4th scan.
+func scanRandomLoop(env *sim.Env, cfg Config, s kvSession, rnd *rand.Rand, per int, lat *[]time.Duration) int64 {
+	scans := per / cfg.ScanLen
+	if scans < 1 {
+		scans = 1
+	}
+	var n int64
+	for i := 0; i < scans; i++ {
+		start := cfg.Key(rnd.Intn(cfg.KeyRange))
+		t0 := env.Now()
+		cnt := 0
+		s.Scan(start, func(k, v []byte) bool {
+			cnt++
+			return cnt < cfg.ScanLen
+		})
+		n += int64(cnt)
+		if cnt > 0 && i%4 == 0 {
+			*lat = append(*lat, time.Duration(env.Now()-t0)/time.Duration(cnt))
+		}
+	}
+	return n
 }
 
 // scanOnce iterates the whole database once, returning entries visited.

@@ -102,6 +102,14 @@ func engineOptions(sys System, cfg Config, lambda int) engine.Options {
 	o.ReplyBufSize = 32 << 20
 	// Whole-node cache budget; shard.New splits it across the λ shards.
 	o.CacheBudgetBytes = cfg.CacheBudgetBytes
+	// Scan readahead (FigScan sweep); zero keeps the engine defaults
+	// (depth 1: the synchronous scan path, bit-identical to the seed).
+	if cfg.PrefetchDepth > 0 {
+		o.PrefetchDepth = cfg.PrefetchDepth
+	}
+	if cfg.PrefetchBytes > 0 {
+		o.PrefetchBytes = cfg.PrefetchBytes
+	}
 	// Remote WAL mode (FigWAL sweep); WALSize keeps its default of
 	// 8 MemTables per shard slot.
 	o.Durability = cfg.Durability

@@ -32,6 +32,18 @@ type Config struct {
 	// the historical behavior). Passed through to engine.Options.
 	CacheBudgetBytes int64
 
+	// PrefetchDepth and PrefetchBytes tune scan readahead (engine.Options
+	// passthrough). Depth 0 keeps the engine default of 1 — the synchronous
+	// scan path, bit-identical to the pre-pipeline figures; depth > 1 keeps
+	// that many chunk fetches in flight per table iterator. PrefetchBytes 0
+	// keeps the engine's 2MB chunk ceiling.
+	PrefetchDepth int
+	PrefetchBytes int
+
+	// ScanLen is the entries per range scan in the scanrandom workload
+	// (default 100, db_bench seekrandom-style).
+	ScanLen int
+
 	DisableNearData bool // dLSM ablation: compact on the compute node instead
 
 	// Durability selects the remote write-ahead log mode (engine.Options):
@@ -90,6 +102,9 @@ func (c Config) Normalize() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 20230401
+	}
+	if c.ScanLen == 0 {
+		c.ScanLen = 100
 	}
 	return c
 }

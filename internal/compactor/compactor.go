@@ -62,6 +62,7 @@ func Run(inputs []Input, p Params, factory Factory) ([]*sstable.Meta, error) {
 		iters[i] = sstable.NewReader(in.Meta, in.Fetch, p.Opts).NewIterator(p.Prefetch)
 	}
 	merged := iterx.Merging(keys.Compare, iters...)
+	defer merged.Close()
 	if p.Lo != nil {
 		merged.SeekGE(keys.AppendLookup(nil, p.Lo, keys.MaxSeq))
 	} else {

@@ -9,6 +9,7 @@ import (
 	"dlsm/internal/memnode"
 	"dlsm/internal/memtable"
 	"dlsm/internal/rdma"
+	"dlsm/internal/readahead"
 	"dlsm/internal/remote"
 	"dlsm/internal/rpc"
 	"dlsm/internal/sim"
@@ -75,6 +76,12 @@ type DB struct {
 	// kv is the compute-side hot-KV cache; nil when CacheBudgetBytes is 0
 	// (all cache methods are nil-receiver-safe).
 	kv *cache.Cache
+
+	// raPool recycles registered scan-readahead buffers across iterators;
+	// created lazily by the first PrefetchDepth > 1 iterator so depth-1
+	// configurations never touch it (bit-identical figures).
+	raPoolMu sync.Mutex
+	raPool   *readahead.Pool
 
 	// wal is the remote write-ahead log; nil when Durability is
 	// DurabilityNone. walLive gates the write-path hooks: false while
@@ -219,6 +226,19 @@ func (db *DB) onObsolete(m *sstable.Meta) {
 // Cache returns the hot-KV cache, or nil when CacheBudgetBytes is 0.
 func (db *DB) Cache() *cache.Cache { return db.kv }
 
+// scanPool lazily creates the shared readahead buffer pool. Buffers are
+// sized at PrefetchBytes — the adaptive window's ceiling — so nearly
+// every chunk recycles; only a single entry larger than the window makes
+// the pool register a one-off buffer.
+func (db *DB) scanPool() *readahead.Pool {
+	db.raPoolMu.Lock()
+	defer db.raPoolMu.Unlock()
+	if db.raPool == nil {
+		db.raPool = readahead.NewPool(db.cn, db.opts.PrefetchBytes)
+	}
+	return db.raPool
+}
+
 // registerSnapshot pins seq against compaction dropping versions <= seq.
 func (db *DB) registerSnapshot(seq keys.Seq) {
 	db.snapMu.Lock()
@@ -315,6 +335,13 @@ func (db *DB) Close() {
 	db.flushCh.Close()
 	db.gcCh.Close()
 	db.wg.Wait()
+	// Drop the pooled readahead buffers; stragglers from still-draining
+	// iterator reapers deregister themselves when they come back.
+	db.raPoolMu.Lock()
+	if db.raPool != nil {
+		db.raPool.Close()
+	}
+	db.raPoolMu.Unlock()
 	if db.wal != nil {
 		// After the flushers: their final RequestRefresh calls must land
 		// before the log stops. Close drains staged records but publishes

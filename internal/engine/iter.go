@@ -7,6 +7,7 @@ import (
 	"dlsm/internal/keys"
 	"dlsm/internal/memtable"
 	"dlsm/internal/rdma"
+	"dlsm/internal/readahead"
 	"dlsm/internal/sstable"
 	"dlsm/internal/version"
 )
@@ -35,13 +36,17 @@ func (s *Session) NewIterator() *Iterator {
 	return s.NewIteratorOpts(ReadOptions{})
 }
 
-// NewIteratorOpts is NewIterator with an explicit read policy. Only
-// ReadOptions.PrefetchBytes applies: scans bypass the hot-KV cache
-// entirely (prefetched chunks are the wrong granularity to cache), so
-// FillCache is ignored.
+// NewIteratorOpts is NewIterator with an explicit read policy:
+// PrefetchBytes/PrefetchDepth tune the readahead pipeline and Snapshot
+// pins an explicit sequence. FillCache is ignored — scans bypass the
+// hot-KV cache entirely (prefetched chunks are the wrong granularity to
+// cache).
 func (s *Session) NewIteratorOpts(ro ReadOptions) *Iterator {
 	db := s.db
 	snap := db.CurrentSeq()
+	if ro.Snapshot > 0 {
+		snap = ro.Snapshot
+	}
 	db.registerSnapshot(snap)
 
 	mem := db.cur.Load()
@@ -54,15 +59,21 @@ func (s *Session) NewIteratorOpts(ro ReadOptions) *Iterator {
 	if ro.PrefetchBytes > 0 {
 		prefetch = ro.PrefetchBytes
 	}
+	depth := db.opts.PrefetchDepth
+	if ro.PrefetchDepth > 0 {
+		depth = ro.PrefetchDepth
+	}
 
 	var children []sstable.Iterator
 	children = append(children, mem.NewIterator())
 	for i := len(imms) - 1; i >= 0; i-- {
 		children = append(children, imms[i].NewIterator())
 	}
+	// Per-child readahead: every L0 file and each level's Concat child
+	// gets its own pipeline, so children fetch concurrently while the
+	// merge consumes them.
 	for _, f := range v.Levels[0] {
-		r := sstable.NewReader(f.Meta, s.db.newFetcher(f.Meta, s.qp, newScratchSlot(), s.client), opts)
-		children = append(children, r.NewIterator(prefetch))
+		children = append(children, s.scanIter(f.Meta, opts, prefetch, depth))
 	}
 	for level := 1; level < version.NumLevels; level++ {
 		files := v.Levels[level]
@@ -72,8 +83,7 @@ func (s *Session) NewIteratorOpts(ro ReadOptions) *Iterator {
 		children = append(children, iterx.Concat(keys.Compare, len(files),
 			func(i int) ([]byte, []byte) { return files[i].Smallest, files[i].Largest },
 			func(i int) sstable.Iterator {
-				r := sstable.NewReader(files[i].Meta, s.db.newFetcher(files[i].Meta, s.qp, newScratchSlot(), s.client), opts)
-				return r.NewIterator(prefetch)
+				return s.scanIter(files[i].Meta, opts, prefetch, depth)
 			}))
 	}
 
@@ -82,6 +92,34 @@ func (s *Session) NewIteratorOpts(ro ReadOptions) *Iterator {
 		merged: iterx.Merging(keys.Compare, children...),
 		mem:    mem, imms: imms, v: v,
 	}
+}
+
+// scanIter builds the scan iterator over one table. At PrefetchDepth > 1
+// on the native transport it gets its own queue pair (thread-local QP
+// discipline, §X-B: pipelined fetches must not interleave completions
+// with the session QP's synchronous reads) and a pipelined prefetcher
+// drawing buffers from the DB's shared pool. Otherwise — depth 1, the FS
+// and tmpfs transports — it reads synchronously through the session's
+// shared scratch, the historical path, untouched byte for byte.
+func (s *Session) scanIter(meta *sstable.Meta, opts sstable.Options, prefetch, depth int) sstable.Iterator {
+	db := s.db
+	if depth <= 1 || db.opts.Transport != TransportNative || meta.Data.RKey == fsRKeySentinel {
+		r := sstable.NewReader(meta, db.newFetcher(meta, s.qp, newScratchSlot(), s.client), opts)
+		return r.NewIterator(prefetch)
+	}
+	r := sstable.NewReader(meta, db.newFetcher(meta, s.qp, newScratchSlot(), s.client), opts)
+	return r.NewIteratorOpts(sstable.IterOpts{
+		Prefetch: prefetch,
+		Readahead: &readahead.Config{
+			QP:        db.cn.NewQP(db.mn),
+			OwnQP:     true,
+			Base:      meta.Data,
+			Pool:      db.scanPool(),
+			Depth:     depth,
+			MaxWindow: prefetch,
+			Metrics:   db.m.scan,
+		},
+	})
 }
 
 // newScratchSlot gives each table iterator its own scratch buffer slot;
@@ -156,11 +194,14 @@ func (it *Iterator) Value() []byte { return it.value }
 // Error reports the first failure encountered.
 func (it *Iterator) Error() error { return it.err }
 
-// Close releases the pinned snapshot and tables.
+// Close releases the pinned snapshot and tables, plus any in-flight
+// prefetch buffers (drained asynchronously; Close never blocks). Safe to
+// call mid-scan and more than once.
 func (it *Iterator) Close() {
 	if it.v == nil {
 		return
 	}
+	it.merged.Close()
 	it.s.db.releaseSnapshot(it.snap)
 	it.mem.Unref()
 	for _, m := range it.imms {

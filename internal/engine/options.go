@@ -104,6 +104,15 @@ type Options struct {
 
 	PrefetchBytes int // range-scan read-ahead
 
+	// PrefetchDepth is how many readahead chunk fetches a range scan keeps
+	// in flight per table iterator (the flush pipeline's multi-buffer
+	// design applied to the read path, internal/readahead). 1 — the
+	// default — fetches each chunk synchronously, the historical behavior;
+	// higher depths overlap RDMA fetches with iteration CPU. Only the
+	// native one-sided transport pipelines; FS and tmpfs reads stay
+	// synchronous at any depth.
+	PrefetchDepth int
+
 	// CacheBudgetBytes is the byte budget of the compute-side hot-KV cache
 	// (internal/cache). 0 — the default — disables caching entirely, so
 	// every figure that predates the cache is unchanged unless it opts in.
@@ -190,6 +199,7 @@ func DLSM() Options {
 		AsyncFlush:        true,
 		FlushBufSize:      1 << 20,
 		PrefetchBytes:     2 << 20,
+		PrefetchDepth:     1,
 		SyncOverhead:      450 * time.Nanosecond,
 		ReplyBufSize:      16 << 20,
 		GCBatch:           8,
@@ -252,6 +262,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PrefetchBytes == 0 {
 		o.PrefetchBytes = d.PrefetchBytes
+	}
+	if o.PrefetchDepth == 0 {
+		o.PrefetchDepth = d.PrefetchDepth
 	}
 	if o.SyncOverhead == 0 {
 		o.SyncOverhead = d.SyncOverhead

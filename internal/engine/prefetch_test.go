@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"dlsm/internal/sim"
+)
+
+// loadForScan writes n keys with a fixed permutation and settles the tree
+// so every config scans the same table layout.
+func loadForScan(t *testing.T, s *Session, db *DB, n int) {
+	t.Helper()
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		if err := s.Put(key(i), value(i)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	db.Flush()
+	db.WaitForCompactions()
+}
+
+// fullScan walks the whole DB and returns the number of live entries.
+func fullScan(t *testing.T, s *Session, ro ReadOptions) int {
+	t.Helper()
+	it := s.NewIteratorOpts(ro)
+	defer it.Close()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		n++
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// Pipelined scans must return exactly the same entries as the synchronous
+// path and finish in strictly less virtual time: the whole point of
+// depth > 1 is overlapping chunk wire time with consumption.
+func TestScanPrefetchSpeedupAndEquivalence(t *testing.T) {
+	const n = 4000
+	harness(t, smallOpts(), func(env *sim.Env, db *DB) {
+		s := db.NewSession()
+		defer s.Close()
+		loadForScan(t, s, db, n)
+
+		elapsed := func(depth int) (int, sim.Duration) {
+			t0 := env.Now()
+			count := fullScan(t, s, ReadOptions{PrefetchDepth: depth})
+			return count, sim.Duration(env.Now() - t0)
+		}
+		c1, d1 := elapsed(1)
+		c4, d4 := elapsed(4)
+		if c1 != n || c4 != n {
+			t.Fatalf("scan counts: depth1 %d, depth4 %d, want %d", c1, c4, n)
+		}
+		if d4 >= d1 {
+			t.Fatalf("depth 4 (%v) not faster than depth 1 (%v)", d4, d1)
+		}
+		if got := db.m.scan.BytesPrefetched.Load(); got == 0 {
+			t.Fatal("scan.bytes_prefetched stayed zero across a depth-4 scan")
+		}
+	})
+}
+
+// Depth 1 must never touch the prefetch machinery: no pool, no pipelined
+// counters — the historical synchronous path, byte for byte.
+func TestScanDepth1BypassesPrefetcher(t *testing.T) {
+	harness(t, smallOpts(), func(env *sim.Env, db *DB) {
+		s := db.NewSession()
+		defer s.Close()
+		loadForScan(t, s, db, 2000)
+		if got := fullScan(t, s, ReadOptions{}); got != 2000 {
+			t.Fatalf("scan = %d entries, want 2000", got)
+		}
+		if db.raPool != nil {
+			t.Fatal("depth-1 scan created the readahead pool")
+		}
+		if got := db.m.scan.BytesPrefetched.Load(); got != 0 {
+			t.Fatalf("depth-1 scan prefetched %d bytes", got)
+		}
+	})
+}
+
+// Closing an iterator mid-scan must not leak: in-flight fetches drain in
+// the background, the gauge returns to zero, abandoned bytes count as
+// wasted, and every pooled buffer comes back.
+func TestScanMidCloseDrainsInflight(t *testing.T) {
+	harness(t, smallOpts(), func(env *sim.Env, db *DB) {
+		s := db.NewSession()
+		defer s.Close()
+		loadForScan(t, s, db, 4000)
+
+		it := s.NewIteratorOpts(ReadOptions{PrefetchDepth: 8})
+		it.First()
+		for i := 0; i < 10 && it.Valid(); i++ {
+			it.Next()
+		}
+		it.Close()
+		it.Close() // idempotent
+
+		// Let the background reapers consume the abandoned completions.
+		env.Sleep(sim.Duration(1 << 32))
+		if g := db.m.scan.Inflight.Load(); g != 0 {
+			t.Fatalf("scan.prefetch_inflight after close+drain = %d", g)
+		}
+		if w := db.m.scan.BytesWasted.Load(); w == 0 {
+			t.Fatal("mid-scan close counted no wasted bytes")
+		}
+		alloc, free := db.scanPool().Stats()
+		if alloc != free {
+			t.Fatalf("pooled buffers leaked: allocated %d, free %d", alloc, free)
+		}
+	})
+}
+
+// Back-to-back pipelined scans must recycle the pool instead of growing
+// it: steady state allocates no new buffers.
+func TestScanPoolRecyclesAcrossIterators(t *testing.T) {
+	harness(t, smallOpts(), func(env *sim.Env, db *DB) {
+		s := db.NewSession()
+		defer s.Close()
+		loadForScan(t, s, db, 2000)
+
+		fullScan(t, s, ReadOptions{PrefetchDepth: 4})
+		alloc1, _ := db.scanPool().Stats()
+		for i := 0; i < 3; i++ {
+			fullScan(t, s, ReadOptions{PrefetchDepth: 4})
+		}
+		alloc2, free2 := db.scanPool().Stats()
+		if alloc2 != alloc1 {
+			t.Fatalf("steady-state scans grew the pool: %d -> %d buffers", alloc1, alloc2)
+		}
+		if alloc2 != free2 {
+			t.Fatalf("buffers still out after scans closed: allocated %d, free %d", alloc2, free2)
+		}
+	})
+}

@@ -24,6 +24,16 @@ type ReadOptions struct {
 	// PrefetchBytes overrides Options.PrefetchBytes for this iterator
 	// (read-ahead chunk size of range scans). 0 keeps the DB default.
 	PrefetchBytes int
+	// PrefetchDepth overrides Options.PrefetchDepth for this iterator: how
+	// many pipelined readahead fetches each table child keeps in flight.
+	// 0 keeps the DB default; 1 forces the synchronous path.
+	PrefetchDepth int
+	// Snapshot pins the iterator to an explicit sequence number instead of
+	// the current one (0 = current). The sequence must still be live —
+	// observed while an earlier iterator or read pinned it, or at most the
+	// current sequence; the engine keeps no history for sequences
+	// compaction has already been allowed to fold away.
+	Snapshot keys.Seq
 }
 
 // Get reads the newest visible value of key (snapshot = current sequence).

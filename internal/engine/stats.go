@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dlsm/internal/flush"
+	"dlsm/internal/readahead"
 	"dlsm/internal/sstable"
 	"dlsm/internal/telemetry"
 )
@@ -130,6 +131,7 @@ type dbMetrics struct {
 
 	reader sstable.ReaderMetrics
 	flush  flush.Metrics
+	scan   readahead.Metrics
 }
 
 func newDBMetrics(reg *telemetry.Registry) dbMetrics {
@@ -155,6 +157,12 @@ func newDBMetrics(reg *telemetry.Registry) dbMetrics {
 			BuffersAllocated: reg.Counter("flush.buffers_allocated"),
 			ReapWaits:        reg.Counter("flush.reap_waits"),
 			BytesSubmitted:   reg.Counter("flush.bytes_submitted"),
+		},
+		scan: readahead.Metrics{
+			Inflight:        reg.Gauge("scan.prefetch_inflight"),
+			StallNS:         reg.Counter("scan.stall_ns"),
+			BytesPrefetched: reg.Counter("scan.bytes_prefetched"),
+			BytesWasted:     reg.Counter("scan.bytes_wasted"),
 		},
 	}
 }

@@ -1,0 +1,173 @@
+package iterx
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"dlsm/internal/keys"
+	"dlsm/internal/sstable"
+)
+
+// ikv is one internal-key entry for fuzzing the merge combinator.
+type ikv struct {
+	ikey []byte
+	val  []byte
+}
+
+// ikvIter iterates a keys.Compare-sorted slice of internal keys.
+type ikvIter struct {
+	kvs []ikv
+	pos int
+}
+
+func (s *ikvIter) First() { s.pos = 0 }
+func (s *ikvIter) SeekGE(k []byte) {
+	s.pos = sort.Search(len(s.kvs), func(i int) bool {
+		return keys.Compare(s.kvs[i].ikey, k) >= 0
+	})
+}
+func (s *ikvIter) Valid() bool   { return s.pos >= 0 && s.pos < len(s.kvs) }
+func (s *ikvIter) Next()         { s.pos++ }
+func (s *ikvIter) Key() []byte   { return s.kvs[s.pos].ikey }
+func (s *ikvIter) Value() []byte { return s.kvs[s.pos].val }
+func (s *ikvIter) Error() error  { return nil }
+func (s *ikvIter) Close()        {}
+
+// FuzzMergeIterator drives Merging with up to 5 children holding duplicate
+// user keys across "levels", tombstones and empty children, and checks the
+// three invariants the engine's read path depends on: the merged stream is
+// exactly the sorted union of the children, SeekGE lands on the reference
+// lower bound, and folding to the newest visible version per user key
+// (skipping tombstones) reproduces the reference live map.
+func FuzzMergeIterator(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x01, 0x22, 0x43, 0x64, 0x85}) // one entry per child
+	f.Add([]byte{0x00, 0x20, 0x00, 0x20, 0x00}) // same ukey across two children, dup writes
+	f.Add([]byte{0x30, 0x10, 0x30, 0x10})       // set/delete ping-pong on one ukey
+	f.Add(bytes.Repeat([]byte{0x07, 0xe3, 0x51, 0x92}, 16))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nChildren = 5
+		// Decode each byte as one write: low 3 bits pick the child, next
+		// 2 bits pick the user key, bit 5 picks set vs tombstone. A global
+		// sequence counter makes every internal key unique, as the engine
+		// guarantees. Three more ukey values come from a second pass so
+		// duplicates across children are common but not universal.
+		children := make([][]ikv, nChildren)
+		var all []ikv
+		type verdict struct {
+			seq  keys.Seq
+			live bool
+			val  string
+		}
+		newest := map[string]verdict{}
+		seq := keys.Seq(1)
+		for i, b := range data {
+			child := int(b&0x07) % nChildren
+			ukey := fmt.Sprintf("u%02d", int(b>>3&0x03)+(i%5)*4)
+			kind := keys.KindSet
+			if b&0x20 != 0 {
+				kind = keys.KindDelete
+			}
+			val := fmt.Sprintf("v%d", seq)
+			e := ikv{ikey: keys.Append(nil, []byte(ukey), seq, kind), val: []byte(val)}
+			children[child] = append(children[child], e)
+			all = append(all, e)
+			if v, ok := newest[ukey]; !ok || seq > v.seq {
+				newest[ukey] = verdict{seq: seq, live: kind == keys.KindSet, val: val}
+			}
+			seq++
+		}
+		sortIKVs := func(kvs []ikv) {
+			sort.Slice(kvs, func(i, j int) bool {
+				return keys.Compare(kvs[i].ikey, kvs[j].ikey) < 0
+			})
+		}
+		iters := make([]sstable.Iterator, nChildren)
+		for i := range children {
+			sortIKVs(children[i])
+			iters[i] = &ikvIter{kvs: children[i]}
+		}
+		sortIKVs(all)
+
+		// Invariant 1: the merged stream is the sorted union.
+		m := Merging(keys.Compare, iters...)
+		i := 0
+		for m.First(); m.Valid(); m.Next() {
+			if i >= len(all) {
+				t.Fatalf("merged stream longer than union (%d entries)", len(all))
+			}
+			if !bytes.Equal(m.Key(), all[i].ikey) {
+				t.Fatalf("entry %d: key %x, want %x", i, m.Key(), all[i].ikey)
+			}
+			if !bytes.Equal(m.Value(), all[i].val) {
+				t.Fatalf("entry %d: value %q, want %q", i, m.Value(), all[i].val)
+			}
+			i++
+		}
+		if i != len(all) {
+			t.Fatalf("merged stream yielded %d entries, want %d", i, len(all))
+		}
+		if err := m.Error(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Invariant 2: SeekGE lands on the reference lower bound. Probe
+		// every ukey at MaxSeq (lookup form) plus past-the-end.
+		for probe := 0; probe < 24; probe++ {
+			target := keys.AppendLookup(nil, []byte(fmt.Sprintf("u%02d", probe)), keys.MaxSeq)
+			want := sort.Search(len(all), func(i int) bool {
+				return keys.Compare(all[i].ikey, target) >= 0
+			})
+			m.SeekGE(target)
+			if want == len(all) {
+				if m.Valid() {
+					t.Fatalf("SeekGE(u%02d) valid at %x, want exhausted", probe, m.Key())
+				}
+				continue
+			}
+			if !m.Valid() || !bytes.Equal(m.Key(), all[want].ikey) {
+				t.Fatalf("SeekGE(u%02d) = %x, want %x", probe, m.Key(), all[want].ikey)
+			}
+		}
+
+		// Invariant 3: folding the merged stream to the first (newest)
+		// version per user key, dropping tombstones, gives the live map —
+		// a deleted key is never yielded, a live key has its newest value.
+		live := map[string]string{}
+		var prev []byte
+		for m.First(); m.Valid(); m.Next() {
+			uk := keys.UserKey(m.Key())
+			if prev != nil && bytes.Equal(uk, prev) {
+				continue // older version of the same ukey
+			}
+			prev = append(prev[:0], uk...)
+			_, _, kind, err := keys.Parse(m.Key())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kind == keys.KindDelete {
+				continue
+			}
+			live[string(uk)] = string(m.Value())
+		}
+		for uk, v := range newest {
+			got, ok := live[uk]
+			if v.live != ok {
+				t.Fatalf("ukey %q: live=%v, want %v", uk, ok, v.live)
+			}
+			if ok && got != v.val {
+				t.Fatalf("ukey %q: value %q, want %q", uk, got, v.val)
+			}
+		}
+		for uk := range live {
+			if _, ok := newest[uk]; !ok {
+				t.Fatalf("ukey %q yielded but never written", uk)
+			}
+		}
+		m.Close()
+	})
+}

@@ -98,6 +98,16 @@ func (m *mergeIter) Error() error {
 	return nil
 }
 
+// Close closes every child (each may hold pipelined prefetch buffers).
+func (m *mergeIter) Close() {
+	for _, it := range m.children {
+		it.Close()
+	}
+	m.children = nil
+	m.h.items = nil
+	m.inited = false
+}
+
 // Concat iterates a sequence of non-overlapping, key-ordered tables one at
 // a time (the classic "two-level iterator" for levels >= 1). open lazily
 // materializes the iterator for table i; bounds provide each table's
@@ -117,6 +127,11 @@ type concatIter struct {
 }
 
 func (c *concatIter) load(i int) {
+	// Close the table being left so its prefetch resources (pipelined
+	// buffers, per-iterator QP) are released as the level advances.
+	if c.cur != nil {
+		c.cur.Close()
+	}
 	c.idx = i
 	if i < 0 || i >= c.n {
 		c.cur = nil
@@ -156,6 +171,7 @@ func (c *concatIter) skipExhausted() {
 	for c.cur != nil && !c.cur.Valid() {
 		if err := c.cur.Error(); err != nil {
 			c.err = err
+			c.cur.Close()
 			c.cur = nil
 			return
 		}
@@ -184,4 +200,13 @@ func (c *concatIter) Error() error {
 		return c.cur.Error()
 	}
 	return nil
+}
+
+// Close closes the currently open table; tables already left were closed
+// as the iterator advanced past them.
+func (c *concatIter) Close() {
+	if c.cur != nil {
+		c.cur.Close()
+		c.cur = nil
+	}
 }

@@ -12,8 +12,9 @@ import (
 
 // sliceIter is a trivial in-memory iterator for combinator testing.
 type sliceIter struct {
-	keys []string
-	pos  int
+	keys   []string
+	pos    int
+	closed bool
 }
 
 func newSliceIter(keys ...string) *sliceIter {
@@ -31,6 +32,7 @@ func (s *sliceIter) Next()         { s.pos++ }
 func (s *sliceIter) Key() []byte   { return []byte(s.keys[s.pos]) }
 func (s *sliceIter) Value() []byte { return []byte("v:" + s.keys[s.pos]) }
 func (s *sliceIter) Error() error  { return nil }
+func (s *sliceIter) Close()        { s.closed = true }
 
 func collect(it sstable.Iterator) []string {
 	var out []string

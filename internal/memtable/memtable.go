@@ -152,3 +152,7 @@ func (it *Iterator) Value() []byte { return it.it.Value() }
 // Error always returns nil; in-memory iteration cannot fail. It satisfies
 // the shared iterator interface.
 func (it *Iterator) Error() error { return nil }
+
+// Close is a no-op; in-memory iterators hold no fetch resources. It
+// satisfies the shared iterator interface.
+func (it *Iterator) Close() {}

@@ -145,6 +145,19 @@ func (n *Node) NewQP(peer *Node) *QP {
 	return qp
 }
 
+// dropQP forgets a closed queue pair so short-lived QPs (one per scan
+// iterator, say) don't accumulate on the node for its whole lifetime.
+func (n *Node) dropQP(qp *QP) {
+	n.mu.Lock()
+	for i, x := range n.qps {
+		if x == qp {
+			n.qps = append(n.qps[:i], n.qps[i+1:]...)
+			break
+		}
+	}
+	n.mu.Unlock()
+}
+
 // Crashed reports whether the node is currently crashed. Queue pairs check
 // it when executing work requests: any operation targeting a crashed peer
 // completes with ErrQPBroken.
@@ -206,6 +219,7 @@ func (n *Node) Close() {
 	}
 	n.closed = true
 	qps := n.qps
+	n.qps = nil // qp.Close -> dropQP must not mutate the snapshot's backing array
 	eps := make([]*sim.Chan[Message], 0, len(n.endpoints))
 	for _, ep := range n.endpoints {
 		eps = append(eps, ep)

@@ -257,6 +257,7 @@ func (q *QP) Close() {
 	q.closed = true
 	q.mu.Unlock()
 	q.wrs.Close()
+	q.node.dropQP(q)
 }
 
 // worker executes posted work requests in FIFO order at their scheduled

@@ -1,0 +1,346 @@
+// Package readahead implements pipelined scan prefetching: a per-iterator
+// scheduler that keeps a configurable depth of chunk fetches in flight on
+// a queue pair, mirroring the flush pipeline's multi-buffer design
+// (internal/flush) on the read path. dLSM §VI sells byte-addressable
+// SSTables partly on multi-MB scan prefetches; with one outstanding fetch
+// the scan still stalls a full RDMA round trip per chunk — exactly the
+// idle bubble §X-C's multi-buffer flush machinery removes on the write
+// path. Posting depth chunks back-to-back pipelines their wire times (the
+// QP reserves wire time at post), so the network works while the iterator
+// burns CPU on parsing.
+//
+// Determinism: the scheduler spawns no entities of its own on the hot
+// path — asynchrony comes entirely from the QP's existing post/completion
+// machinery, which is already part of the deterministic cooperative
+// scheduler. Only Close of an iterator with fetches still in flight
+// spawns one reaper entity to drain them.
+package readahead
+
+import (
+	"errors"
+	"sync"
+
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+	"dlsm/internal/telemetry"
+)
+
+// DefaultMinWindow is the adaptive window's starting chunk size — about
+// one "entry page" of the paper's 420-byte entries. A seek resets the
+// window here so point-lookup-shaped iterators don't over-fetch.
+const DefaultMinWindow = 4 << 10
+
+// ErrClosed is returned by ReadAt on a closed scheduler.
+var ErrClosed = errors.New("readahead: scheduler closed")
+
+// Metrics are the scan-prefetch telemetry handles. All fields may be nil
+// (nil handles are inert).
+type Metrics struct {
+	Inflight        *telemetry.Gauge   // scan.prefetch_inflight
+	StallNS         *telemetry.Counter // scan.stall_ns: virtual ns blocked on fetches
+	BytesPrefetched *telemetry.Counter // scan.bytes_prefetched
+	BytesWasted     *telemetry.Counter // scan.bytes_wasted: fetched but never consumed
+}
+
+// Pool recycles registered prefetch buffers FIFO across a DB's scan
+// iterators, like the flush pipeline's free list: registration
+// (ibv_reg_mr) is expensive, so buffers are registered once and reused.
+// Chunks larger than the pool class (a single entry bigger than the max
+// window) get a dedicated registration, dropped on release.
+type Pool struct {
+	node    *rdma.Node
+	bufSize int
+
+	mu        sync.Mutex
+	free      []*rdma.MemoryRegion
+	allocated int
+	closed    bool
+}
+
+// NewPool creates a pool of bufSize-byte buffers registered on node.
+func NewPool(node *rdma.Node, bufSize int) *Pool {
+	if bufSize < DefaultMinWindow {
+		bufSize = DefaultMinWindow
+	}
+	return &Pool{node: node, bufSize: bufSize}
+}
+
+// BufSize is the pooled buffer class in bytes.
+func (p *Pool) BufSize() int { return p.bufSize }
+
+// Get returns a registered buffer of at least n bytes and whether it came
+// from (and must return to) the pool.
+func (p *Pool) Get(n int) (mr *rdma.MemoryRegion, pooled bool) {
+	if n > p.bufSize {
+		return p.node.Register(n), false
+	}
+	p.mu.Lock()
+	if len(p.free) > 0 {
+		mr = p.free[0]
+		p.free = p.free[1:]
+		p.mu.Unlock()
+		return mr, true
+	}
+	p.allocated++
+	p.mu.Unlock()
+	return p.node.Register(p.bufSize), true
+}
+
+// Put releases a buffer obtained from Get.
+func (p *Pool) Put(mr *rdma.MemoryRegion, pooled bool) {
+	if mr == nil {
+		return
+	}
+	if !pooled {
+		p.node.Deregister(mr)
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.node.Deregister(mr)
+		return
+	}
+	p.free = append(p.free, mr)
+	p.mu.Unlock()
+}
+
+// Stats reports how many pooled buffers exist and how many are free.
+// allocated == free means every scan iterator has returned its buffers.
+func (p *Pool) Stats() (allocated, free int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocated, len(p.free)
+}
+
+// Close deregisters the free buffers; buffers still out are deregistered
+// as they come back.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	free := p.free
+	p.free, p.closed = nil, true
+	p.mu.Unlock()
+	for _, mr := range free {
+		p.node.Deregister(mr)
+	}
+}
+
+// Config wires a Scheduler to one table's data region.
+type Config struct {
+	QP    *rdma.QP        // fetch queue pair; must carry no other traffic
+	OwnQP bool            // Close the QP once all fetches have drained
+	Base  rdma.RemoteAddr // table data region
+	Size  int             // data region length in bytes
+	Pool  *Pool           // buffer source
+	Depth int             // max in-flight chunk fetches (the pipeline depth)
+
+	// MinWindow/MaxWindow bound the adaptive chunk size: the first fetch
+	// after a seek is MinWindow bytes, doubling per chunk up to MaxWindow
+	// on sequential advance. Defaults: DefaultMinWindow / MinWindow.
+	MinWindow int
+	MaxWindow int
+
+	Metrics Metrics
+}
+
+// chunk is one buffer's residency: table bytes [lo, hi).
+type chunk struct {
+	mr     *rdma.MemoryRegion
+	lo, hi int
+	pooled bool
+}
+
+// Scheduler pipelines chunk fetches for one table iterator. It is not
+// safe for concurrent use — iterators are thread-local, like their QPs.
+type Scheduler struct {
+	cfg  Config
+	env  *sim.Env
+	plan func(off, want int) int
+
+	window   int     // next chunk size (adaptive)
+	next     int     // next planned fetch offset; -1 = nothing planned
+	cur      chunk   // resident chunk the consumer reads from
+	inflight []chunk // posted fetches, FIFO (completion order)
+	closed   bool
+	err      error
+}
+
+// New creates a scheduler. plan(off, want) returns the end offset of the
+// chunk starting at off spanning at least want bytes, aligned so no entry
+// or block straddles two chunks (sstable.Reader supplies this from its
+// index); it must make progress (end > off) for every off < Size.
+func New(cfg Config, plan func(off, want int) int) *Scheduler {
+	if cfg.MinWindow <= 0 {
+		cfg.MinWindow = DefaultMinWindow
+	}
+	if cfg.MaxWindow < cfg.MinWindow {
+		cfg.MaxWindow = cfg.MinWindow
+	}
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	return &Scheduler{
+		cfg:    cfg,
+		env:    cfg.QP.Node().Fabric().Env(),
+		plan:   plan,
+		window: cfg.MinWindow,
+		next:   -1,
+	}
+}
+
+// ReadAt makes [lo, hi) resident and returns the covering chunk plus its
+// start offset; the slice is valid until the next ReadAt or Close. A
+// request inside the pipelined run consumes the pipeline head; a request
+// outside it (a seek) resets the adaptive window and replans from lo.
+func (s *Scheduler) ReadAt(lo, hi int) ([]byte, int, error) {
+	if s.err != nil {
+		return nil, 0, s.err
+	}
+	if s.closed {
+		return nil, 0, ErrClosed
+	}
+	if hi <= lo {
+		return nil, lo, nil
+	}
+	if s.cur.mr != nil && lo >= s.cur.lo && hi <= s.cur.hi {
+		s.fill()
+		return s.slice(), s.cur.lo, nil
+	}
+
+	// Drop pipeline heads the consumer skipped entirely (a seek within
+	// the planned run, or chunks whose every entry was invisible).
+	hit := -1
+	for i, c := range s.inflight {
+		if lo >= c.lo && hi <= c.hi {
+			hit = i
+			break
+		}
+	}
+	if hit == 0 {
+		// Sequential advance onto the pipeline head: the consumer is
+		// keeping up, so widen future chunks. Growing here — rather than
+		// per submission — keeps a deep pipeline's initial burst at
+		// Depth x MinWindow, so short scans abandon little.
+		s.grow()
+	}
+	if hit < 0 {
+		// Miss: the request is outside everything posted. Reset the
+		// window and replan from lo. The covering chunk is posted FIRST —
+		// appending behind the abandoned fetches keeps QP FIFO order
+		// while its wire time overlaps their (already paid) drain.
+		abandoned := len(s.inflight)
+		s.window = s.cfg.MinWindow
+		s.next = lo
+		s.submitOne(hi - lo)
+		hit = abandoned
+	}
+	for i := 0; i < hit; i++ {
+		c := s.awaitHead()
+		s.cfg.Metrics.BytesWasted.Add(int64(c.hi - c.lo))
+		s.release(c)
+	}
+	s.release(s.cur)
+	s.cur = s.awaitHead()
+	if s.err != nil {
+		return nil, 0, s.err
+	}
+	s.fill()
+	return s.slice(), s.cur.lo, nil
+}
+
+// fill tops the pipeline up to Depth outstanding fetches.
+func (s *Scheduler) fill() {
+	for len(s.inflight) < s.cfg.Depth && s.next >= 0 && s.next < s.cfg.Size {
+		s.submitOne(0)
+	}
+}
+
+// submitOne posts the next chunk fetch of at least minSpan bytes at the
+// current window size.
+func (s *Scheduler) submitOne(minSpan int) {
+	want := s.window
+	if minSpan > want {
+		want = minSpan
+	}
+	end := s.plan(s.next, want)
+	if end <= s.next { // defensive: a non-advancing plan would spin
+		s.next = s.cfg.Size
+		return
+	}
+	n := end - s.next
+	mr, pooled := s.cfg.Pool.Get(n)
+	s.cfg.QP.Read(mr, 0, s.cfg.Base.Add(s.next), n, 0)
+	s.cfg.Metrics.BytesPrefetched.Add(int64(n))
+	s.cfg.Metrics.Inflight.Add(1)
+	s.inflight = append(s.inflight, chunk{mr: mr, lo: s.next, hi: end, pooled: pooled})
+	s.next = end
+}
+
+// grow doubles the adaptive window up to MaxWindow.
+func (s *Scheduler) grow() {
+	s.window *= 2
+	if s.window > s.cfg.MaxWindow {
+		s.window = s.cfg.MaxWindow
+	}
+}
+
+// awaitHead blocks until the oldest in-flight fetch completes and pops
+// it. Time spent blocked is the pipeline's stall time.
+func (s *Scheduler) awaitHead() chunk {
+	t0 := s.env.Now()
+	comp := s.cfg.QP.WaitCQ()
+	if d := s.env.Now() - t0; d > 0 {
+		s.cfg.Metrics.StallNS.Add(int64(d))
+	}
+	s.cfg.Metrics.Inflight.Add(-1)
+	c := s.inflight[0]
+	s.inflight = s.inflight[1:]
+	if comp.Err != nil && s.err == nil {
+		s.err = comp.Err
+	}
+	return c
+}
+
+func (s *Scheduler) slice() []byte {
+	return s.cur.mr.Bytes(0, s.cur.hi-s.cur.lo)
+}
+
+func (s *Scheduler) release(c chunk) {
+	s.cfg.Pool.Put(c.mr, c.pooled)
+}
+
+// Close releases the scheduler's buffers; it is idempotent and never
+// blocks. Fetches still in flight cannot be cancelled — the simulated NIC
+// (like a real one) writes into their buffers at wire-completion time —
+// so a reaper entity drains them, counts their bytes as wasted, returns
+// the buffers to the pool, and only then closes an owned QP. Without this
+// a mid-scan Close would leak registered MRs and race the completing
+// fetch's buffer write.
+func (s *Scheduler) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.release(s.cur)
+	s.cur = chunk{}
+	pending := s.inflight
+	s.inflight = nil
+	if len(pending) == 0 {
+		if s.cfg.OwnQP {
+			s.cfg.QP.Close()
+		}
+		return
+	}
+	qp, pool, m, own := s.cfg.QP, s.cfg.Pool, s.cfg.Metrics, s.cfg.OwnQP
+	s.env.Go(func() {
+		for _, c := range pending {
+			qp.WaitCQ()
+			m.Inflight.Add(-1)
+			m.BytesWasted.Add(int64(c.hi - c.lo))
+			pool.Put(c.mr, c.pooled)
+		}
+		if own {
+			qp.Close()
+		}
+	})
+}

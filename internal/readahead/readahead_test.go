@@ -1,0 +1,254 @@
+package readahead
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+	"dlsm/internal/telemetry"
+)
+
+// rig is a two-node fabric with a patterned remote region, run inside the
+// simulation so QP traffic advances the virtual clock.
+type rig struct {
+	env  *sim.Env
+	cn   *rdma.Node
+	mn   *rdma.Node
+	base rdma.RemoteAddr
+	data []byte
+	pool *Pool
+	m    Metrics
+}
+
+func withRig(t *testing.T, size, poolBuf int, fn func(r *rig)) {
+	t.Helper()
+	env := sim.NewEnv()
+	fab := rdma.NewFabric(env, rdma.EDR100())
+	cn := fab.AddNode("compute", 4)
+	mn := fab.AddNode("memory", 4)
+	env.Run(func() {
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		mr := mn.Register(size)
+		copy(mr.Bytes(0, size), data)
+		reg := telemetry.NewRegistry(nil)
+		fn(&rig{
+			env: env, cn: cn, mn: mn,
+			base: mr.Addr(0), data: data,
+			pool: NewPool(cn, poolBuf),
+			m: Metrics{
+				Inflight:        reg.Gauge("inflight"),
+				StallNS:         reg.Counter("stall"),
+				BytesPrefetched: reg.Counter("prefetched"),
+				BytesWasted:     reg.Counter("wasted"),
+			},
+		})
+		fab.Close()
+	})
+	env.Wait()
+}
+
+// sched builds a depth-deep scheduler over the rig's region with simple
+// size-capped chunk planning (requests stay entry-aligned in these tests).
+func (r *rig) sched(depth, minW, maxW int) *Scheduler {
+	size := len(r.data)
+	return New(Config{
+		QP:        r.cn.NewQP(r.mn),
+		OwnQP:     true,
+		Base:      r.base,
+		Size:      size,
+		Pool:      r.pool,
+		Depth:     depth,
+		MinWindow: minW,
+		MaxWindow: maxW,
+		Metrics:   r.m,
+	}, func(off, want int) int {
+		end := off + want
+		if end > size {
+			end = size
+		}
+		return end
+	})
+}
+
+func TestPoolRecyclesFIFO(t *testing.T) {
+	withRig(t, 1<<10, 8<<10, func(r *rig) {
+		a, ap := r.pool.Get(4 << 10)
+		b, bp := r.pool.Get(4 << 10)
+		if !ap || !bp {
+			t.Fatal("pool-class buffers not pooled")
+		}
+		r.pool.Put(a, ap)
+		r.pool.Put(b, bp)
+		c, _ := r.pool.Get(4 << 10)
+		d, _ := r.pool.Get(4 << 10)
+		if c != a || d != b {
+			t.Fatal("pool did not recycle FIFO")
+		}
+		if alloc, _ := r.pool.Stats(); alloc != 2 {
+			t.Fatalf("allocated = %d, want 2", alloc)
+		}
+		// Oversized chunks bypass the pool entirely.
+		big, pooled := r.pool.Get(64 << 10)
+		if pooled {
+			t.Fatal("oversized buffer claimed to be pooled")
+		}
+		if big.Size() < 64<<10 {
+			t.Fatalf("oversized buffer too small: %d", big.Size())
+		}
+		r.pool.Put(big, pooled)
+		if alloc, _ := r.pool.Stats(); alloc != 2 {
+			t.Fatalf("oversized Get changed pooled count: %d", alloc)
+		}
+	})
+}
+
+// Sequential consumption must deliver exact bytes, keep at most Depth
+// fetches (and so at most Depth+1 buffers) alive, and prefetch every byte
+// exactly once.
+func TestSchedulerSequentialDelivery(t *testing.T) {
+	const size, entry = 64 << 10, 64
+	withRig(t, size, 4<<10, func(r *rig) {
+		s := r.sched(4, 1<<10, 4<<10)
+		for off := 0; off < size; off += entry {
+			b, lo, err := s.ReadAt(off, off+entry)
+			if err != nil {
+				t.Fatalf("ReadAt(%d): %v", off, err)
+			}
+			if got := b[off-lo : off-lo+entry]; !bytes.Equal(got, r.data[off:off+entry]) {
+				t.Fatalf("bytes mismatch at %d", off)
+			}
+			if g := r.m.Inflight.Load(); g < 0 || g > 4 {
+				t.Fatalf("inflight gauge out of range: %d", g)
+			}
+		}
+		s.Close()
+		if got := r.m.BytesPrefetched.Load(); got != size {
+			t.Fatalf("bytes_prefetched = %d, want %d", got, size)
+		}
+		if wasted := r.m.BytesWasted.Load(); wasted != 0 {
+			t.Fatalf("sequential scan wasted %d bytes", wasted)
+		}
+		if alloc, _ := r.pool.Stats(); alloc > 5 {
+			t.Fatalf("pool allocated %d buffers for depth 4", alloc)
+		}
+	})
+}
+
+// The adaptive window starts at MinWindow, doubles per chunk on
+// sequential advance, and resets to MinWindow on a seek outside the
+// planned run.
+func TestSchedulerAdaptiveWindow(t *testing.T) {
+	const size = 256 << 10
+	withRig(t, size, 64<<10, func(r *rig) {
+		var wants []int
+		s := New(Config{
+			QP: r.cn.NewQP(r.mn), OwnQP: true, Base: r.base, Size: size,
+			Pool: r.pool, Depth: 3, MinWindow: 1 << 10, MaxWindow: 8 << 10,
+			Metrics: r.m,
+		}, func(off, want int) int {
+			wants = append(wants, want)
+			end := off + want
+			if end > size {
+				end = size
+			}
+			return end
+		})
+		if _, _, err := s.ReadAt(0, 64); err != nil {
+			t.Fatal(err)
+		}
+		// The covering chunk plus the Depth refills all post at MinWindow:
+		// the initial burst of a deep pipeline stays small.
+		want := []int{1 << 10, 1 << 10, 1 << 10, 1 << 10}
+		if fmt.Sprint(wants) != fmt.Sprint(want) {
+			t.Fatalf("initial wants = %v, want %v", wants, want)
+		}
+		// Each sequential advance onto the pipeline head doubles the
+		// window for the chunk the refill posts.
+		wants = nil
+		if _, _, err := s.ReadAt(1<<10, 1<<10+64); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.ReadAt(2<<10, 2<<10+64); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(wants) != fmt.Sprint([]int{2 << 10, 4 << 10}) {
+			t.Fatalf("advance wants = %v, want [2048 4096]", wants)
+		}
+		// Seek far outside the planned run: window must reset.
+		wants = nil
+		if _, _, err := s.ReadAt(128<<10, 128<<10+64); err != nil {
+			t.Fatal(err)
+		}
+		if len(wants) == 0 || wants[0] != 1<<10 {
+			t.Fatalf("post-seek wants = %v, want leading %d", wants, 1<<10)
+		}
+		if r.m.BytesWasted.Load() == 0 {
+			t.Fatal("seek abandoned no bytes")
+		}
+		s.Close()
+	})
+}
+
+// Close with fetches still in flight must return every buffer to the pool
+// (via the background reaper), zero the inflight gauge and count the
+// abandoned bytes as wasted.
+func TestSchedulerCloseDrainsInflight(t *testing.T) {
+	const size = 256 << 10
+	withRig(t, size, 8<<10, func(r *rig) {
+		s := r.sched(4, 8<<10, 8<<10)
+		if _, _, err := s.ReadAt(0, 64); err != nil {
+			t.Fatal(err)
+		}
+		if r.m.Inflight.Load() == 0 {
+			t.Fatal("pipeline did not fill")
+		}
+		s.Close()
+		s.Close() // idempotent
+		if _, _, err := s.ReadAt(64, 128); err != ErrClosed {
+			t.Fatalf("ReadAt after Close = %v, want ErrClosed", err)
+		}
+		// Let the reaper drain the in-flight completions.
+		r.env.Sleep(sim.Duration(1 << 30))
+		if g := r.m.Inflight.Load(); g != 0 {
+			t.Fatalf("inflight gauge after drain = %d", g)
+		}
+		alloc, free := r.pool.Stats()
+		if alloc != free {
+			t.Fatalf("buffers leaked: allocated %d, free %d", alloc, free)
+		}
+		if r.m.BytesWasted.Load() == 0 {
+			t.Fatal("abandoned fetches not counted as wasted")
+		}
+	})
+}
+
+// Deeper pipelines must finish a full sequential consumption of the region
+// in strictly less virtual time than depth 1: wire time overlaps the gaps
+// between requests.
+func TestSchedulerDepthOverlaps(t *testing.T) {
+	const size, entry = 512 << 10, 64
+	elapsed := func(depth int) sim.Duration {
+		var d sim.Duration
+		withRig(t, size, 16<<10, func(r *rig) {
+			s := r.sched(depth, 16<<10, 16<<10)
+			t0 := r.env.Now()
+			for off := 0; off < size; off += entry {
+				if _, _, err := s.ReadAt(off, off+entry); err != nil {
+					t.Fatalf("depth %d ReadAt(%d): %v", depth, off, err)
+				}
+			}
+			d = sim.Duration(r.env.Now() - t0)
+			s.Close()
+		})
+		return d
+	}
+	d1, d4 := elapsed(1), elapsed(4)
+	if d4 >= d1 {
+		t.Fatalf("depth 4 (%v) not faster than depth 1 (%v)", d4, d1)
+	}
+}

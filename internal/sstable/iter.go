@@ -1,14 +1,19 @@
 package sstable
 
 import (
+	"sort"
 	"time"
 
 	"dlsm/internal/keys"
+	"dlsm/internal/readahead"
 )
 
 // Iterator is the common scan interface over MemTables, SSTables and merged
 // views. Key returns an internal key; Value is valid until the next
-// positioning call (fetch buffers are reused).
+// positioning call (fetch buffers are reused). Close releases prefetch
+// resources (pipelined fetch buffers, per-iterator QPs) and is required
+// even mid-scan; it is idempotent and a no-op for purely in-memory or
+// synchronous iterators.
 type Iterator interface {
 	First()
 	SeekGE(ikey []byte)
@@ -17,17 +22,77 @@ type Iterator interface {
 	Key() []byte
 	Value() []byte
 	Error() error
+	Close()
 }
 
-// NewIterator returns a scan iterator for the table. prefetch is the
-// sequential read-ahead in bytes (§VI: dLSM prefetches multi-MB chunks so
-// range scans do one large RDMA read instead of many small ones); 0 fetches
-// one entry/block at a time.
+// IterOpts configures a table iterator.
+type IterOpts struct {
+	// Prefetch is the sequential read-ahead in bytes (§VI: dLSM prefetches
+	// multi-MB chunks so range scans do one large RDMA read instead of
+	// many small ones); 0 fetches one entry/block at a time.
+	Prefetch int
+	// Readahead, when non-nil with Depth > 1, pipelines chunk fetches on
+	// the config's queue pair so the network overlaps iteration CPU;
+	// chunks are planned on entry/block boundaries from the table index,
+	// with an adaptive window growing from one entry-page to Prefetch.
+	// Size and MaxWindow are filled in from the table. Nil (or Depth <= 1)
+	// is the synchronous path, byte-identical to NewIterator.
+	Readahead *readahead.Config
+}
+
+// NewIterator returns a synchronous scan iterator for the table reading
+// ahead by prefetch bytes.
 func (r *Reader) NewIterator(prefetch int) Iterator {
-	if r.meta.Format == ByteAddr {
-		return &byteAddrIter{r: r, prefetch: prefetch, pos: -1}
+	return r.NewIteratorOpts(IterOpts{Prefetch: prefetch})
+}
+
+// NewIteratorOpts is NewIterator with an explicit prefetch policy.
+func (r *Reader) NewIteratorOpts(o IterOpts) Iterator {
+	var ra *readahead.Scheduler
+	if o.Readahead != nil && o.Readahead.Depth > 1 {
+		cfg := *o.Readahead
+		cfg.Size = int(r.meta.Size)
+		if cfg.MaxWindow <= 0 {
+			cfg.MaxWindow = o.Prefetch
+		}
+		ra = readahead.New(cfg, r.chunkEnd)
 	}
-	return &blockIter{r: r, prefetch: prefetch, bi: -1}
+	if r.meta.Format == ByteAddr {
+		return &byteAddrIter{r: r, prefetch: o.Prefetch, pos: -1, ra: ra}
+	}
+	return &blockIter{r: r, prefetch: o.Prefetch, bi: -1, ra: ra}
+}
+
+// chunkEnd plans readahead chunk boundaries: the end of the smallest run
+// of whole entries (ByteAddr) or blocks (Block) that starts at off and
+// spans at least want bytes, capped at the data region. Aligning chunks
+// this way means no entry or block ever straddles two chunks — an entry
+// larger than the window simply becomes its own chunk.
+func (r *Reader) chunkEnd(off, want int) int {
+	size := int(r.meta.Size)
+	target := off + want
+	if target >= size {
+		return size
+	}
+	ix := &r.meta.Index
+	n := ix.NumRecords()
+	i := sort.Search(n, func(i int) bool {
+		return r.recordEnd(i) >= target
+	})
+	if i >= n {
+		return size
+	}
+	return r.recordEnd(i)
+}
+
+// recordEnd is the data-region end offset of index record i: entry end
+// (off+klen+vlen) for ByteAddr, block end (off+blen) for Block.
+func (r *Reader) recordEnd(i int) int {
+	_, off, a, b := r.meta.Index.Record(i)
+	if r.meta.Format == ByteAddr {
+		return int(off) + int(a) + int(b)
+	}
+	return int(off) + int(a)
 }
 
 // byteAddrIter walks the per-entry index; keys come from the local index
@@ -36,6 +101,7 @@ func (r *Reader) NewIterator(prefetch int) Iterator {
 type byteAddrIter struct {
 	r        *Reader
 	prefetch int
+	ra       *readahead.Scheduler // nil = synchronous fetches
 	pos      int
 	chunk    []byte
 	chunkLo  int
@@ -84,6 +150,14 @@ func (it *byteAddrIter) ensure(lo, hi int) error {
 	if lo >= it.chunkLo && hi <= it.chunkHi {
 		return nil
 	}
+	if it.ra != nil {
+		b, clo, err := it.ra.ReadAt(lo, hi)
+		if err != nil {
+			return err
+		}
+		it.chunk, it.chunkLo, it.chunkHi = b, clo, clo+len(b)
+		return nil
+	}
 	n := hi - lo
 	if n < it.prefetch {
 		n = it.prefetch
@@ -101,13 +175,21 @@ func (it *byteAddrIter) ensure(lo, hi int) error {
 
 func (it *byteAddrIter) Error() error { return it.err }
 
+func (it *byteAddrIter) Close() {
+	if it.ra != nil {
+		it.ra.Close()
+		it.ra = nil
+	}
+}
+
 // blockIter walks block-format tables: every block crossing pays a fetch
 // (or a slice of the prefetched run) plus unwrap CPU.
 type blockIter struct {
 	r        *Reader
 	prefetch int
-	bi       int // current block index, -1 unpositioned
-	ei       int // entry index within block
+	ra       *readahead.Scheduler // nil = synchronous fetches
+	bi       int                  // current block index, -1 unpositioned
+	ei       int                  // entry index within block
 	blk      *block
 	chunk    []byte
 	chunkLo  int
@@ -172,19 +254,28 @@ func (it *blockIter) loadBlock(bi int) bool {
 	_, off, blen, _ := ix.Record(bi)
 	lo, hi := int(off), int(off)+int(blen)
 	if lo < it.chunkLo || hi > it.chunkHi {
-		n := hi - lo
-		if n < it.prefetch {
-			n = it.prefetch
+		if it.ra != nil {
+			b, clo, err := it.ra.ReadAt(lo, hi)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.chunk, it.chunkLo, it.chunkHi = b, clo, clo+len(b)
+		} else {
+			n := hi - lo
+			if n < it.prefetch {
+				n = it.prefetch
+			}
+			if max := int(it.r.meta.Size) - lo; n > max {
+				n = max
+			}
+			b, err := it.r.fetch.ReadAt(lo, n)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.chunk, it.chunkLo, it.chunkHi = b, lo, lo+n
 		}
-		if max := int(it.r.meta.Size) - lo; n > max {
-			n = max
-		}
-		b, err := it.r.fetch.ReadAt(lo, n)
-		if err != nil {
-			it.err = err
-			return false
-		}
-		it.chunk, it.chunkLo, it.chunkHi = b, lo, lo+n
 	}
 	raw := it.chunk[lo-it.chunkLo : hi-it.chunkLo]
 	blk, err := parseBlock(raw)
@@ -209,3 +300,10 @@ func (it *blockIter) Value() []byte {
 }
 
 func (it *blockIter) Error() error { return it.err }
+
+func (it *blockIter) Close() {
+	if it.ra != nil {
+		it.ra.Close()
+		it.ra = nil
+	}
+}
