@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race fuzz bench cache faults wal scan
+.PHONY: check build test vet race fuzz bench cache faults wal scan scaleout
 
 check: vet build test race fuzz
 
@@ -21,7 +21,8 @@ race:
 	$(GO) test -race ./internal/telemetry/... ./internal/engine/... \
 		./internal/rpc/... ./internal/memnode/... ./internal/faults/... \
 		./internal/cache/... ./internal/shard/... ./internal/wal/... \
-		./internal/sstable/... ./internal/iterx/... ./internal/readahead/...
+		./internal/sstable/... ./internal/iterx/... ./internal/readahead/... \
+		./internal/lease/...
 
 # Short fuzz of the bytes recovery trusts from remote memory (checkpoint
 # blobs must decode or error, never panic) and of the merge iterator the
@@ -31,6 +32,7 @@ race:
 fuzz:
 	$(GO) test ./internal/engine/ -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime 10s
 	$(GO) test ./internal/iterx/ -run '^$$' -fuzz FuzzMergeIterator -fuzztime 5s
+	$(GO) test ./internal/lease/ -run '^$$' -fuzz FuzzDecodeEntry -fuzztime 5s
 
 # Hot-KV cache budget sweep (Zipf readrandom, cache off -> 64MB).
 cache:
@@ -47,6 +49,12 @@ wal:
 # to Fig 11); every depth > 1 must strictly improve throughput.
 scan:
 	$(GO) run ./cmd/dlsm-bench -fig scan -n 100000
+
+# Multi-compute scale-out sweep: aggregate read throughput at 1, 2 and 4
+# compute nodes (one lease-holding primary + read-only secondaries) over a
+# fixed memory tier. Throughput must rise with every added compute node.
+scaleout:
+	$(GO) run ./cmd/dlsm-bench -fig scaleout -n 100000
 
 # Fault-scenario suite. Every scenario pins its own sim seed, so the
 # fault schedule and the virtual-time results are bit-identical per run.

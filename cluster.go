@@ -61,7 +61,7 @@ func clusterServers(d *Deployment, i, lambda int) []*memnode.Server {
 func RecoverCluster(d *Deployment, opts Options, lambda int, boundaries [][]byte, shardBounds func(compute int) [][]byte) (*ClusterDB, error) {
 	c := len(d.Compute)
 	if len(boundaries) != c-1 {
-		panic("dlsm: RecoverCluster needs computeNodes-1 boundaries")
+		return nil, fmt.Errorf("dlsm: RecoverCluster needs %d boundaries, got %d", c-1, len(boundaries))
 	}
 	cl := &ClusterDB{boundaries: boundaries}
 	for i := 0; i < c; i++ {

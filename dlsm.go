@@ -214,9 +214,14 @@ func RecoverSharded(d *Deployment, opts Options, lambda int, boundaries [][]byte
 
 // RecoverAt rebuilds, on compute node computeIdx, the DB that compute
 // node owner opened with OpenAt(d, owner, servers, ...) before crashing.
-// servers, opts, lambda and boundaries must match that OpenAt call; the
-// rebuilt DB keeps logging under the same owner so a later recovery finds
-// the same slots.
+// servers, opts, lambda and boundaries must match that OpenAt call.
+//
+// The owner-remap rule: computeIdx chooses where the rebuilt DB runs,
+// owner names whose log slots (and shard leases) it adopts. The rebuilt DB
+// keeps logging under owner — never computeIdx — so a later recovery, from
+// any compute node, derives the same slot keys and finds the same logs.
+// Remapping owner itself would orphan the dead node's slots and silently
+// start an empty DB.
 func RecoverAt(d *Deployment, computeIdx, owner int, servers []*memnode.Server, opts Options, lambda int, boundaries [][]byte) (*DB, error) {
 	opts.WALOwner = owner
 	inner, err := shard.Recover(d.Compute[computeIdx], servers, lambda, boundaries, opts)

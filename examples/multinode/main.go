@@ -3,6 +3,11 @@
 // into one contiguous slice per compute node; each slice splits into λ = 8
 // shards whose LSM-trees round-robin across memory nodes. Drivers run on
 // their own compute node, so single-shard accesses never cross nodes.
+//
+// A second act shows multi-compute scale-out on ONE shard group: compute
+// node 0 opens it as the lease-holding primary, nodes 1 and 2 attach as
+// read-only secondaries, and a primary write becomes visible on both
+// secondaries after the checkpoint publish/refresh cycle.
 package main
 
 import (
@@ -82,5 +87,66 @@ func main() {
 			s.Close()
 		}
 		fmt.Println("all compute nodes serve their slices")
+
+		scaleout(d)
 	})
+}
+
+// scaleout runs the primary + read-only secondaries demo on one shard
+// group: writes acknowledged by the primary are invisible to secondaries
+// until a checkpoint publish + refresh, then visible on every one.
+func scaleout(d *dlsm.Deployment) {
+	opts := dlsm.DefaultOptions()
+	opts.Durability = dlsm.DurabilitySync // secondaries ride the WAL checkpoint slot
+	opts.WALSize = 8 << 20
+	servers := d.Servers[:1]
+
+	primary, err := dlsm.OpenPrimaryAt(d, 0, 0, servers, opts, 1, nil)
+	if err != nil {
+		panic(err)
+	}
+	defer primary.Close()
+	var secs []*dlsm.DB
+	for _, node := range []int{1, 2} {
+		sec, err := dlsm.OpenSecondaryAt(d, node, 0, servers, opts, 1, nil)
+		if err != nil {
+			panic(err)
+		}
+		defer sec.Close()
+		secs = append(secs, sec)
+	}
+
+	ps := primary.NewSession()
+	defer ps.Close()
+	if err := ps.Put([]byte("scaleout-k"), []byte("scaleout-v")); err != nil {
+		panic(err)
+	}
+
+	// Not yet published: each secondary's view predates the write.
+	for i, sec := range secs {
+		s := sec.NewSession()
+		if _, err := s.Get([]byte("scaleout-k")); err == nil {
+			panic(fmt.Sprintf("secondary %d saw an unpublished write", i+1))
+		}
+		s.Close()
+	}
+
+	// Flush moves the write into a remote SSTable; PublishCheckpoint makes
+	// the next refresh observe it.
+	primary.Flush()
+	if err := primary.PublishCheckpoint(); err != nil {
+		panic(err)
+	}
+	for i, sec := range secs {
+		if err := sec.RefreshView(); err != nil {
+			panic(err)
+		}
+		s := sec.NewSession()
+		v, err := s.Get([]byte("scaleout-k"))
+		if err != nil || string(v) != "scaleout-v" {
+			panic(fmt.Sprintf("secondary %d after refresh: %q, %v", i+1, v, err))
+		}
+		s.Close()
+	}
+	fmt.Println("primary write visible on both read-only secondaries after checkpoint refresh")
 }

@@ -76,6 +76,9 @@ func (s *Session) Apply(b *Batch) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	if db.readOnly {
+		return ErrReadOnly
+	}
 	sp := db.m.writeLat.Span(db.m.clock)
 	defer sp.End()
 	if err := db.maybeStall(); err != nil {

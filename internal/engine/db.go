@@ -88,6 +88,12 @@ type DB struct {
 	// recovery replays the log, so replayed writes are not re-logged.
 	wal     *wal.Log
 	walLive atomic.Bool
+
+	// readOnly marks a secondary attachment (OpenSecondary): no WAL, no
+	// flush/compaction/GC workers, writes rejected with ErrReadOnly. sec
+	// holds the checkpoint-refresh machinery; nil on primaries.
+	readOnly bool
+	sec      *secondaryState
 }
 
 // Open creates a DB on compute node cn backed by the memory node server
@@ -106,12 +112,23 @@ func Open(cn *rdma.Node, srv *memnode.Server, opts Options) *DB {
 // open is Open plus the recovery hook: walRecovering attaches to the
 // existing log slot without touching it (Recover replays it first).
 func open(cn *rdma.Node, srv *memnode.Server, opts Options, walRecovering bool) (*DB, error) {
+	return openMode(cn, srv, opts, walRecovering, false)
+}
+
+// openMode is the shared constructor. readOnly builds a secondary
+// attachment: compute-local state (version set, MemTables, caches) is
+// still per-DB — the engine refactor multi-compute scale-out forces —
+// but no write-side machinery starts: no WAL, and zero flush, compaction
+// or GC workers (a secondary must never flush into, compact, or free the
+// remote extents the shard's primary owns).
+func openMode(cn *rdma.Node, srv *memnode.Server, opts Options, walRecovering, readOnly bool) (*DB, error) {
 	opts = opts.withDefaults()
 	env := cn.Fabric().Env()
 	db := &DB{
 		instanceID: dbInstanceSeq.Add(1),
 		env:        env,
 		opts:       opts,
+		readOnly:   readOnly,
 		cn:         cn,
 		mn:         srv.Node(),
 		srv:        srv,
@@ -157,6 +174,10 @@ func open(cn *rdma.Node, srv *memnode.Server, opts Options, walRecovering bool) 
 	db.memID = 1
 	db.cur.Store(first)
 	db.recent = []*memtable.MemTable{first}
+
+	if readOnly {
+		return db, nil
+	}
 
 	if opts.Durability != DurabilityNone {
 		if err := db.openWAL(walRecovering); err != nil {
@@ -215,9 +236,14 @@ func (db *DB) broadcastLocked() {
 // onObsolete routes an unreachable table to the GC worker. It may run
 // under version-set or engine locks, so it only enqueues (§V-B) — and
 // drops the table's hot-KV cache entries (DropTable takes host mutexes
-// only, so it is safe here too).
+// only, so it is safe here too). A secondary's view dropping a table
+// means the primary compacted it away, not that it is reclaimable: only
+// the local cache entries go; the primary's GC owns the remote extent.
 func (db *DB) onObsolete(m *sstable.Meta) {
 	db.kv.DropTable(m.ID)
+	if db.readOnly {
+		return
+	}
 	if !db.gcCh.TrySend(m) {
 		panic("engine: gc queue overflow")
 	}
@@ -272,6 +298,9 @@ func (db *DB) smallestSnapshot() keys.Seq {
 // flush queue drains — the transactionally consistent checkpoint boundary
 // of §VIII.
 func (db *DB) Flush() {
+	if db.readOnly {
+		return // nothing to flush and no workers to drain the queue
+	}
 	db.switchMu.Lock()
 	mt := db.cur.Load()
 	if !mt.Empty() {
@@ -298,6 +327,9 @@ func (db *DB) Flush() {
 // WaitForCompactions blocks until no compaction is runnable or running.
 // Used by read benchmarks that measure after the tree settles (§XI-C2).
 func (db *DB) WaitForCompactions() {
+	if db.readOnly {
+		return // secondaries never compact
+	}
 	for {
 		db.mu.Lock()
 		if db.closed {
@@ -348,5 +380,8 @@ func (db *DB) Close() {
 		// no final checkpoint — the slot stays exactly as durable as the
 		// last acknowledged write, which is what Recover replays.
 		db.wal.Close()
+	}
+	if db.sec != nil {
+		db.sec.close(db.cn)
 	}
 }

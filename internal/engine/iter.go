@@ -43,6 +43,11 @@ func (s *Session) NewIterator() *Iterator {
 // cache).
 func (s *Session) NewIteratorOpts(ro ReadOptions) *Iterator {
 	db := s.db
+	if db.sec != nil && ro.MaxStaleness > 0 {
+		// Best-effort: an iterator has no error channel, so a failed
+		// refresh scans the stale (still self-consistent) view.
+		_ = db.sec.refreshIfOlder(db, ro.MaxStaleness)
+	}
 	snap := db.CurrentSeq()
 	if ro.Snapshot > 0 {
 		snap = ro.Snapshot

@@ -14,6 +14,7 @@ package engine
 import (
 	"time"
 
+	"dlsm/internal/rdma"
 	"dlsm/internal/rpc"
 	"dlsm/internal/sim"
 	"dlsm/internal/sstable"
@@ -138,6 +139,16 @@ type Options struct {
 	// memory node; Recover uses the same pair to find the slot again.
 	WALOwner int
 	WALShard int
+
+	// WALFence and WALFenceWord wire the shard's ownership lease
+	// (internal/lease) into the log's commit path: each commit group
+	// acknowledges only after a one-sided CAS verifies the remote word at
+	// WALFence still reads WALFenceWord, so a lease takeover rejects the
+	// deposed owner's in-flight appends with ErrFenced. Set by the lease
+	// layer (shard.NewPrimary/Takeover); the zero default disables fencing
+	// and keeps the historical single-owner layout byte-identical.
+	WALFence     rdma.RemoteAddr
+	WALFenceWord uint64
 
 	// StallTimeout bounds how long Put/Delete/Apply may block on a write
 	// stall (flush backlog or L0 stop trigger) before returning ErrStalled.

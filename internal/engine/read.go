@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"errors"
+	"time"
 
 	"dlsm/internal/keys"
 	"dlsm/internal/memtable"
@@ -34,6 +35,13 @@ type ReadOptions struct {
 	// current sequence; the engine keeps no history for sequences
 	// compaction has already been allowed to fold away.
 	Snapshot keys.Seq
+	// MaxStaleness bounds how old a read-only secondary's view may be for
+	// this read: when the view's last checkpoint refresh is further in the
+	// (virtual) past, the read first refreshes synchronously from the
+	// shard's WAL checkpoint slot. 0 — the default — serves the current
+	// view however old it is (refreshes ride RefreshView calls only).
+	// Ignored on primaries, whose view is always current.
+	MaxStaleness time.Duration
 }
 
 // Get reads the newest visible value of key (snapshot = current sequence).
@@ -53,6 +61,14 @@ func (s *Session) GetAt(key []byte, snap keys.Seq) ([]byte, error) {
 
 func (s *Session) getAt(key []byte, snap keys.Seq, ro ReadOptions) ([]byte, error) {
 	db := s.db
+	if db.sec != nil && ro.MaxStaleness > 0 {
+		if err := db.sec.refreshIfOlder(db, ro.MaxStaleness); err != nil {
+			return nil, err
+		}
+		if snap < db.CurrentSeq() {
+			snap = db.CurrentSeq() // the refresh may have advanced the horizon
+		}
+	}
 	db.stats.Reads.Add(1)
 	sp := db.m.readLat.Span(db.m.clock)
 	defer sp.End()

@@ -8,6 +8,10 @@ import (
 	"dlsm/internal/wal"
 )
 
+// ErrFenced is returned by writes on a primary whose shard lease was
+// taken over by another compute node (see Options.WALFence).
+var ErrFenced = wal.ErrFenced
+
 // walSlotKey names this DB's log slot on the memory node. Recover must
 // derive the same key from the same (WALOwner, WALShard) pair to find
 // the slot the crashed compute node was appending to.
@@ -25,15 +29,17 @@ func (db *DB) openWAL(recovering bool) error {
 		return fmt.Errorf("engine: opening wal slot: %w", err)
 	}
 	l, err := wal.Open(wal.Config{
-		Env:      db.env,
-		Compute:  db.cn,
-		Host:     db.mn,
-		Slot:     slot.Addr,
-		SlotSize: slot.Size,
-		PerWrite: db.opts.WALPerWriteCommit,
-		Refresh:  db.walCheckpoint,
-		Kick:     db.walKick,
-		Charge:   func(n int) { db.charge(sim.Bytes(n, db.opts.Costs.MemcpyByte)) },
+		Env:       db.env,
+		Compute:   db.cn,
+		Host:      db.mn,
+		Slot:      slot.Addr,
+		SlotSize:  slot.Size,
+		PerWrite:  db.opts.WALPerWriteCommit,
+		Fence:     db.opts.WALFence,
+		FenceWord: db.opts.WALFenceWord,
+		Refresh:   db.walCheckpoint,
+		Kick:      db.walKick,
+		Charge:    func(n int) { db.charge(sim.Bytes(n, db.opts.Costs.MemcpyByte)) },
 		Metrics: wal.Metrics{
 			Appends:      db.stats.WALAppends,
 			AppendBytes:  db.stats.WALBytes,

@@ -16,6 +16,10 @@ var ErrClosed = errors.New("dlsm: closed")
 // Options.StallTimeout. The write was not applied; retrying later is safe.
 var ErrStalled = errors.New("dlsm: write stalled longer than StallTimeout")
 
+// ErrReadOnly is returned by writes against a read-only secondary
+// (OpenSecondary); only the shard's lease-holding primary may write.
+var ErrReadOnly = errors.New("dlsm: read-only secondary")
+
 // Put inserts key -> value through the session's thread context.
 func (s *Session) Put(key, value []byte) error { return s.write(keys.KindSet, key, value) }
 
@@ -26,6 +30,9 @@ func (s *Session) write(kind keys.Kind, key, value []byte) error {
 	db := s.db
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if db.readOnly {
+		return ErrReadOnly
 	}
 	sp := db.m.writeLat.Span(db.m.clock)
 	defer sp.End()

@@ -1,0 +1,192 @@
+package lease_test
+
+import (
+	"errors"
+	"testing"
+
+	"dlsm/internal/lease"
+	"dlsm/internal/memnode"
+	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	cases := []struct {
+		epoch  uint64
+		holder int
+		held   bool
+	}{
+		{0, 0, false},
+		{0, 0, true},
+		{1, 0, true},
+		{1, 0xFFFE, true},
+		{1<<48 - 1, 3, true},
+		{42, 0, false},
+	}
+	for _, c := range cases {
+		w := lease.Pack(c.epoch, c.holder, c.held)
+		epoch, holder, held := lease.Unpack(w)
+		if epoch != c.epoch || held != c.held || (held && holder != c.holder) {
+			t.Fatalf("Pack(%d,%d,%v) -> Unpack = (%d,%d,%v)",
+				c.epoch, c.holder, c.held, epoch, holder, held)
+		}
+	}
+	// The free word of any epoch must never collide with a held word.
+	if lease.Pack(7, 0, false) == lease.Pack(7, 0, true) {
+		t.Fatal("free and held-by-0 words collide")
+	}
+}
+
+func TestDecodeEntryHardened(t *testing.T) {
+	valid := lease.EncodeEntry(lease.Entry{Epoch: 9, Holder: 2, Held: true})
+	e, err := lease.DecodeEntry(valid)
+	if err != nil || e.Epoch != 9 || e.Holder != 2 || !e.Held {
+		t.Fatalf("valid entry: %+v err=%v", e, err)
+	}
+	for cut := 0; cut < 16; cut++ {
+		if _, err := lease.DecodeEntry(valid[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		}
+	}
+	badMagic := append([]byte(nil), valid...)
+	badMagic[8] ^= 0xFF
+	if _, err := lease.DecodeEntry(badMagic); err == nil {
+		t.Fatal("bad magic decoded successfully")
+	}
+	badVer := append([]byte(nil), valid...)
+	badVer[12] = 0xEE
+	if _, err := lease.DecodeEntry(badVer); err == nil {
+		t.Fatal("bad version decoded successfully")
+	}
+	dirty := append([]byte(nil), valid...)
+	dirty[40] = 1
+	if _, err := lease.DecodeEntry(dirty); err == nil {
+		t.Fatal("nonzero reserved byte decoded successfully")
+	}
+}
+
+func TestSlotKeyDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for owner := 0; owner < 4; owner++ {
+		for shard := 0; shard < 8; shard++ {
+			k := lease.SlotKey(owner, shard)
+			if k == 0 || seen[k] {
+				t.Fatalf("SlotKey(%d,%d) = %#x collides or is zero", owner, shard, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// leasebed is a one-memory-node fabric with two compute nodes.
+func leasebed() (*sim.Env, *rdma.Fabric, *rdma.Node, *rdma.Node, *memnode.Server) {
+	env := sim.NewEnv()
+	fab := rdma.NewFabric(env, rdma.EDR100())
+	cn1 := fab.AddNode("compute1", 8)
+	cn2 := fab.AddNode("compute2", 8)
+	mn := fab.AddNode("memory", 12)
+	cfg := memnode.DefaultConfig()
+	cfg.ComputeRegionSize = 1 << 20
+	cfg.SelfRegionSize = 1 << 20
+	srv := memnode.NewServer(mn, cfg)
+	srv.Start()
+	return env, fab, cn1, cn2, srv
+}
+
+func TestAcquireConflictTakeoverRelease(t *testing.T) {
+	env, fab, cn1, cn2, srv := leasebed()
+	env.Run(func() {
+		defer fab.Close()
+		slot, err := srv.OpenLease(lease.SlotKey(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// OpenLease is create-or-return: a second open (a replacement
+		// compute looking up a dead one's lease) finds the same entry.
+		again, err := srv.OpenLease(lease.SlotKey(0, 0))
+		if err != nil || again.Addr != slot.Addr {
+			t.Fatalf("reopen: %+v vs %+v (err=%v)", again, slot, err)
+		}
+
+		c1 := lease.NewClient(cn1, srv.Node(), slot.Addr, 0)
+		defer c1.Close()
+		c2 := lease.NewClient(cn2, srv.Node(), slot.Addr, 1)
+		defer c2.Close()
+
+		l1, err := c1.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l1.Epoch != 1 || l1.Holder != 0 {
+			t.Fatalf("first acquire: %+v", l1)
+		}
+
+		// A different compute node must be refused...
+		if _, err := c2.Acquire(); !errors.Is(err, lease.ErrHeld) {
+			t.Fatalf("conflicting acquire: %v", err)
+		}
+		// ...but can depose the holder, bumping the epoch.
+		l2, err := c2.Takeover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l2.Epoch != l1.Epoch+1 || l2.Holder != 1 {
+			t.Fatalf("takeover: %+v", l2)
+		}
+
+		// The deposed holder's release must fail and leave the entry alone.
+		if err := c1.Release(l1); !errors.Is(err, lease.ErrNotHeld) {
+			t.Fatalf("deposed release: %v", err)
+		}
+		e, err := c2.Observe()
+		if err != nil || !e.Held || e.Holder != 1 || e.Epoch != l2.Epoch {
+			t.Fatalf("entry after deposed release: %+v err=%v", e, err)
+		}
+
+		// A clean release keeps the epoch, so the next acquirer still bumps
+		// past every word ever used as a WAL fence.
+		if err := c2.Release(l2); err != nil {
+			t.Fatal(err)
+		}
+		l3, err := c1.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l3.Epoch != l2.Epoch+1 {
+			t.Fatalf("epoch rewound across release: %+v after %+v", l3, l2)
+		}
+	})
+	env.Wait()
+}
+
+func TestReacquireBumpsEpoch(t *testing.T) {
+	env, fab, cn1, _, srv := leasebed()
+	env.Run(func() {
+		defer fab.Close()
+		slot, err := srv.OpenLease(lease.SlotKey(3, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := lease.NewClient(cn1, srv.Node(), slot.Addr, 5)
+		defer c.Close()
+		l1, err := c.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-acquiring one's own lease fences the forgotten older handle.
+		l2, err := c.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l2.Epoch != l1.Epoch+1 || l2.Word() == l1.Word() {
+			t.Fatalf("re-acquire: %+v after %+v", l2, l1)
+		}
+		if err := c.Release(l1); !errors.Is(err, lease.ErrNotHeld) {
+			t.Fatalf("stale handle release: %v", err)
+		}
+		if err := c.Release(l2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	env.Wait()
+}

@@ -20,6 +20,7 @@ import (
 
 	"dlsm/internal/compactor"
 	"dlsm/internal/keys"
+	"dlsm/internal/lease"
 	"dlsm/internal/rdma"
 	"dlsm/internal/remote"
 	"dlsm/internal/rpc"
@@ -42,6 +43,10 @@ type Config struct {
 	// (internal/wal). The region is registered lazily on the first OpenLog,
 	// so deployments that never enable durability pay nothing for it.
 	LogRegionSize int64
+	// LeaseRegionSize is the area shard-ownership lease entries are carved
+	// from (internal/lease); registered lazily on the first OpenLease, so
+	// single-compute deployments pay nothing for it.
+	LeaseRegionSize int64
 	// Costs is the CPU cost model charged against this node's cores.
 	Costs sim.CostModel
 }
@@ -54,6 +59,7 @@ func DefaultConfig() Config {
 		RPCWorkers:        4,
 		Subcompactions:    12,
 		LogRegionSize:     64 << 20,
+		LeaseRegionSize:   1 << 20,
 		Costs:             sim.DefaultCosts(),
 	}
 }
@@ -90,12 +96,27 @@ type Server struct {
 	logAlloc *remote.Allocator
 	logs     map[uint64]LogSlot
 
+	// Shard-ownership lease table (internal/lease): one 64-byte entry per
+	// (owner, shard), read and CAS'd by compute nodes with one-sided verbs.
+	// Like the log directory, keys are logical identities so a replacement
+	// compute node finds (and takes over) the leases of a dead one.
+	leaseMu    sync.Mutex
+	leaseMR    *rdma.MemoryRegion
+	leaseAlloc *remote.Allocator
+	leases     map[uint64]LeaseSlot
+
 	fsOnce  sync.Once
 	fsState *tmpfs
 }
 
 // LogSlot locates one write-ahead log inside the log region.
 type LogSlot struct {
+	Addr rdma.RemoteAddr
+	Size int64
+}
+
+// LeaseSlot locates one ownership-table entry inside the lease region.
+type LeaseSlot struct {
 	Addr rdma.RemoteAddr
 	Size int64
 }
@@ -239,6 +260,57 @@ func (s *Server) LogMR() *rdma.MemoryRegion {
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
 	return s.logMR
+}
+
+// OpenLease returns the ownership-table entry for key, carving a fresh one
+// (free, epoch 0, magic stamped) out of the lease region on first use.
+// Reopening an existing key returns the surviving entry unchanged — its
+// epoch history is exactly what fences deposed holders, so it must never
+// be reset.
+func (s *Server) OpenLease(key uint64) (LeaseSlot, error) {
+	if key == 0 {
+		return LeaseSlot{}, fmt.Errorf("memnode: zero lease key")
+	}
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	if slot, ok := s.leases[key]; ok {
+		return slot, nil
+	}
+	if s.leaseMR == nil {
+		if s.cfg.LeaseRegionSize <= 0 {
+			return LeaseSlot{}, fmt.Errorf("memnode: lease region disabled (LeaseRegionSize=%d)", s.cfg.LeaseRegionSize)
+		}
+		s.leaseMR = s.node.Register(int(s.cfg.LeaseRegionSize))
+		s.leaseAlloc = remote.NewAllocator(s.cfg.LeaseRegionSize)
+		s.leases = make(map[uint64]LeaseSlot)
+	}
+	off, err := s.leaseAlloc.Alloc(lease.EntrySize)
+	if err != nil {
+		return LeaseSlot{}, fmt.Errorf("memnode: lease region full: %w", err)
+	}
+	// Stamp the entry in place (free word, magic, version); the region is
+	// zeroed at registration so the reserved tail is already valid.
+	for i, b := range lease.EncodeEntry(lease.Entry{}) {
+		s.leaseMR.SetByte(int(off)+i, b)
+	}
+	slot := LeaseSlot{Addr: s.leaseMR.Addr(int(off)), Size: lease.EntrySize}
+	s.leases[key] = slot
+	return slot, nil
+}
+
+// FindLease looks up an existing lease entry without creating one.
+func (s *Server) FindLease(key uint64) (LeaseSlot, bool) {
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	slot, ok := s.leases[key]
+	return slot, ok
+}
+
+// LeaseMR exposes the lease region for tests; nil until the first OpenLease.
+func (s *Server) LeaseMR() *rdma.MemoryRegion {
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	return s.leaseMR
 }
 
 // charge accounts CPU time to this node's core pool.

@@ -21,7 +21,8 @@ import (
 // [boundaries[i-1], boundaries[i]) with the outer ranges unbounded.
 type DB struct {
 	shards     []*engine.DB
-	boundaries [][]byte // len = λ-1, ascending
+	boundaries [][]byte    // len = λ-1, ascending
+	leases     []leaseHold // write leases, one per shard (NewPrimary/Takeover only)
 }
 
 // New opens λ shards on compute node cn. servers selects the backing
@@ -140,11 +141,13 @@ func (db *DB) SpaceUsed() int64 {
 	return n
 }
 
-// Close shuts every shard down.
+// Close shuts every shard down, then hands back any write leases so the
+// next primary can Acquire instead of Takeover.
 func (db *DB) Close() {
 	for _, s := range db.shards {
 		s.Close()
 	}
+	db.releaseLeases()
 }
 
 // Session is a per-thread handle with one engine session per shard.

@@ -23,7 +23,8 @@
 //	u32 length | body | u32 crc32(body)
 //
 // body = epoch u64 | lsn u64 | seqLo u64 | count u32 |
-//        count × (kind u8 | klen u32 | vlen u32 | key | value)
+//
+//	count × (kind u8 | klen u32 | vlen u32 | key | value)
 //
 // Records never wrap around the ring edge: a writer that cannot fit a
 // record before the edge stamps the pad marker 0xFFFFFFFF in the length
@@ -117,6 +118,22 @@ func decodeHeader(b []byte) (Header, error) {
 		CkptLen:  binary.LittleEndian.Uint32(b[48:]),
 		CkptCRC:  binary.LittleEndian.Uint32(b[52:]),
 	}, nil
+}
+
+// DecodeHeader parses a raw 64-byte slot header as read back from remote
+// memory. Read-only secondaries use it to refresh their view from the
+// checkpoint slot without parsing the whole slot image.
+func DecodeHeader(b []byte) (Header, error) { return decodeHeader(b) }
+
+// CkptOffset returns the slot-relative byte offset of the active
+// checkpoint blob described by h.
+func (h Header) CkptOffset() int { return HeaderSize + int(h.CkptSlot)*int(h.CkptCap) }
+
+// VerifyCheckpoint reports whether blob is the checkpoint h describes:
+// the length and CRC both match. A mismatch usually means the header
+// flipped while the blob was being read — re-read both and retry.
+func (h Header) VerifyCheckpoint(blob []byte) bool {
+	return len(blob) == int(h.CkptLen) && crc32.ChecksumIEEE(blob) == h.CkptCRC
 }
 
 // Entry is one logged write.
@@ -264,6 +281,12 @@ func geometry(slotSize int64, ckptCap int) (cap, ringBase, ringSize int, err err
 		return 0, 0, 0, fmt.Errorf("wal: slot size %d leaves %d-byte ring (ckpt cap %d)", slotSize, ringSize, ckptCap)
 	}
 	return ckptCap, ringBase, ringSize, nil
+}
+
+// Geometry returns the derived slot layout of a slot of the given size
+// under the default checkpoint-capacity rule (the one Open applies).
+func Geometry(slotSize int64) (ckptCap, ringBase, ringSize int, err error) {
+	return geometry(slotSize, 0)
 }
 
 // ParseImage decodes a raw slot image (header + checkpoint slots + ring)

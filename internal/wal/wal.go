@@ -18,6 +18,12 @@ var ErrClosed = errors.New("wal: closed")
 // (bounded by the staging buffer and a quarter of the ring).
 var ErrTooLarge = errors.New("wal: entry too large for log record")
 
+// ErrFenced is returned once the log's ownership fence fails: another
+// compute node took over the shard's write lease (internal/lease), so this
+// log must never acknowledge another write. The log is permanently broken;
+// every pending and future append resolves to this error.
+var ErrFenced = errors.New("wal: fenced by lease takeover")
+
 // Metrics is the optional instrumentation bundle; all fields are nil-safe.
 type Metrics struct {
 	Appends      *telemetry.Counter   // records staged
@@ -55,6 +61,18 @@ type Config struct {
 	Kick func()
 	// Charge accounts serialization/copy CPU to the compute node.
 	Charge func(bytes int)
+
+	// Fence/FenceWord wire the shard's ownership lease (internal/lease)
+	// into the commit path: when FenceWord is nonzero, every commit group
+	// is acknowledged — and every checkpoint refresh published — only
+	// after a one-sided CAS verifies the remote word at Fence still holds
+	// FenceWord. A takeover changes the word atomically, so a deposed
+	// owner's in-flight appends land in the ring but never acknowledge
+	// (ErrFenced), and the new owner's post-takeover slot read observes
+	// every write the old owner ever acknowledged. Zero FenceWord — the
+	// default — skips the check entirely (single-owner layout).
+	Fence     rdma.RemoteAddr
+	FenceWord uint64
 
 	Metrics Metrics
 }
@@ -414,9 +432,20 @@ func (l *Log) commitLoop() {
 			}
 			l.mu.Unlock()
 			err := l.flushSegments(segs)
+			if err == nil {
+				// Ownership fence, checked after the bytes land and before
+				// any writer is acknowledged: if the lease moved while the
+				// doorbell was in flight, the new owner's slot read may
+				// predate these records — so they must never ack.
+				err = l.checkFence(l.qp)
+			}
 			l.mu.Lock()
 			if err != nil {
-				l.failLocked(fmt.Errorf("wal: append doorbell: %w", err))
+				if errors.Is(err, ErrFenced) {
+					l.failLocked(err)
+				} else {
+					l.failLocked(fmt.Errorf("wal: append doorbell: %w", err))
+				}
 				break
 			}
 			l.durableLSN = group[idx+placed-1].lsn
@@ -547,6 +576,31 @@ func (l *Log) waitForSpaceLocked(need int) bool {
 	}
 }
 
+// checkFence verifies the ownership lease is still this log's: a CAS that
+// expects (and rewrites) the unchanged fence word. A definitive mismatch
+// is ErrFenced — no retry, the lease is gone for good; transient fabric
+// faults retry like any other verb. qp selects whose completion stream
+// the atomic rides (the commit loop's or the trimmer's — they must not
+// interleave on one queue pair).
+func (l *Log) checkFence(qp *rdma.QP) error {
+	if l.cfg.FenceWord == 0 {
+		return nil
+	}
+	var swapped bool
+	err := l.retrySync(func() error {
+		var cerr error
+		_, swapped, cerr = qp.CompareSwapSync(l.cfg.Fence, l.cfg.FenceWord, l.cfg.FenceWord)
+		return cerr
+	})
+	if err != nil {
+		return err
+	}
+	if !swapped {
+		return ErrFenced
+	}
+	return nil
+}
+
 // flushSegments copies the group into the staging region and issues one
 // doorbell write per contiguous segment (normally exactly one), then
 // waits for the completions. The writes are one-sided: the memory node's
@@ -647,6 +701,15 @@ func (l *Log) publishRefresh(blob []byte, covered uint64) error {
 	}
 	l.mu.Unlock()
 
+	// A deposed owner must not clobber the new owner's checkpoint slots or
+	// header: fence before touching the slot. (A takeover landing after
+	// this check can still race the header write below — the harm is
+	// bounded to one stale-but-self-consistent header, which the new
+	// owner's own FinishRecovery header supersedes; real deployments close
+	// even that window by revoking the deposed node's rkeys.)
+	if err := l.checkFence(l.trimQP); err != nil {
+		return err
+	}
 	if len(blob) > 0 {
 		mr := l.cfg.Compute.RegisterBuf(append([]byte(nil), blob...))
 		err := l.retrySync(func() error {

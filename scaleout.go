@@ -1,0 +1,80 @@
+package dlsm
+
+import (
+	"dlsm/internal/engine"
+	"dlsm/internal/memnode"
+	"dlsm/internal/shard"
+)
+
+// ErrReadOnly is returned by writes through a read-only secondary.
+var ErrReadOnly = engine.ErrReadOnly
+
+// ErrFenced is returned by writes on a primary whose shard write lease was
+// taken over by another compute node (TakeoverAt): the write may be in the
+// remote log, but it was never acknowledged and the new primary's recovery
+// decides whether it survives. Treat like any failed write.
+var ErrFenced = engine.ErrFenced
+
+// ErrLeaseHeld is returned by OpenPrimaryAt when another compute node holds
+// a shard's write lease. Use TakeoverAt to depose a dead holder.
+var ErrLeaseHeld = shard.ErrLeaseHeld
+
+// OpenPrimaryAt is OpenAt plus write-lease acquisition (multi-compute
+// scale-out): compute node computeIdx becomes the shard group's single
+// writer under the logical identity owner, acquiring one epoch-fenced
+// lease per shard from the shard's memory node. opts must have Durability
+// set — the lease fence rides the WAL commit path, and handoff replays the
+// log. Fails with ErrLeaseHeld if another compute node already owns a
+// shard.
+func OpenPrimaryAt(d *Deployment, computeIdx, owner int, servers []*memnode.Server, opts Options, lambda int, boundaries [][]byte) (*DB, error) {
+	opts.WALOwner = owner
+	inner, err := shard.NewPrimary(d.Compute[computeIdx], servers, lambda, boundaries, opts, computeIdx)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// TakeoverAt moves write ownership of owner's shard group to compute node
+// computeIdx: it deposes the current lease holder of every shard (the CAS
+// fences the old primary's unacknowledged appends before the log is read)
+// and rebuilds the shards from their remote write-ahead logs, so every
+// write the old primary acknowledged survives. The geometry arguments must
+// match the dead primary's OpenPrimaryAt call; the owner-remap rule of
+// RecoverAt applies — the new primary keeps logging under owner.
+func TakeoverAt(d *Deployment, computeIdx, owner int, servers []*memnode.Server, opts Options, lambda int, boundaries [][]byte) (*DB, error) {
+	opts.WALOwner = owner
+	inner, err := shard.Takeover(d.Compute[computeIdx], servers, lambda, boundaries, opts, computeIdx)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// OpenSecondaryAt attaches compute node computeIdx as a read-only
+// secondary to the shard group a primary opened with
+// OpenPrimaryAt(d, _, owner, ...) — or plain OpenAt(d, owner, ...) with
+// Durability set. The secondary serves Gets and scans directly from the
+// remote SSTables through its own compute-local state (cache, readahead),
+// at the primary's last published checkpoint: bounded staleness, not
+// read-your-writes. Refresh the view explicitly with DB.RefreshView or per
+// read via ReadOptions.MaxStaleness; writes return ErrReadOnly.
+func OpenSecondaryAt(d *Deployment, computeIdx, owner int, servers []*memnode.Server, opts Options, lambda int, boundaries [][]byte) (*DB, error) {
+	opts.WALOwner = owner
+	inner, err := shard.OpenSecondary(d.Compute[computeIdx], servers, lambda, boundaries, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// RefreshView re-reads every shard's WAL checkpoint slot on a read-only
+// secondary and installs the primary's latest published view. Errors on
+// primaries.
+func (db *DB) RefreshView() error { return db.inner.RefreshView() }
+
+// PublishCheckpoint synchronously publishes every shard's checkpoint on a
+// primary (the background trimmer does the same after each flush). Call it
+// after Flush to make all flushed writes observable by secondaries' next
+// RefreshView. Errors when Durability is off.
+func (db *DB) PublishCheckpoint() error { return db.inner.PublishCheckpoint() }
