@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race fuzz bench cache faults wal scan scaleout
+.PHONY: check build test vet race fuzz bench cache faults wal repl scan scaleout
 
 check: vet build test race fuzz
 
@@ -22,7 +22,7 @@ race:
 		./internal/rpc/... ./internal/memnode/... ./internal/faults/... \
 		./internal/cache/... ./internal/shard/... ./internal/wal/... \
 		./internal/sstable/... ./internal/iterx/... ./internal/readahead/... \
-		./internal/lease/...
+		./internal/lease/... ./internal/repl/...
 
 # Short fuzz of the bytes recovery trusts from remote memory (checkpoint
 # blobs must decode or error, never panic) and of the merge iterator the
@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test ./internal/engine/ -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime 10s
 	$(GO) test ./internal/iterx/ -run '^$$' -fuzz FuzzMergeIterator -fuzztime 5s
 	$(GO) test ./internal/lease/ -run '^$$' -fuzz FuzzDecodeEntry -fuzztime 5s
+	$(GO) test ./internal/repl/ -run '^$$' -fuzz FuzzDecodeReplicaSlot -fuzztime 5s
 
 # Hot-KV cache budget sweep (Zipf readrandom, cache off -> 64MB).
 cache:
@@ -43,6 +44,12 @@ cache:
 # commit must strictly beat sync+perwrite.
 wal:
 	$(GO) run ./cmd/dlsm-bench -fig wal -n 100000
+
+# Memnode replication sweep (randomfill, sync WAL): single copy, then
+# factor 2 in both SSTable transfer modes. Index-only must use strictly
+# fewer replication network bytes than log-replay at equal durability.
+repl:
+	$(GO) run ./cmd/dlsm-bench -fig repl -n 100000
 
 # Pipelined scan prefetching sweep: depth {1,2,4,8} x chunk ceiling on
 # readseq and scanrandom. Depth 1 is the synchronous path (byte-identical

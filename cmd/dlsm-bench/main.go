@@ -8,7 +8,7 @@
 //	dlsm-bench -fig 7a [-n 200000] [-threads 1,2,4,8,16]
 //	dlsm-bench -fig all -n 100000
 //
-// Figures: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal scan scaleout
+// Figures: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal repl scan scaleout
 // all.
 // Throughput is virtual-time based (see DESIGN.md); -n scales the paper's
 // 100M-key workloads down to laptop runtimes while preserving the
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to reproduce: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal scan scaleout all")
+		fig     = flag.String("fig", "", "figure to reproduce: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal repl scan scaleout all")
 		n       = flag.Int("n", 200_000, "operations per data point (paper: 100M)")
 		threads = flag.String("threads", "1,2,4,8,16", "thread counts for thread-sweep figures")
 		quiet   = flag.Bool("q", false, "suppress per-point progress output")
@@ -48,7 +48,7 @@ func main() {
 	ths := parseInts(*threads)
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"7a", "7b", "8", "9", "10", "11", "12", "13", "14a", "14b", "15", "cache", "faults", "wal", "scan", "scaleout"}
+		figs = []string{"7a", "7b", "8", "9", "10", "11", "12", "13", "14a", "14b", "15", "cache", "faults", "wal", "repl", "scan", "scaleout"}
 	}
 	for _, f := range figs {
 		runFigure(f, *n, ths, *metrics)
@@ -112,6 +112,8 @@ func runFigure(fig string, n int, threads []int, metrics bool) {
 		show(bench.FigFaults(n, maxOf(threads)))
 	case "wal":
 		show(bench.FigWAL(n, maxOf(threads)))
+	case "repl":
+		show(bench.FigRepl(n, maxOf(threads)))
 	case "scan":
 		// Two scanning threads: latency hiding is visible when the wire has
 		// headroom; at 8+ threads concurrent scans saturate the link and

@@ -30,6 +30,7 @@ import (
 	"dlsm/internal/keys"
 	"dlsm/internal/memnode"
 	"dlsm/internal/rdma"
+	"dlsm/internal/repl"
 	"dlsm/internal/shard"
 	"dlsm/internal/sim"
 	"dlsm/internal/telemetry"
@@ -64,6 +65,32 @@ const (
 	DurabilityNone  = engine.DurabilityNone
 	DurabilityAsync = engine.DurabilityAsync
 	DurabilitySync  = engine.DurabilitySync
+)
+
+// AckPolicy selects when replicated writes acknowledge
+// (Options.ReplAck, internal/repl): AckPrimary keeps the single-copy
+// behavior (best-effort mirror), AckQuorum and AckAll wait for the
+// replica too (they coincide at replication factor 2).
+type AckPolicy = repl.AckPolicy
+
+// Acknowledgement policies for Options.ReplAck.
+const (
+	AckPrimary = repl.AckPrimary
+	AckQuorum  = repl.AckQuorum
+	AckAll     = repl.AckAll
+)
+
+// ReplicationMode selects how flushed/compacted SSTables reach the
+// replica memory node (Options.ReplMode): ReplIndexOnly ships each built
+// extent once, primary to replica; ReplLogReplay has the compute node
+// read it back and re-write it (twice the network bytes, the baseline
+// the FORTH index-replication study compares against).
+type ReplicationMode = repl.Mode
+
+// SSTable replication modes for Options.ReplMode.
+const (
+	ReplIndexOnly = repl.IndexOnly
+	ReplLogReplay = repl.LogReplay
 )
 
 // ErrNotFound is returned by Get for missing keys.

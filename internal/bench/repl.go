@@ -1,0 +1,37 @@
+package bench
+
+import "dlsm/internal/engine"
+
+// FigRepl sweeps the replication layer (internal/repl) on a randomfill
+// workload at Sync durability: ReplicationFactor 1 (the single-copy
+// baseline, bit-identical to FigWAL's sync point apart from the second,
+// idle memory node), then factor 2 in both transfer modes the FORTH index-
+// replication study compares. The per-point replication wire bytes are the
+// figure's payload: index-only ships each built extent once
+// (primary→replica, n bytes), log-replay reads it back and re-writes it
+// (2n), so at equal durability index-only must use strictly fewer bytes.
+func FigRepl(n, threads int) *Figure {
+	f := &Figure{Name: "Fig Repl", Title: "memnode replication: ack quorum + transfer mode (randomfill, sync WAL)", XLabel: "mode"}
+	variants := []struct {
+		label string
+		rf    int
+		mode  string
+	}{
+		{"rf=1", 1, ""},
+		{"rf=2 index-only", 2, "index"},
+		{"rf=2 log-replay", 2, "log"},
+	}
+	s := Series{Label: "dLSM"}
+	for _, v := range variants {
+		r := FillRandom(Config{System: DLSM, Threads: threads, N: n,
+			Durability: engine.DurabilitySync, MemoryNodes: 2,
+			ReplicationFactor: v.rf, ReplMode: v.mode})
+		c := r.Metrics.Counters
+		progress("figrepl %s: %s ops/s (tables %d, sst repl bytes %d, wal mirror bytes %d, clone rpcs %d)",
+			v.label, fmtTput(r.Throughput),
+			c["repl.tables"], c["repl.net_bytes"], c["wal.mirror_bytes"], c["repl.clone_rpcs"])
+		s.Points = append(s.Points, Point{X: v.label, R: r})
+	}
+	f.Series = append(f.Series, s)
+	return f
+}

@@ -13,6 +13,7 @@ import (
 	"dlsm/internal/engine"
 	"dlsm/internal/memnode"
 	"dlsm/internal/rdma"
+	"dlsm/internal/repl"
 	"dlsm/internal/shard"
 	"dlsm/internal/sim"
 	"dlsm/internal/sstable"
@@ -114,6 +115,16 @@ func engineOptions(sys System, cfg Config, lambda int) engine.Options {
 	// 8 MemTables per shard slot.
 	o.Durability = cfg.Durability
 	o.WALPerWriteCommit = cfg.WALPerWrite
+	// Replication (FigRepl sweep): quorum ack across two copies; the
+	// replica server itself is attached by openSystemRange, which
+	// dedicates the last memory node to the backup role.
+	if cfg.ReplicationFactor > 1 {
+		o.ReplicationFactor = cfg.ReplicationFactor
+		o.ReplAck = repl.AckQuorum
+		if cfg.ReplMode == "log" {
+			o.ReplMode = repl.LogReplay
+		}
+	}
 
 	switch sys {
 	case DLSM:
@@ -185,16 +196,27 @@ func openSystemRange(sys System, cfg Config, cn *rdma.Node, servers []*memnode.S
 		return &shermanDB{t: t}
 	}
 	lambda := lambdaFor(sys, cfg)
+	// With replication on, the last memory node is the passive backup:
+	// shards spread over the others and every durable artifact mirrors
+	// onto it (engine.Options.Replica).
+	primaries := servers
+	var replica *memnode.Server
+	if cfg.ReplicationFactor > 1 && len(servers) > 1 && (sys == DLSM || sys == DLSMBlock) {
+		primaries = servers[:len(servers)-1]
+		replica = servers[len(servers)-1]
+	}
 	// Spreading data over m memory nodes requires at least m shards
 	// (Fig 14a scales memory nodes with lambda = m).
-	if len(servers) > lambda {
-		lambda = len(servers)
+	if len(primaries) > lambda {
+		lambda = len(primaries)
 	}
 	var bounds [][]byte
 	for j := 1; j < lambda; j++ {
 		bounds = append(bounds, cfg.Key(lo+(hi-lo)*j/lambda))
 	}
-	db := shard.New(cn, servers, lambda, bounds, engineOptions(sys, cfg, lambda))
+	opts := engineOptions(sys, cfg, lambda)
+	opts.Replica = replica
+	db := shard.New(cn, primaries, lambda, bounds, opts)
 	return &lsmDB{db: db, servers: uniqueServers(servers)}
 }
 

@@ -54,6 +54,17 @@ type Config struct {
 	// FigWAL ablation baseline).
 	WALPerWrite bool
 
+	// ReplicationFactor mirrors every durable artifact onto a second
+	// memory node (internal/repl, the FigRepl sweep). 0 and 1 keep the
+	// single-copy layout bit-identical to the pre-replication figures; 2
+	// requires MemoryNodes >= 2 and Durability on, dedicates the last
+	// memory node as the passive replica, and acks on quorum. ReplMode
+	// picks the SSTable transfer mode: "" or "index" for index-only
+	// (primary clones extents to the replica), "log" for log-replay
+	// (the compute node reads back and re-writes, the FORTH baseline).
+	ReplicationFactor int
+	ReplMode          string
+
 	// Cluster shape (Fig 12/14/15); zero means the single-node testbed.
 	ComputeNodes int
 	MemoryNodes  int

@@ -104,15 +104,24 @@ func (db *DB) flushOne(w *bgWorker, mt *memtable.MemTable) {
 	for attempt := 1; ; attempt++ {
 		m, err := db.buildFlushTable(w, mt, capacity)
 		if err == nil {
-			meta = m
-			break
+			// Replicate before install (no-op at ReplicationFactor 1): a
+			// checkpoint may name this table the moment it publishes, so its
+			// replica copy must exist first. On failure the primary extent
+			// is returned and the whole build retries.
+			if err = db.attachMirror(m); err == nil {
+				meta = m
+				break
+			}
+			db.freeTableLocal(m)
 		}
 		// The write failed (fabric fault, service outage). The MemTable is
 		// immutable, so the build can simply run again after a pause.
 		db.stats.FlushErrors.Add(1)
-		if db.cn.Crashed() {
-			// Our own node is gone; retrying cannot succeed. Surrender the
-			// table so Close can still drain — recovery owns the data now.
+		if db.storageDead() {
+			// Our own node — or a memory node acked writes depend on — is
+			// gone; retrying cannot succeed. Surrender the table so Close
+			// can still drain: recovery (or failover promotion) owns the
+			// data now.
 			db.finishFlush(mt, nil)
 			return
 		}
@@ -281,6 +290,12 @@ func (db *DB) runCompaction(w *bgWorker, c *version.Compaction) {
 		if err == nil {
 			db.stats.LocalCompactions.Add(1)
 		}
+	}
+	if err == nil {
+		// Replicate the outputs before the install makes them reachable
+		// (no-op at ReplicationFactor 1). On failure attachOutputs has
+		// already routed both-side extents to the GC worker.
+		err = db.attachOutputs(outputs)
 	}
 	if err != nil {
 		// Even the local path failed (persistent fabric faults, allocation
@@ -549,6 +564,12 @@ func (db *DB) gcWorker() {
 
 func (db *DB) routeFree(m *sstable.Meta, remoteFrees *[][2]int64, fsFrees *[]uint64) {
 	db.stats.TablesFreed.Add(1)
+	if db.mirror != nil {
+		// Free the replica copy alongside the primary extent (idempotent:
+		// a table without one — degraded mirror, abandoned attach — is a
+		// no-op, so the two release paths can never double-free).
+		db.mirror.Release(m.ID)
+	}
 	switch {
 	case m.Data.RKey == fsRKeySentinel:
 		*fsFrees = append(*fsFrees, uint64(m.Data.Off))

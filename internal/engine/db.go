@@ -11,6 +11,7 @@ import (
 	"dlsm/internal/rdma"
 	"dlsm/internal/readahead"
 	"dlsm/internal/remote"
+	"dlsm/internal/repl"
 	"dlsm/internal/rpc"
 	"dlsm/internal/sim"
 	"dlsm/internal/sstable"
@@ -88,6 +89,10 @@ type DB struct {
 	// recovery replays the log, so replayed writes are not re-logged.
 	wal     *wal.Log
 	walLive atomic.Bool
+
+	// mirror replicates SSTable extents onto the backup memory node; nil
+	// unless ReplicationFactor is 2 (internal/repl).
+	mirror *repl.Mirror
 
 	// readOnly marks a secondary attachment (OpenSecondary): no WAL, no
 	// flush/compaction/GC workers, writes rejected with ErrReadOnly. sec
@@ -177,6 +182,12 @@ func openMode(cn *rdma.Node, srv *memnode.Server, opts Options, walRecovering, r
 
 	if readOnly {
 		return db, nil
+	}
+
+	if opts.ReplicationFactor > 1 {
+		if err := db.openMirror(); err != nil {
+			return nil, err
+		}
 	}
 
 	if opts.Durability != DurabilityNone {
@@ -380,6 +391,12 @@ func (db *DB) Close() {
 		// no final checkpoint — the slot stays exactly as durable as the
 		// last acknowledged write, which is what Recover replays.
 		db.wal.Close()
+	}
+	if db.mirror != nil {
+		// After the WAL: the log's final mirrored refresh may still need
+		// replica-address translation. Replica extents stay in place — they
+		// are the copy a failover promotes.
+		db.mirror.Close()
 	}
 	if db.sec != nil {
 		db.sec.close(db.cn)

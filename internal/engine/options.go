@@ -14,7 +14,9 @@ package engine
 import (
 	"time"
 
+	"dlsm/internal/memnode"
 	"dlsm/internal/rdma"
+	"dlsm/internal/repl"
 	"dlsm/internal/rpc"
 	"dlsm/internal/sim"
 	"dlsm/internal/sstable"
@@ -149,6 +151,35 @@ type Options struct {
 	// and keeps the historical single-owner layout byte-identical.
 	WALFence     rdma.RemoteAddr
 	WALFenceWord uint64
+
+	// ReplicationFactor is how many memory nodes hold every durable
+	// artifact of this DB. 0 and 1 — the default — keep today's
+	// single-copy layout and allocate nothing extra. 2 mirrors the WAL
+	// ring, checkpoint slots and SSTable extents onto Replica
+	// (internal/repl); higher factors are not yet supported. Requires
+	// Durability on and the native transport.
+	ReplicationFactor int
+
+	// Replica is the backup memory node mirrored onto when
+	// ReplicationFactor is 2. It must be a different server than the
+	// primary. No LSM runs there: the replica is passive registered
+	// memory receiving chained one-sided writes.
+	Replica *memnode.Server
+
+	// ReplAck selects when a replicated write acknowledges: AckPrimary
+	// (the default) keeps today's ack point and mirrors best-effort;
+	// AckQuorum/AckAll ack only after the replica copy is durable too.
+	ReplAck repl.AckPolicy
+
+	// ReplMode selects how SSTable bytes reach the replica: IndexOnly
+	// (the default) ships built extents primary→replica; LogReplay
+	// models a backup that rebuilds tables from its log copy.
+	ReplMode repl.Mode
+
+	// ReplTornHook, when set, runs after the replica checkpoint header
+	// flips and before the primary's — the torn-dual-flip window. Tests
+	// crash the publisher here to exercise slot-pair arbitration.
+	ReplTornHook func()
 
 	// StallTimeout bounds how long Put/Delete/Apply may block on a write
 	// stall (flush backlog or L0 stop trigger) before returning ErrStalled.

@@ -68,6 +68,17 @@ func Recover(cn *rdma.Node, srv *memnode.Server, opts Options) (*DB, error) {
 	}
 	db.installCheckpoint(files, seq)
 
+	// With replication still on, rebuild the mirror's table map from the
+	// replica checkpoint slot and re-copy anything missing, so every
+	// installed table translates when FinishRecovery publishes on both
+	// slots.
+	if db.mirror != nil {
+		if err := db.seedMirror(files); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("engine: seeding replica mirror: %w", err)
+		}
+	}
+
 	// Replay in original sequence order. Entries at or below the covered
 	// horizon are already in checkpoint tables; above it a record may
 	// duplicate a flushed-but-not-yet-covered table's entries, which is

@@ -19,6 +19,13 @@ func walSlotKey(opts Options) uint64 {
 	return sim.Mix64(0x57A1D06, uint64(opts.WALOwner), uint64(opts.WALShard)) | 1
 }
 
+// WALSlotKey exposes the slot-key derivation to failover tooling: after a
+// torn checkpoint publish, an operator (or test) reads the 64-byte headers
+// of both sides of a replicated slot pair — memnode.FindLog with this key
+// on each memory node — and arbitrates with repl.PickSlotPair before
+// choosing which node to Recover from.
+func WALSlotKey(opts Options) uint64 { return walSlotKey(opts) }
+
 // openWAL attaches the remote write-ahead log. With recovering=true the
 // slot must already exist (Recover found it) and is left untouched until
 // FinishRecovery; otherwise the slot is created on demand and stamped
@@ -27,6 +34,28 @@ func (db *DB) openWAL(recovering bool) error {
 	slot, err := db.srv.OpenLog(walSlotKey(db.opts), db.opts.WALSize)
 	if err != nil {
 		return fmt.Errorf("engine: opening wal slot: %w", err)
+	}
+	var replica *wal.ReplicaConfig
+	if db.mirror != nil {
+		// The replica slot uses the same logical key, so a promotion finds
+		// the mirrored log exactly where Recover looks for the primary one.
+		rslot, rerr := db.opts.Replica.OpenLog(walSlotKey(db.opts), db.opts.WALSize)
+		if rerr != nil {
+			return fmt.Errorf("engine: opening replica wal slot: %w", rerr)
+		}
+		if rslot.Size != slot.Size {
+			return fmt.Errorf("engine: replica wal slot is %d bytes, primary %d", rslot.Size, slot.Size)
+		}
+		tel := db.cn.Fabric().Telemetry()
+		replica = &wal.ReplicaConfig{
+			Host:      db.opts.Replica.Node(),
+			Slot:      rslot.Addr,
+			Sync:      db.opts.ReplAck.Sync(),
+			Translate: db.translateCheckpoint,
+			Bytes:     tel.Counter("wal.mirror_bytes"),
+			Degraded:  tel.Counter("wal.mirror_degraded"),
+			TornHook:  db.opts.ReplTornHook,
+		}
 	}
 	l, err := wal.Open(wal.Config{
 		Env:       db.env,
@@ -37,6 +66,7 @@ func (db *DB) openWAL(recovering bool) error {
 		PerWrite:  db.opts.WALPerWriteCommit,
 		Fence:     db.opts.WALFence,
 		FenceWord: db.opts.WALFenceWord,
+		Replica:   replica,
 		Refresh:   db.walCheckpoint,
 		Kick:      db.walKick,
 		Charge:    func(n int) { db.charge(sim.Bytes(n, db.opts.Costs.MemcpyByte)) },

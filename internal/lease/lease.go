@@ -150,6 +150,12 @@ type Client struct {
 	holder int
 	mr     *rdma.MemoryRegion
 
+	// Mirror write-through (SetMirror): every successful claim or release
+	// re-posts the new word to the replica's lease table, so a takeover
+	// still finds the current epoch after the primary memory node dies.
+	mirrorQP   *rdma.QP
+	mirrorSlot rdma.RemoteAddr
+
 	acquires  *telemetry.Counter
 	takeovers *telemetry.Counter
 	releases  *telemetry.Counter
@@ -176,6 +182,28 @@ func NewClient(cn *rdma.Node, host *rdma.Node, slot rdma.RemoteAddr, holder int)
 		conflicts: tel.Counter("lease.conflicts"),
 		held:      tel.Gauge("lease.held"),
 	}
+}
+
+// SetMirror enables best-effort write-through of the lease word to a
+// replica entry at slot on host (internal/repl). Mirroring is asynchronous
+// with respect to correctness: the primary entry stays the single CAS
+// arbiter, and a stale replica word is benign — after the primary memory
+// node dies, the fence CAS against it can only fail, so a deposed holder
+// still never acknowledges; the mirrored word only needs to preserve the
+// epoch high-water mark for the promoted table's next takeover to bump past.
+func (c *Client) SetMirror(host *rdma.Node, slot rdma.RemoteAddr) {
+	c.mirrorQP = c.cn.NewQP(host)
+	c.mirrorSlot = slot
+}
+
+// mirrorWord re-posts a just-CAS'd word to the replica entry, best effort:
+// a dead replica degrades redundancy, never the claim that already landed.
+func (c *Client) mirrorWord(w uint64) {
+	if c.mirrorQP == nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(c.mr.Bytes(0, 8), w)
+	_ = c.mirrorQP.WriteSync(c.mr, 0, c.mirrorSlot, 8)
 }
 
 // Holder returns the client's logical identity.
@@ -249,6 +277,7 @@ func (c *Client) claim(e Entry) (Lease, bool, error) {
 	}
 	if swapped {
 		c.held.Set(1)
+		c.mirrorWord(next.Word())
 	}
 	return next, swapped, nil
 }
@@ -266,6 +295,7 @@ func (c *Client) Release(l Lease) error {
 	}
 	c.releases.Inc()
 	c.held.Set(0)
+	c.mirrorWord(Pack(l.Epoch, 0, false))
 	return nil
 }
 
@@ -273,5 +303,8 @@ func (c *Client) Release(l Lease) error {
 // Release first for a clean handback).
 func (c *Client) Close() {
 	c.qp.Close()
+	if c.mirrorQP != nil {
+		c.mirrorQP.Close()
+	}
 	c.cn.Deregister(c.mr)
 }

@@ -107,6 +107,12 @@ type Server struct {
 
 	fsOnce  sync.Once
 	fsState *tmpfs
+
+	// repl_clone (internal/repl, index-only replication): queue pairs to
+	// destination nodes, cached per peer. cloneMu is a sim mutex because it
+	// is held across the blocking chained write.
+	cloneMu  *sim.Mutex
+	cloneQPs map[int]*rdma.QP
 }
 
 // LogSlot locates one write-ahead log inside the log region.
@@ -148,6 +154,8 @@ func NewServer(node *rdma.Node, cfg Config) *Server {
 	}
 	s.computeAlloc = remote.NewAllocator(cfg.ComputeRegionSize)
 	s.jobs = make(map[uint64]*jobState)
+	s.cloneMu = sim.NewMutex(s.env)
+	s.cloneQPs = make(map[int]*rdma.QP)
 	tel := node.Fabric().Telemetry()
 	s.deduped = tel.Counter("memnode.jobs.deduped")
 	s.canceled = tel.Counter("memnode.jobs.canceled")
@@ -157,6 +165,7 @@ func NewServer(node *rdma.Node, cfg Config) *Server {
 	s.rpc.Handle("fs_read", s.handleFSRead)
 	s.rpc.Handle("fs_write", s.handleFSWrite)
 	s.rpc.Handle("fs_free", s.handleFSFree)
+	s.rpc.Handle("repl_clone", s.handleReplClone)
 	return s
 }
 

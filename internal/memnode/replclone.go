@@ -1,0 +1,51 @@
+package memnode
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dlsm/internal/rdma"
+)
+
+// handleReplClone copies a byte range of this node's data region to another
+// node with a chained one-sided write — the verb behind index-only SSTable
+// replication (internal/repl): a built extent travels primary→replica
+// directly, so only n bytes cross the wire and neither the compute node nor
+// the backup spends CPU on it.
+//
+// Request layout (32 bytes): srcOff u64 | n u64 | dstNode u32 | dstRKey u32
+// | dstOff u64. The call is idempotent: a retried clone rewrites the same
+// bytes to the same destination.
+func (s *Server) handleReplClone(from int, args []byte) ([]byte, error) {
+	if len(args) != 32 {
+		return nil, fmt.Errorf("memnode: repl_clone: args %d bytes, want 32", len(args))
+	}
+	srcOff := int64(binary.LittleEndian.Uint64(args[0:]))
+	n := int64(binary.LittleEndian.Uint64(args[8:]))
+	dstNode := int(binary.LittleEndian.Uint32(args[16:]))
+	dstRKey := binary.LittleEndian.Uint32(args[20:])
+	dstOff := int64(binary.LittleEndian.Uint64(args[24:]))
+	if n <= 0 || srcOff < 0 || srcOff+n > int64(s.dataMR.Size()) {
+		return nil, fmt.Errorf("memnode: repl_clone: source [%d,%d) outside data region", srcOff, srcOff+n)
+	}
+	if dstNode < 0 || dstNode == s.node.ID {
+		return nil, fmt.Errorf("memnode: repl_clone: bad destination node %d", dstNode)
+	}
+	s.cloneMu.Lock()
+	defer s.cloneMu.Unlock()
+	qp := s.cloneQPs[dstNode]
+	if qp == nil {
+		qp = s.node.NewQP(s.node.Fabric().Node(dstNode))
+		s.cloneQPs[dstNode] = qp
+	}
+	dst := rdma.RemoteAddr{Node: dstNode, RKey: dstRKey, Off: int(dstOff)}
+	if err := qp.WriteSync(s.dataMR, int(srcOff), dst, int(n)); err != nil {
+		// The peer may have crashed (its generation advanced); drop the QP
+		// so a retry after restart gets a fresh one instead of a poisoned
+		// cache entry.
+		qp.Close()
+		delete(s.cloneQPs, dstNode)
+		return nil, err
+	}
+	return nil, nil
+}

@@ -34,6 +34,7 @@ type Node struct {
 	qps       []*QP
 	closed    bool
 	crashed   bool
+	crashGen  uint64 // incremented by every Crash; see crashGeneration
 }
 
 func newNode(f *Fabric, id int, name string, cores int) *Node {
@@ -167,6 +168,18 @@ func (n *Node) Crashed() bool {
 	return n.crashed
 }
 
+// crashGeneration counts how many times the node has crashed. Queue pairs
+// snapshot the target's generation at post time and compare at execution
+// time: a mismatch means the peer crashed (and possibly restarted) while
+// the request was in flight, so it must complete with ErrQPBroken rather
+// than silently touch reborn memory. This is what makes a crash atomic
+// with respect to chained one-sided writes straddling the crash instant.
+func (n *Node) crashGeneration() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashGen
+}
+
 // Crash simulates the node failing: every registered memory region is
 // invalidated (remote access to its rkey fails from now on, even after a
 // restart — rkeys are never reissued), all receive queues close (resident
@@ -180,6 +193,7 @@ func (n *Node) Crash() {
 		return
 	}
 	n.crashed = true
+	n.crashGen++
 	n.mrs = make(map[uint32]*MemoryRegion)
 	qps := n.qps
 	n.qps = nil

@@ -72,6 +72,7 @@ type workRequest struct {
 	done     sim.Time   // wire completion, scheduled at post time
 	dir      *direction // link direction carrying the data (telemetry)
 	fault    Fault      // injected verdict, decided at post time
+	peerGen  uint64     // peer crash generation at post time
 }
 
 // QP is a queue pair: an ordered send queue from one node to a peer plus a
@@ -123,6 +124,7 @@ func (q *QP) post(wr workRequest, bytes int, twoSided bool, atomic bool) {
 		return
 	}
 	now := q.env.Now()
+	wr.peerGen = q.peer.crashGeneration()
 	if fi := q.node.fabric.injector(); fi != nil {
 		wr.fault = fi.OnOp(wr.op, q.node.ID, q.peer.ID, bytes)
 	}
@@ -278,9 +280,12 @@ func (q *QP) worker() {
 			comp.Err = wr.fault.Err
 			q.cq.Send(comp)
 			continue
-		case q.peer.Crashed():
+		case q.peer.Crashed(), q.peer.crashGeneration() != wr.peerGen:
 			// Peer died: the connection is broken (real RC QPs transition
 			// to the error state and flush with work-completion errors).
+			// The generation comparison also breaks requests whose peer
+			// crashed and restarted between post and execution — a chained
+			// write straddling the crash must never silently succeed.
 			comp.Err = ErrQPBroken
 			q.cq.Send(comp)
 			continue

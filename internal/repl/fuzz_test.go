@@ -1,0 +1,38 @@
+package repl
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"dlsm/internal/wal"
+)
+
+// FuzzDecodeReplicaSlot: slot headers cross the fabric from a possibly
+// half-written replica; hostile bytes must decode or error, never panic,
+// and the (decode, PickSlotPair) pair must stay total on whatever decodes.
+func FuzzDecodeReplicaSlot(f *testing.F) {
+	valid := make([]byte, wal.HeaderSize)
+	binary.LittleEndian.PutUint32(valid[0:], wal.Magic)
+	binary.LittleEndian.PutUint32(valid[4:], wal.Version)
+	binary.LittleEndian.PutUint64(valid[8:], 3)  // epoch
+	binary.LittleEndian.PutUint64(valid[56:], 9) // tag
+	f.Add(valid)
+	f.Add(valid[:12])                   // truncated
+	f.Add(make([]byte, wal.HeaderSize)) // zero (bad magic)
+	f.Add([]byte{})                     // empty
+	torn := append([]byte(nil), valid...)
+	torn[40] = 0xFF // corrupt CkptCap
+	f.Add(torn)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := DecodeReplicaSlot(b)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must arbitrate without panicking, both ways.
+		if p := PickSlotPair(h, h); p != 0 {
+			t.Fatalf("identical pair arbitrated to %d, want 0 (primary)", p)
+		}
+		PickSlotPair(wal.Header{}, h)
+		PickSlotPair(h, wal.Header{})
+	})
+}

@@ -1,0 +1,292 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dlsm/internal/memnode"
+	"dlsm/internal/rdma"
+	"dlsm/internal/rpc"
+	"dlsm/internal/sim"
+	"dlsm/internal/sstable"
+	"dlsm/internal/wal"
+)
+
+// testCluster is one compute node plus a primary and a replica memory node
+// on a shared fabric, the minimal topology a Mirror spans.
+type testCluster struct {
+	env     *rdma.Fabric
+	cn      *rdma.Node
+	primary *memnode.Server
+	replica *memnode.Server
+}
+
+// withCluster runs fn inside a fresh simulation with both servers started.
+func withCluster(t *testing.T, fn func(c testCluster)) {
+	t.Helper()
+	env := sim.NewEnvSeed(1)
+	fab := rdma.NewFabric(env, rdma.EDR100())
+	cn := fab.AddNode("compute", 8)
+	m1 := fab.AddNode("mem1", 8)
+	m2 := fab.AddNode("mem2", 8)
+	cfg := memnode.DefaultConfig()
+	cfg.ComputeRegionSize = 32 << 20
+	cfg.SelfRegionSize = 8 << 20
+	cfg.LogRegionSize = 4 << 20
+	env.Run(func() {
+		defer fab.Close()
+		p := memnode.NewServer(m1, cfg)
+		p.Start()
+		r := memnode.NewServer(m2, cfg)
+		r.Start()
+		fn(testCluster{env: fab, cn: cn, primary: p, replica: r})
+	})
+	env.Wait()
+}
+
+// makeTable allocates an extent on the primary, fills it with a
+// deterministic pattern and returns the meta describing it — the shape a
+// flush or compaction hands to Mirror.Attach.
+func (c testCluster) makeTable(t *testing.T, id uint64, size int) *sstable.Meta {
+	t.Helper()
+	const indexLen, filterLen = 128, 64
+	extent := 1
+	for extent < size+indexLen+filterLen {
+		extent <<= 1
+	}
+	off, err := c.primary.ComputeAlloc().Alloc(extent)
+	if err != nil {
+		t.Fatalf("primary alloc: %v", err)
+	}
+	n := size + indexLen + filterLen
+	mr := c.cn.Register(n)
+	defer c.cn.Deregister(mr)
+	b := mr.Bytes(0, n)
+	for i := range b {
+		b[i] = byte(sim.Mix64(id, uint64(i)))
+	}
+	qp := c.cn.NewQP(c.primary.Node())
+	defer qp.Close()
+	dst := c.primary.DataMR().Addr(int(off))
+	if err := qp.WriteSync(mr, 0, dst, n); err != nil {
+		t.Fatalf("seeding primary extent: %v", err)
+	}
+	return &sstable.Meta{
+		ID: id, Size: int64(size), Extent: int64(extent),
+		IndexLen: indexLen, FilterLen: filterLen,
+		Data: dst, CreatorNode: c.primary.Node().ID,
+	}
+}
+
+// readRemote reads n bytes at addr from the compute node.
+func (c testCluster) readRemote(t *testing.T, host *rdma.Node, addr rdma.RemoteAddr, n int) []byte {
+	t.Helper()
+	mr := c.cn.Register(n)
+	defer c.cn.Deregister(mr)
+	qp := c.cn.NewQP(host)
+	defer qp.Close()
+	if err := qp.ReadSync(mr, 0, addr, n); err != nil {
+		t.Fatalf("reading back replica extent: %v", err)
+	}
+	return append([]byte(nil), mr.Bytes(0, n)...)
+}
+
+// testAttach runs the byte-fidelity and idempotence checks in one transfer
+// mode and returns the replication wire bytes it spent.
+func testAttach(t *testing.T, mode Mode) int64 {
+	var net int64
+	withCluster(t, func(c testCluster) {
+		m := NewMirror(Config{Compute: c.cn, Primary: c.primary, Replica: c.replica, Mode: mode, Sync: true})
+		defer m.Close()
+		meta := c.makeTable(t, 42, 4096)
+		if err := m.Attach(meta); err != nil {
+			t.Fatalf("Attach: %v", err)
+		}
+		addr, extent, ok := m.Lookup(meta.ID)
+		if !ok || extent != meta.Extent {
+			t.Fatalf("Lookup(%d) = (%v, %d, %v), want tracked extent %d", meta.ID, addr, extent, ok, meta.Extent)
+		}
+		if addr.Node != c.replica.Node().ID {
+			t.Fatalf("replica copy on node %d, want %d", addr.Node, c.replica.Node().ID)
+		}
+		n := int(meta.Size) + meta.IndexLen + meta.FilterLen
+		want := c.readRemote(t, c.primary.Node(), meta.Data, n)
+		got := c.readRemote(t, c.replica.Node(), addr, n)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v: replica bytes differ from primary", mode)
+		}
+		net = c.env.Telemetry().Counter("repl.net_bytes").Load()
+		// Re-attaching the same id is a no-op: same address, no extra bytes.
+		if err := m.Attach(meta); err != nil {
+			t.Fatalf("re-Attach: %v", err)
+		}
+		if again := c.env.Telemetry().Counter("repl.net_bytes").Load(); again != net {
+			t.Fatalf("idempotent re-Attach moved %d extra bytes", again-net)
+		}
+		addr2, _, _ := m.Lookup(meta.ID)
+		if addr2 != addr {
+			t.Fatalf("re-Attach relocated the copy: %v -> %v", addr, addr2)
+		}
+	})
+	return net
+}
+
+// TestAttachModes verifies both FORTH transfer modes produce byte-identical
+// replica copies, and that index-only spends strictly fewer wire bytes than
+// log-replay for the same table (n vs 2n).
+func TestAttachModes(t *testing.T) {
+	idx := testAttach(t, IndexOnly)
+	rep := testAttach(t, LogReplay)
+	if idx <= 0 || rep <= 0 {
+		t.Fatalf("net bytes not recorded: index-only %d, log-replay %d", idx, rep)
+	}
+	if idx >= rep {
+		t.Fatalf("index-only used %d wire bytes, log-replay %d; index-only must be strictly cheaper", idx, rep)
+	}
+	if rep != 2*idx {
+		t.Fatalf("log-replay = %d bytes, want exactly 2x index-only (%d)", rep, 2*idx)
+	}
+}
+
+// TestReleaseIdempotent: Release frees the replica extent exactly once, and
+// releasing an unknown id (the abandoned-output path racing GC) is a no-op.
+func TestReleaseIdempotent(t *testing.T) {
+	withCluster(t, func(c testCluster) {
+		m := NewMirror(Config{Compute: c.cn, Primary: c.primary, Replica: c.replica, Sync: true})
+		defer m.Close()
+		meta := c.makeTable(t, 7, 2048)
+		if err := m.Attach(meta); err != nil {
+			t.Fatalf("Attach: %v", err)
+		}
+		used := c.replica.ComputeAlloc().Used()
+		m.Release(meta.ID)
+		if got := c.replica.ComputeAlloc().Used(); got != used-meta.Extent {
+			t.Fatalf("replica allocator used %d after Release, want %d", got, used-meta.Extent)
+		}
+		if m.Has(meta.ID) {
+			t.Fatal("released table still tracked")
+		}
+		m.Release(meta.ID) // double release must not free anything else
+		m.Release(999)     // unknown id is a no-op
+		if got := c.replica.ComputeAlloc().Used(); got != used-meta.Extent {
+			t.Fatal("idempotent Release changed the allocator")
+		}
+	})
+}
+
+// TestSeedAdoptsExistingCopies: Seed (the recovery path) tracks replica-side
+// metas without moving bytes, and Attach after Seed is a no-op for them.
+func TestSeedAdoptsExistingCopies(t *testing.T) {
+	withCluster(t, func(c testCluster) {
+		m := NewMirror(Config{Compute: c.cn, Primary: c.primary, Replica: c.replica, Sync: true})
+		defer m.Close()
+		off, err := c.replica.ComputeAlloc().Alloc(4096)
+		if err != nil {
+			t.Fatalf("replica alloc: %v", err)
+		}
+		adopted := &sstable.Meta{ID: 11, Size: 3000, Extent: 4096, IndexLen: 100, FilterLen: 50,
+			Data: c.replica.DataMR().Addr(int(off))}
+		m.Seed([]*sstable.Meta{adopted})
+		if !m.Has(11) {
+			t.Fatal("seeded table not tracked")
+		}
+		if n := c.env.Telemetry().Counter("repl.net_bytes").Load(); n != 0 {
+			t.Fatalf("Seed moved %d bytes; adoption must be free", n)
+		}
+		addr, extent, _ := m.Lookup(11)
+		if addr != adopted.Data || extent != 4096 {
+			t.Fatalf("Lookup after Seed = (%v, %d)", addr, extent)
+		}
+	})
+}
+
+// TestDegradeBestEffort: with a non-Sync policy a dead replica degrades the
+// mirror silently — Attach keeps succeeding with one copy, OnDegrade fires
+// exactly once, and no replica extent leaks.
+func TestDegradeBestEffort(t *testing.T) {
+	withCluster(t, func(c testCluster) {
+		degraded := 0
+		m := NewMirror(Config{Compute: c.cn, Primary: c.primary, Replica: c.replica,
+			Mode: LogReplay, Sync: false, OnDegrade: func() { degraded++ }})
+		defer m.Close()
+		used := c.replica.ComputeAlloc().Used()
+		c.replica.Node().Crash()
+		for id := uint64(1); id <= 3; id++ {
+			if err := m.Attach(c.makeTable(t, id, 1024)); err != nil {
+				t.Fatalf("best-effort Attach %d: %v", id, err)
+			}
+		}
+		if !m.Down() {
+			t.Fatal("mirror not marked down after replica crash")
+		}
+		if degraded != 1 {
+			t.Fatalf("OnDegrade fired %d times, want 1", degraded)
+		}
+		if got := c.replica.ComputeAlloc().Used(); got != used {
+			t.Fatalf("failed attaches leaked %d replica bytes", got-used)
+		}
+	})
+}
+
+// TestSyncFailureReturnsErrDegraded: under quorum ack a dead replica fails
+// the Attach with ErrDegraded so the caller can retry or surrender, and the
+// speculatively allocated replica extent is returned.
+func TestSyncFailureReturnsErrDegraded(t *testing.T) {
+	withCluster(t, func(c testCluster) {
+		m := NewMirror(Config{Compute: c.cn, Primary: c.primary, Replica: c.replica,
+			Mode: LogReplay, Sync: true})
+		defer m.Close()
+		used := c.replica.ComputeAlloc().Used()
+		c.replica.Node().Crash()
+		err := m.Attach(c.makeTable(t, 5, 1024))
+		if !errors.Is(err, ErrDegraded) {
+			t.Fatalf("Attach on dead replica = %v, want ErrDegraded", err)
+		}
+		if got := c.replica.ComputeAlloc().Used(); got != used {
+			t.Fatalf("failed sync attach leaked %d replica bytes", got-used)
+		}
+	})
+}
+
+// TestCloneRPCCounted: index-only transfers go through the primary's
+// repl_clone handler, one RPC per extent.
+func TestCloneRPCCounted(t *testing.T) {
+	withCluster(t, func(c testCluster) {
+		m := NewMirror(Config{Compute: c.cn, Primary: c.primary, Replica: c.replica,
+			Mode: IndexOnly, Sync: true, RPC: rpc.Policy{MaxAttempts: 2}})
+		defer m.Close()
+		for id := uint64(1); id <= 4; id++ {
+			if err := m.Attach(c.makeTable(t, id, 1024)); err != nil {
+				t.Fatalf("Attach %d: %v", id, err)
+			}
+		}
+		if n := c.env.Telemetry().Counter("repl.clone_rpcs").Load(); n != 4 {
+			t.Fatalf("repl.clone_rpcs = %d, want 4", n)
+		}
+	})
+}
+
+// TestPickSlotPair covers the torn-dual-flip arbitration table: the replica
+// header flips first, so it is preferred exactly when its (Epoch, Tag) is
+// ahead.
+func TestPickSlotPair(t *testing.T) {
+	h := func(epoch, tag uint64) wal.Header { return wal.Header{Epoch: epoch, Tag: tag} }
+	cases := []struct {
+		name             string
+		primary, replica wal.Header
+		want             int
+	}{
+		{"in sync", h(3, 7), h(3, 7), 0},
+		{"torn publish: replica one tag ahead", h(3, 7), h(3, 8), 1},
+		{"stale replica tag never wins", h(3, 7), h(3, 6), 0},
+		{"replica epoch ahead", h(3, 9), h(4, 1), 1},
+		{"primary epoch ahead", h(5, 0), h(4, 99), 0},
+		{"fresh pair", h(1, 0), h(1, 0), 0},
+	}
+	for _, tc := range cases {
+		if got := PickSlotPair(tc.primary, tc.replica); got != tc.want {
+			t.Errorf("%s: PickSlotPair = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

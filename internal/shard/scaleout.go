@@ -37,7 +37,7 @@ func NewPrimary(cn *rdma.Node, servers []*memnode.Server, lambda int, boundaries
 	db := &DB{boundaries: boundaries}
 	for i := 0; i < lambda; i++ {
 		srv := servers[i%len(servers)]
-		hold, err := claimShard(cn, srv, opts.WALOwner, i, holder, false)
+		hold, err := claimShard(cn, srv, opts.Replica, opts.WALOwner, i, holder, false)
 		if err != nil {
 			db.Close()
 			return nil, fmt.Errorf("shard %d lease: %w", i, err)
@@ -64,7 +64,7 @@ func Takeover(cn *rdma.Node, servers []*memnode.Server, lambda int, boundaries [
 	db := &DB{boundaries: boundaries}
 	for i := 0; i < lambda; i++ {
 		srv := servers[i%len(servers)]
-		hold, err := claimShard(cn, srv, opts.WALOwner, i, holder, true)
+		hold, err := claimShard(cn, srv, opts.Replica, opts.WALOwner, i, holder, true)
 		if err != nil {
 			db.Close()
 			return nil, fmt.Errorf("shard %d lease: %w", i, err)
@@ -84,13 +84,24 @@ func Takeover(cn *rdma.Node, servers []*memnode.Server, lambda int, boundaries [
 }
 
 // claimShard opens (creating on first use) the lease entry of
-// (owner, shard) and claims it.
-func claimShard(cn *rdma.Node, srv *memnode.Server, owner, shard, holder int, takeover bool) (leaseHold, error) {
+// (owner, shard) and claims it. With a replica memory node configured, the
+// replica's lease table gets a same-key entry and the client writes every
+// claimed word through to it, so a takeover after the primary memory node
+// dies still observes the current epoch (see lease.Client.SetMirror).
+func claimShard(cn *rdma.Node, srv, replica *memnode.Server, owner, shard, holder int, takeover bool) (leaseHold, error) {
 	ls, err := srv.OpenLease(lease.SlotKey(owner, shard))
 	if err != nil {
 		return leaseHold{}, err
 	}
 	cl := lease.NewClient(cn, srv.Node(), ls.Addr, holder)
+	if replica != nil {
+		rs, rerr := replica.OpenLease(lease.SlotKey(owner, shard))
+		if rerr != nil {
+			cl.Close()
+			return leaseHold{}, fmt.Errorf("replica lease entry: %w", rerr)
+		}
+		cl.SetMirror(replica.Node(), rs.Addr)
+	}
 	var l lease.Lease
 	if takeover {
 		l, err = cl.Takeover()

@@ -70,7 +70,7 @@ const (
 //	off 24: startLSN u64    32: covered u64
 //	off 40: ckptCap u32     44: ckptSlot u32
 //	off 48: ckptLen u32     52: ckptCRC u32
-//	off 56: reserved u64
+//	off 56: tag u64
 type Header struct {
 	Epoch    uint64 // bumped on every slot (re)initialization
 	StartOff uint64 // ring offset of the oldest live record
@@ -80,6 +80,14 @@ type Header struct {
 	CkptSlot uint32 // active checkpoint slot, 0 or 1
 	CkptLen  uint32 // active checkpoint length (0: none)
 	CkptCRC  uint32 // crc32 of the active checkpoint
+	// Tag is the publish sequence number stamped into both headers of a
+	// replicated slot pair (internal/repl): every checkpoint publish writes
+	// the replica header first, then the primary's, both carrying the same
+	// fresh Tag. A crash between the two flips therefore leaves the replica
+	// one Tag ahead — detectable, and resolvable by preferring the higher
+	// (Epoch, Tag). Unreplicated slots leave it zero (the layout's former
+	// reserved word), keeping their images byte-identical to older builds.
+	Tag uint64
 }
 
 func encodeHeader(h Header) []byte {
@@ -94,6 +102,7 @@ func encodeHeader(h Header) []byte {
 	binary.LittleEndian.PutUint32(b[44:], h.CkptSlot)
 	binary.LittleEndian.PutUint32(b[48:], h.CkptLen)
 	binary.LittleEndian.PutUint32(b[52:], h.CkptCRC)
+	binary.LittleEndian.PutUint64(b[56:], h.Tag)
 	return b
 }
 
@@ -117,6 +126,7 @@ func decodeHeader(b []byte) (Header, error) {
 		CkptSlot: binary.LittleEndian.Uint32(b[44:]),
 		CkptLen:  binary.LittleEndian.Uint32(b[48:]),
 		CkptCRC:  binary.LittleEndian.Uint32(b[52:]),
+		Tag:      binary.LittleEndian.Uint64(b[56:]),
 	}, nil
 }
 

@@ -74,7 +74,48 @@ type Config struct {
 	Fence     rdma.RemoteAddr
 	FenceWord uint64
 
+	// Replica mirrors the whole slot — ring records, checkpoint blobs and
+	// header flips — onto a second memory node with chained one-sided
+	// writes, so the slot survives the primary memory node dying
+	// (internal/repl). Nil disables mirroring; the log then behaves (and
+	// its slot image stays) byte-identical to the unreplicated layout.
+	Replica *ReplicaConfig
+
 	Metrics Metrics
+}
+
+// ReplicaConfig describes the mirror slot on the backup memory node. It
+// must have the same size as the primary slot: the two then share one
+// geometry, so ring offsets and checkpoint-slot offsets carry over
+// unchanged and every mirror write is a plain re-post of the primary one.
+type ReplicaConfig struct {
+	Host *rdma.Node      // the backup memory node
+	Slot rdma.RemoteAddr // mirror slot base (from memnode.OpenLog)
+
+	// Sync couples the replica to the ack path (the Quorum/All policies):
+	// a mirror failure breaks the log before any unmirrored record can be
+	// acknowledged, so an acked write is always on both copies. False (the
+	// Primary policy) degrades instead — mirroring stops, acknowledgements
+	// continue against the primary copy alone.
+	Sync bool
+
+	// Translate rewrites a checkpoint blob's table addresses into their
+	// replica-side locations before the blob is published on the mirror
+	// slot (the engine maps each table to its mirrored extent). ok=false
+	// skips the refresh entirely — a named table is not mirrored yet, and
+	// publishing a half-translated checkpoint would be worse than keeping
+	// the previous one. Nil publishes the blob unchanged.
+	Translate func(blob []byte) ([]byte, bool)
+
+	// Bytes counts mirrored bytes; Degraded counts permanent mirror
+	// aborts (non-Sync only). Both nil-safe.
+	Bytes    *telemetry.Counter
+	Degraded *telemetry.Counter
+
+	// TornHook, when set, runs between the replica header flip and the
+	// primary header flip of every checkpoint publish — the torn-dual-flip
+	// window the replication tests aim a seeded crash at.
+	TornHook func()
 }
 
 // Token identifies a staged append; Commit waits on it.
@@ -115,6 +156,12 @@ type Log struct {
 	trimQP  *rdma.QP // trimmer's queue pair (separate completion stream)
 	staging *rdma.MemoryRegion
 
+	// Replica queue pairs, nil unless Config.Replica is set: the commit
+	// loop chains each group's doorbell onto replQP after the primary
+	// completions; the trimmer mirrors checkpoints over replTrimQP.
+	replQP     *rdma.QP
+	replTrimQP *rdma.QP
+
 	mu         *sim.Mutex
 	appendCond *sim.Cond // commit loop <- staged work
 	ackCond    *sim.Cond // writers <- durability advanced
@@ -132,12 +179,14 @@ type Log struct {
 
 	durableCovered uint64 // covered horizon of the last published header
 	ckptSlot       uint32 // active checkpoint slot of the last header
+	pubSeq         uint64 // header Tag of the last published pair (replicated slots)
 
-	refreshReq bool
-	recovering bool
-	closed     bool
-	broken     bool
-	brokenErr  error
+	refreshReq  bool
+	recovering  bool
+	closed      bool
+	broken      bool
+	brokenErr   error
+	replicaDown bool // non-Sync mirror failed permanently; primary-only from here
 
 	wg *sim.WaitGroup
 }
@@ -185,6 +234,10 @@ func Open(cfg Config, recovering bool) (*Log, error) {
 	l.spaceCond = sim.NewNamedCond(cfg.Env, l.mu, "wal.space")
 	l.trimCond = sim.NewNamedCond(cfg.Env, l.mu, "wal.trim")
 	l.recovering = recovering
+	if cfg.Replica != nil {
+		l.replQP = cfg.Compute.NewQP(cfg.Replica.Host)
+		l.replTrimQP = cfg.Compute.NewQP(cfg.Replica.Host)
+	}
 
 	if !recovering {
 		// Read the old header (if any) so the fresh epoch supersedes it.
@@ -194,10 +247,21 @@ func Open(cfg Config, recovering bool) (*Log, error) {
 			epoch = old.Epoch + 1
 		}
 		l.epoch = epoch
-		if err := l.writeHeader(Header{
+		h := Header{
 			Epoch: epoch, StartOff: 0, StartLSN: 1, Covered: 0,
 			CkptCap: uint32(ckptCap), CkptSlot: 0, CkptLen: 0, CkptCRC: 0,
-		}); err != nil {
+		}
+		if cfg.Replica != nil {
+			// Tags stay monotonic across slot lives; replica flips first so
+			// the replica header is never behind a freed primary ring.
+			l.pubSeq = old.Tag + 1
+			h.Tag = l.pubSeq
+			if err := l.writeReplicaHeader(h); err != nil {
+				l.teardown()
+				return nil, fmt.Errorf("wal: initializing replica slot: %w", err)
+			}
+		}
+		if err := l.writeHeader(h); err != nil {
 			l.teardown()
 			return nil, fmt.Errorf("wal: initializing slot: %w", err)
 		}
@@ -212,6 +276,10 @@ func Open(cfg Config, recovering bool) (*Log, error) {
 func (l *Log) teardown() {
 	l.qp.Close()
 	l.trimQP.Close()
+	if l.replQP != nil {
+		l.replQP.Close()
+		l.replTrimQP.Close()
+	}
 	l.cfg.Compute.Deregister(l.staging)
 }
 
@@ -232,6 +300,47 @@ func (l *Log) writeHeader(h Header) error {
 	return l.retrySync(func() error {
 		return l.trimQP.WriteSync(mr, 0, l.cfg.Slot, HeaderSize)
 	})
+}
+
+// writeReplicaHeader publishes h on the mirror slot (trimmer context: it
+// rides replTrimQP), retrying transient faults.
+func (l *Log) writeReplicaHeader(h Header) error {
+	mr := l.cfg.Compute.RegisterBuf(encodeHeader(h))
+	defer l.cfg.Compute.Deregister(mr)
+	err := l.retrySync(func() error {
+		return l.replTrimQP.WriteSync(mr, 0, l.cfg.Replica.Slot, HeaderSize)
+	})
+	if err == nil {
+		l.cfg.Replica.Bytes.Add(HeaderSize)
+	}
+	return err
+}
+
+// mirrorActive reports whether mirror writes should still be issued.
+func (l *Log) mirrorActive() bool {
+	if l.cfg.Replica == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.replicaDown
+}
+
+// mirrorFailed resolves a permanent mirror error under the configured ack
+// policy: Sync propagates it, breaking the log before anything unmirrored
+// can acknowledge; non-Sync (the Primary policy) degrades to primary-only
+// operation and swallows the error.
+func (l *Log) mirrorFailed(err error) error {
+	if l.cfg.Replica.Sync {
+		return fmt.Errorf("wal: replica mirror: %w", err)
+	}
+	l.mu.Lock()
+	if !l.replicaDown {
+		l.replicaDown = true
+		l.cfg.Replica.Degraded.Inc()
+	}
+	l.mu.Unlock()
+	return nil
 }
 
 // retrySync runs op with capped exponential backoff.
@@ -373,6 +482,24 @@ func (l *Log) RequestRefresh() {
 func (l *Log) RefreshNow() error {
 	blob, covered := l.cfg.Refresh()
 	return l.publishRefresh(blob, covered)
+}
+
+// DropMirror permanently stops mirroring onto the replica slot. The
+// engine calls it when the extent-mirroring side of replication degrades
+// under the Primary ack policy: a checkpoint naming unmirrored tables can
+// then never translate, so continuing to hold refreshes hostage to the
+// mirror would wedge ring truncation. Nil-safe and a no-op on
+// unreplicated logs.
+func (l *Log) DropMirror() {
+	if l == nil || l.cfg.Replica == nil {
+		return
+	}
+	l.mu.Lock()
+	if !l.replicaDown {
+		l.replicaDown = true
+		l.cfg.Replica.Degraded.Inc()
+	}
+	l.mu.Unlock()
 }
 
 // Broken reports whether the log has failed permanently (the compute
@@ -614,7 +741,7 @@ func (l *Log) flushSegments(segs []segment) error {
 	if l.cfg.Charge != nil {
 		l.cfg.Charge(total)
 	}
-	return l.retrySync(func() error {
+	err := l.retrySync(func() error {
 		off := 0
 		for i, s := range segs {
 			l.qp.Write(l.staging, off, l.cfg.Slot.Add(l.ringBase+s.ringOff), len(s.data), uint64(i))
@@ -631,6 +758,40 @@ func (l *Log) flushSegments(segs []segment) error {
 		}
 		return err
 	})
+	if err != nil {
+		return err
+	}
+	return l.mirrorSegments(segs, total)
+}
+
+// mirrorSegments chains the group's doorbell onto the replica ring: the
+// same staged bytes at the same ring offsets (both slots share one
+// geometry), posted only after every primary completion — so under Sync
+// no record acknowledges until it is resident on both copies.
+func (l *Log) mirrorSegments(segs []segment, total int) error {
+	if !l.mirrorActive() {
+		return nil
+	}
+	rc := l.cfg.Replica
+	err := l.retrySync(func() error {
+		off := 0
+		for i, s := range segs {
+			l.replQP.Write(l.staging, off, rc.Slot.Add(l.ringBase+s.ringOff), len(s.data), uint64(i))
+			off += len(s.data)
+		}
+		var err error
+		for range segs {
+			if c := l.replQP.WaitCQ(); c.Err != nil {
+				err = c.Err
+			}
+		}
+		return err
+	})
+	if err != nil {
+		return l.mirrorFailed(err)
+	}
+	rc.Bytes.Add(int64(total))
+	return nil
 }
 
 // --- truncation / checkpoint refresh ---------------------------------------
@@ -677,6 +838,11 @@ func (l *Log) publishRefresh(blob []byte, covered uint64) error {
 	}
 	target := 1 - l.ckptSlot
 	epoch := l.epoch
+	tag := uint64(0)
+	if l.cfg.Replica != nil {
+		l.pubSeq++
+		tag = l.pubSeq
+	}
 	// Trim plan: pop durable records fully below the horizon. The frees
 	// are applied only after the header lands.
 	trimN, freed := 0, 0
@@ -710,6 +876,26 @@ func (l *Log) publishRefresh(blob []byte, covered uint64) error {
 	if err := l.checkFence(l.trimQP); err != nil {
 		return err
 	}
+	h := Header{
+		Epoch: epoch, StartOff: uint64(startOff), StartLSN: startLSN, Covered: covered,
+		CkptCap: uint32(l.ckptCap), CkptSlot: target,
+		CkptLen: uint32(len(blob)), CkptCRC: crc32.ChecksumIEEE(blob),
+		Tag: tag,
+	}
+	// Replica first: ring space freed below is only ever reused once BOTH
+	// headers have advanced past it, so each slot image stays individually
+	// recoverable no matter where a crash lands; a crash between the two
+	// flips leaves the replica one Tag ahead (see Header.Tag).
+	if l.mirrorActive() {
+		done, merr := l.mirrorCheckpoint(blob, h)
+		if merr != nil {
+			if merr = l.mirrorFailed(merr); merr != nil {
+				return merr
+			}
+		} else if !done {
+			return nil // a named table is not mirrored yet; keep the previous pair
+		}
+	}
 	if len(blob) > 0 {
 		mr := l.cfg.Compute.RegisterBuf(append([]byte(nil), blob...))
 		err := l.retrySync(func() error {
@@ -719,11 +905,6 @@ func (l *Log) publishRefresh(blob []byte, covered uint64) error {
 		if err != nil {
 			return err
 		}
-	}
-	h := Header{
-		Epoch: epoch, StartOff: uint64(startOff), StartLSN: startLSN, Covered: covered,
-		CkptCap: uint32(l.ckptCap), CkptSlot: target,
-		CkptLen: uint32(len(blob)), CkptCRC: crc32.ChecksumIEEE(blob),
 	}
 	if err := l.writeHeader(h); err != nil {
 		return err
@@ -741,6 +922,47 @@ func (l *Log) publishRefresh(blob []byte, covered uint64) error {
 	}
 	l.mu.Unlock()
 	return nil
+}
+
+// mirrorCheckpoint publishes the checkpoint pair half that lives on the
+// mirror slot: the blob — translated into replica-side table addresses —
+// into the target checkpoint slot, then the replica header. Called before
+// the primary flip. done=false means the blob cannot be translated (or
+// does not fit) yet and the whole refresh should be skipped; the previous
+// self-consistent pair stays in force.
+func (l *Log) mirrorCheckpoint(blob []byte, h Header) (done bool, err error) {
+	rc := l.cfg.Replica
+	rblob := blob
+	if rc.Translate != nil && len(blob) > 0 {
+		var ok bool
+		if rblob, ok = rc.Translate(blob); !ok {
+			return false, nil
+		}
+	}
+	if len(rblob) > l.ckptCap {
+		l.cfg.Metrics.CkptSkips.Inc()
+		return false, nil
+	}
+	if len(rblob) > 0 {
+		mr := l.cfg.Compute.RegisterBuf(append([]byte(nil), rblob...))
+		werr := l.retrySync(func() error {
+			return l.replTrimQP.WriteSync(mr, 0, rc.Slot.Add(HeaderSize+int(h.CkptSlot)*l.ckptCap), len(rblob))
+		})
+		l.cfg.Compute.Deregister(mr)
+		if werr != nil {
+			return false, werr
+		}
+		rc.Bytes.Add(int64(len(rblob)))
+	}
+	h.CkptLen = uint32(len(rblob))
+	h.CkptCRC = crc32.ChecksumIEEE(rblob)
+	if werr := l.writeReplicaHeader(h); werr != nil {
+		return false, werr
+	}
+	if rc.TornHook != nil {
+		rc.TornHook()
+	}
+	return true, nil
 }
 
 // FinishRecovery atomically switches a recovering log to a fresh, live
@@ -769,6 +991,24 @@ func (l *Log) FinishRecovery() error {
 	if err == nil {
 		target = 1 - old.CkptSlot&1
 	}
+	h := Header{
+		Epoch: epoch, StartOff: 0, StartLSN: 1, Covered: covered,
+		CkptCap: uint32(l.ckptCap), CkptSlot: target,
+		CkptLen: uint32(len(blob)), CkptCRC: crc32.ChecksumIEEE(blob),
+	}
+	tag := uint64(0)
+	if l.cfg.Replica != nil {
+		tag = old.Tag + 1
+		h.Tag = tag
+		done, merr := l.mirrorCheckpoint(blob, h)
+		if merr != nil {
+			if merr = l.mirrorFailed(merr); merr != nil {
+				return merr
+			}
+		} else if !done {
+			return fmt.Errorf("wal: recovery checkpoint not mirrorable")
+		}
+	}
 	if len(blob) > 0 {
 		mr := l.cfg.Compute.RegisterBuf(append([]byte(nil), blob...))
 		werr := l.retrySync(func() error {
@@ -779,11 +1019,7 @@ func (l *Log) FinishRecovery() error {
 			return werr
 		}
 	}
-	if err := l.writeHeader(Header{
-		Epoch: epoch, StartOff: 0, StartLSN: 1, Covered: covered,
-		CkptCap: uint32(l.ckptCap), CkptSlot: target,
-		CkptLen: uint32(len(blob)), CkptCRC: crc32.ChecksumIEEE(blob),
-	}); err != nil {
+	if err := l.writeHeader(h); err != nil {
 		return err
 	}
 
@@ -796,6 +1032,7 @@ func (l *Log) FinishRecovery() error {
 	l.head, l.tail, l.used = 0, 0, 0
 	l.durableCovered = covered
 	l.ckptSlot = target
+	l.pubSeq = tag
 	l.recovering = false
 	l.appendCond.Broadcast()
 	l.trimCond.Broadcast()
