@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race fuzz bench cache faults wal repl scan scaleout
+.PHONY: check build test vet race fuzz bench cache faults wal repl scan scaleout offload
 
 check: vet build test race fuzz
 
@@ -34,6 +34,7 @@ fuzz:
 	$(GO) test ./internal/iterx/ -run '^$$' -fuzz FuzzMergeIterator -fuzztime 5s
 	$(GO) test ./internal/lease/ -run '^$$' -fuzz FuzzDecodeEntry -fuzztime 5s
 	$(GO) test ./internal/repl/ -run '^$$' -fuzz FuzzDecodeReplicaSlot -fuzztime 5s
+	$(GO) test ./internal/memnode/ -run '^$$' -fuzz FuzzDecodeFlushBuildArgs -fuzztime 5s
 
 # Hot-KV cache budget sweep (Zipf readrandom, cache off -> 64MB).
 cache:
@@ -56,6 +57,13 @@ repl:
 # to Fig 11); every depth > 1 must strictly improve throughput.
 scan:
 	$(GO) run ./cmd/dlsm-bench -fig scan -n 100000
+
+# Write-path offload ablation (fillrandom, sync WAL): no offload, then
+# each layer cumulatively (flush serialization, +index build, +filter).
+# All layers on must show compute CPU strictly below the baseline at no
+# worse throughput.
+offload:
+	$(GO) run ./cmd/dlsm-bench -fig offload -n 100000
 
 # Multi-compute scale-out sweep: aggregate read throughput at 1, 2 and 4
 # compute nodes (one lease-holding primary + read-only secondaries) over a

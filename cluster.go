@@ -34,7 +34,8 @@ func OpenCluster(d *Deployment, opts Options, lambda int, boundaries [][]byte, s
 		if shardBounds != nil {
 			sb = shardBounds(i)
 		}
-		cl.dbs = append(cl.dbs, OpenAt(d, i, clusterServers(d, i, lambda), opts, lambda, sb))
+		cl.dbs = append(cl.dbs, mustOpen(OpenDB(d, RolePrimary,
+			Placement{ComputeIdx: i, Servers: clusterServers(d, i, lambda), Lambda: lambda, Boundaries: sb}, opts)))
 	}
 	return cl
 }
@@ -69,7 +70,8 @@ func RecoverCluster(d *Deployment, opts Options, lambda int, boundaries [][]byte
 		if shardBounds != nil {
 			sb = shardBounds(i)
 		}
-		db, err := RecoverAt(d, i, i, clusterServers(d, i, lambda), opts, lambda, sb)
+		db, err := OpenDB(d, RoleRecover,
+			Placement{ComputeIdx: i, Owner: i, Servers: clusterServers(d, i, lambda), Lambda: lambda, Boundaries: sb}, opts)
 		if err != nil {
 			cl.Close()
 			return nil, fmt.Errorf("dlsm: recovering compute %d: %w", i, err)

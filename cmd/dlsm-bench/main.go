@@ -8,8 +8,8 @@
 //	dlsm-bench -fig 7a [-n 200000] [-threads 1,2,4,8,16]
 //	dlsm-bench -fig all -n 100000
 //
-// Figures: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal repl scan scaleout
-// all.
+// Figures: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal repl scan
+// scaleout offload all.
 // Throughput is virtual-time based (see DESIGN.md); -n scales the paper's
 // 100M-key workloads down to laptop runtimes while preserving the
 // data:memtable:sstable ratios.
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to reproduce: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal repl scan scaleout all")
+		fig     = flag.String("fig", "", "figure to reproduce: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal repl scan scaleout offload all")
 		n       = flag.Int("n", 200_000, "operations per data point (paper: 100M)")
 		threads = flag.String("threads", "1,2,4,8,16", "thread counts for thread-sweep figures")
 		quiet   = flag.Bool("q", false, "suppress per-point progress output")
@@ -48,7 +48,7 @@ func main() {
 	ths := parseInts(*threads)
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"7a", "7b", "8", "9", "10", "11", "12", "13", "14a", "14b", "15", "cache", "faults", "wal", "repl", "scan", "scaleout"}
+		figs = []string{"7a", "7b", "8", "9", "10", "11", "12", "13", "14a", "14b", "15", "cache", "faults", "wal", "repl", "scan", "scaleout", "offload"}
 	}
 	for _, f := range figs {
 		runFigure(f, *n, ths, *metrics)
@@ -119,6 +119,19 @@ func runFigure(fig string, n int, threads []int, metrics bool) {
 		// headroom; at 8+ threads concurrent scans saturate the link and
 		// every depth converges on its bandwidth ceiling.
 		show(bench.FigScan(n, 2))
+	case "offload":
+		// 16 writer threads: high write pressure keeps the flush pipeline
+		// busy, which is where the three offloaded layers spend compute CPU.
+		figOff := bench.FigOffload(n, 16)
+		figOff.Print(out)
+		fmt.Fprintln(out, "\nCPU utilization per point (compute / remote):")
+		for _, s := range figOff.Series {
+			fmt.Fprintf(out, "  %-10s", s.Label)
+			for _, p := range s.Points {
+				fmt.Fprintf(out, "  %4.1f%%/%4.1f%%", p.R.ComputeCPUUtil*100, p.R.RemoteCPUUtil*100)
+			}
+			fmt.Fprintln(out)
+		}
 	case "scaleout":
 		// 8 threads per compute node: one node leaves fabric headroom, so
 		// adding read-only secondaries must raise aggregate throughput.

@@ -201,61 +201,56 @@ type DB struct {
 }
 
 // Open creates a DB on the deployment's first compute node backed by its
-// first memory node, with Lambda(opts)=1. Use OpenSharded for λ > 1 and
-// OpenAt for explicit node placement.
+// first memory node, with Lambda(opts)=1.
+//
+// Deprecated: use OpenDB(d, RolePrimary, Placement{}, opts).
 func Open(d *Deployment, opts Options) *DB {
-	return OpenSharded(d, opts, 1, nil)
+	return mustOpen(OpenDB(d, RolePrimary, Placement{}, opts))
 }
 
 // OpenSharded creates a λ-sharded DB (§VII) on the first compute node.
 // boundaries are the λ-1 ascending user-key split points.
+//
+// Deprecated: use OpenDB(d, RolePrimary, Placement{Lambda: λ, Boundaries: b}, opts).
 func OpenSharded(d *Deployment, opts Options, lambda int, boundaries [][]byte) *DB {
-	return OpenAt(d, 0, d.Servers, opts, lambda, boundaries)
+	return mustOpen(OpenDB(d, RolePrimary, Placement{Lambda: lambda, Boundaries: boundaries}, opts))
 }
 
 // OpenAt creates a DB on compute node computeIdx whose shards round-robin
-// across servers (§IX). With Options.Durability set, the facade manages
-// log-slot identity itself: Options.WALOwner is overwritten with
-// computeIdx (and each shard gets WALShard = its index), so DBs on
-// different compute nodes sharing a memory node never collide. Use the
-// engine package directly for manual slot control.
+// across servers (§IX).
+//
+// Deprecated: use OpenDB with RolePrimary and an explicit Placement.
 func OpenAt(d *Deployment, computeIdx int, servers []*memnode.Server, opts Options, lambda int, boundaries [][]byte) *DB {
-	opts.WALOwner = computeIdx
-	return &DB{inner: shard.New(d.Compute[computeIdx], servers, lambda, boundaries, opts)}
+	return mustOpen(OpenDB(d, RolePrimary,
+		Placement{ComputeIdx: computeIdx, Servers: servers, Lambda: lambda, Boundaries: boundaries}, opts))
 }
 
 // Recover rebuilds the DB a crashed compute node ran via Open, replaying
 // its remote write-ahead logs (§VIII). opts must have Durability set and
-// otherwise match the dead DB's Open. The DB is rebuilt on the
-// deployment's first compute node (in the simulator a crashed node can be
-// Restarted and reused); use RecoverAt to rebuild elsewhere.
+// otherwise match the dead DB's Open.
+//
+// Deprecated: use OpenDB(d, RoleRecover, Placement{}, opts).
 func Recover(d *Deployment, opts Options) (*DB, error) {
-	return RecoverAt(d, 0, 0, d.Servers, opts, 1, nil)
+	return OpenDB(d, RoleRecover, Placement{}, opts)
 }
 
 // RecoverSharded rebuilds a λ-sharded DB opened with OpenSharded on the
 // first compute node.
+//
+// Deprecated: use OpenDB(d, RoleRecover, Placement{Lambda: λ, Boundaries: b}, opts).
 func RecoverSharded(d *Deployment, opts Options, lambda int, boundaries [][]byte) (*DB, error) {
-	return RecoverAt(d, 0, 0, d.Servers, opts, lambda, boundaries)
+	return OpenDB(d, RoleRecover, Placement{Lambda: lambda, Boundaries: boundaries}, opts)
 }
 
 // RecoverAt rebuilds, on compute node computeIdx, the DB that compute
 // node owner opened with OpenAt(d, owner, servers, ...) before crashing.
-// servers, opts, lambda and boundaries must match that OpenAt call.
+// servers, opts, lambda and boundaries must match that OpenAt call. See
+// Placement for the owner-remap rule.
 //
-// The owner-remap rule: computeIdx chooses where the rebuilt DB runs,
-// owner names whose log slots (and shard leases) it adopts. The rebuilt DB
-// keeps logging under owner — never computeIdx — so a later recovery, from
-// any compute node, derives the same slot keys and finds the same logs.
-// Remapping owner itself would orphan the dead node's slots and silently
-// start an empty DB.
+// Deprecated: use OpenDB with RoleRecover and an explicit Placement.
 func RecoverAt(d *Deployment, computeIdx, owner int, servers []*memnode.Server, opts Options, lambda int, boundaries [][]byte) (*DB, error) {
-	opts.WALOwner = owner
-	inner, err := shard.Recover(d.Compute[computeIdx], servers, lambda, boundaries, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &DB{inner: inner}, nil
+	return OpenDB(d, RoleRecover,
+		Placement{ComputeIdx: computeIdx, Owner: owner, Servers: servers, Lambda: lambda, Boundaries: boundaries}, opts)
 }
 
 // UniformBoundaries splits a formatted integer key space into lambda equal

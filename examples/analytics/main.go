@@ -24,7 +24,10 @@ func main() {
 
 	d.Run(func() {
 		opts := dlsm.DefaultOptions()
-		db := dlsm.Open(d, opts)
+		db, err := dlsm.OpenDB(d, dlsm.RolePrimary, dlsm.Placement{}, opts)
+		if err != nil {
+			panic(err)
+		}
 		defer db.Close()
 
 		// Ingest: 8 collector threads append events.

@@ -35,7 +35,10 @@ func main() {
 		// The DB runs on compute-0 against memory-0; memory-1 is passive —
 		// its CPU serves no LSM, bytes arrive via one-sided writes and the
 		// repl_clone handler on the primary.
-		db := dlsm.OpenAt(d, 0, d.Servers[:1], opts, 1, nil)
+		db, err := dlsm.OpenDB(d, dlsm.RolePrimary, dlsm.Placement{Servers: d.Servers[:1]}, opts)
+		if err != nil {
+			panic(err)
+		}
 		s := db.NewSession()
 		for i := 0; i < 40_000; i++ {
 			put(s, fmt.Sprintf("acct-%06d", i%20000), fmt.Sprintf("balance=%d", i))
@@ -62,7 +65,8 @@ func main() {
 		// (its peer is the node that just died).
 		opts.ReplicationFactor = 0
 		opts.Replica = nil
-		db2, err := dlsm.RecoverAt(d, 1, 0, d.Servers[1:2], opts, 1, nil)
+		db2, err := dlsm.OpenDB(d, dlsm.RoleRecover,
+			dlsm.Placement{ComputeIdx: 1, Owner: 0, Servers: d.Servers[1:2]}, opts)
 		if err != nil {
 			panic(err)
 		}

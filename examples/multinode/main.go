@@ -101,14 +101,16 @@ func scaleout(d *dlsm.Deployment) {
 	opts.WALSize = 8 << 20
 	servers := d.Servers[:1]
 
-	primary, err := dlsm.OpenPrimaryAt(d, 0, 0, servers, opts, 1, nil)
+	primary, err := dlsm.OpenDB(d, dlsm.RolePrimary,
+		dlsm.Placement{Servers: servers, Lease: true}, opts)
 	if err != nil {
 		panic(err)
 	}
 	defer primary.Close()
 	var secs []*dlsm.DB
 	for _, node := range []int{1, 2} {
-		sec, err := dlsm.OpenSecondaryAt(d, node, 0, servers, opts, 1, nil)
+		sec, err := dlsm.OpenDB(d, dlsm.RoleSecondary,
+			dlsm.Placement{ComputeIdx: node, Owner: 0, Servers: servers}, opts)
 		if err != nil {
 			panic(err)
 		}

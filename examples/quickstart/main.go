@@ -15,7 +15,10 @@ func main() {
 	defer d.Close()
 
 	d.Run(func() {
-		db := dlsm.Open(d, dlsm.DefaultOptions())
+		db, err := dlsm.OpenDB(d, dlsm.RolePrimary, dlsm.Placement{}, dlsm.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
 		defer db.Close()
 
 		// A Session is a thread-local handle (one RDMA queue pair per

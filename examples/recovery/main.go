@@ -23,7 +23,11 @@ func main() {
 		opts := dlsm.DefaultOptions()
 		opts.Durability = dlsm.DurabilitySync
 
-		db := dlsm.Open(d, opts) // runs on compute-0 (log owner 0)
+		// Runs on compute-0 (log owner 0): the zero Placement.
+		db, err := dlsm.OpenDB(d, dlsm.RolePrimary, dlsm.Placement{}, opts)
+		if err != nil {
+			panic(err)
+		}
 		s := db.NewSession()
 
 		// A main-memory database's write traffic: every nil error below is
@@ -45,7 +49,7 @@ func main() {
 		fmt.Println("compute-0 lost; recovering on standby compute-1...")
 
 		// The standby rebuilds owner 0's DB from the remote log.
-		db2, err := dlsm.RecoverAt(d, 1, 0, d.Servers, opts, 1, nil)
+		db2, err := dlsm.OpenDB(d, dlsm.RoleRecover, dlsm.Placement{ComputeIdx: 1, Owner: 0}, opts)
 		if err != nil {
 			panic(err)
 		}

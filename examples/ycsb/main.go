@@ -35,8 +35,13 @@ func runWorkload(lambda int) float64 {
 	var tput float64
 	d.Run(func() {
 		format := func(i int) []byte { return []byte(fmt.Sprintf("user%016d", i)) }
-		db := dlsm.OpenSharded(d, dlsm.DefaultOptions(), lambda,
-			dlsm.UniformBoundaries(lambda, numKeys, format))
+		db, err := dlsm.OpenDB(d, dlsm.RolePrimary, dlsm.Placement{
+			Lambda:     lambda,
+			Boundaries: dlsm.UniformBoundaries(lambda, numKeys, format),
+		}, dlsm.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
 		defer db.Close()
 
 		// Load phase: every key once, batched — one sequence-range claim

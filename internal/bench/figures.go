@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"text/tabwriter"
+	"time"
 
 	"dlsm/internal/engine"
 	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
 )
 
 // Figure is one reproduced table/figure: labeled series of data points.
@@ -305,6 +307,44 @@ func FigWAL(n, threads int) *Figure {
 		progress("figwal %s: %s ops/s (appends %d, doorbells %d, ring stalls %d)",
 			v.label, fmtTput(r.Throughput),
 			c["wal.appends"], c["wal.doorbells"], c["wal.ring_stalls"])
+		s.Points = append(s.Points, Point{X: v.label, R: r})
+	}
+	f.Series = append(f.Series, s)
+	return f
+}
+
+// FigOffload sweeps the three write-path offload layers (flush
+// serialization, block-index build, bloom-filter build) on a randomfill
+// workload with the sync remote WAL on — so every offloaded flush replays
+// the memnode-resident log ring instead of re-shipping the memtable. The
+// cost model gets nonzero IndexByte/FilterKey so the index and filter
+// layers are separately visible in CPU utilization; with all layers on,
+// compute CPU must sit strictly below the no-offload baseline at no worse
+// throughput.
+func FigOffload(n, threads int) *Figure {
+	costs := sim.DefaultCosts()
+	costs.IndexByte = 0.6
+	costs.FilterKey = 250 * time.Nanosecond
+	f := &Figure{Name: "Fig Offload", Title: "write-path offload ablation (randomfill, sync WAL)", XLabel: "layers"}
+	variants := []struct {
+		label            string
+		flush, idx, flt bool
+	}{
+		{"off", false, false, false},
+		{"flush", true, false, false},
+		{"flush+index", true, true, false},
+		{"all", true, true, true},
+	}
+	s := Series{Label: "dLSM"}
+	for _, v := range variants {
+		r := FillRandom(Config{System: DLSM, Threads: threads, N: n,
+			Durability: engine.DurabilitySync, Costs: costs,
+			OffloadFlush: v.flush, OffloadIndexBuild: v.idx, OffloadFilter: v.flt})
+		c := r.Metrics.Counters
+		progress("figoffload %s: %s ops/s (compute CPU %.1f%%, remote CPU %.1f%%, offloaded %d, replay %d, fallback %d)",
+			v.label, fmtTput(r.Throughput),
+			r.ComputeCPUUtil*100, r.RemoteCPUUtil*100,
+			c["offload.flushes"], c["offload.replay"], c["offload.fallback"])
 		s.Points = append(s.Points, Point{X: v.label, R: r})
 	}
 	f.Series = append(f.Series, s)

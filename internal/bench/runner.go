@@ -26,6 +26,9 @@ type Result struct {
 	// RemoteCPUUtil is the memory node's core utilization during the
 	// measured phase (Fig 12 bar annotations).
 	RemoteCPUUtil float64
+	// ComputeCPUUtil is the compute node's core utilization during the
+	// measured phase (the FigOffload headline: offloading must lower it).
+	ComputeCPUUtil float64
 	// Net traffic during the measured phase, compute<->first memory node.
 	NetToMem, NetFromMem int64
 	// Metrics is the end-of-run telemetry snapshot: the system's engine
@@ -120,6 +123,7 @@ func doPreload(env *sim.Env, cfg Config, db kvDB) {
 func measure(env *sim.Env, fab *rdma.Fabric, cfg Config, kind opKind, db kvDB, cn *rdma.Node, servers []*memnode.Server) Result {
 	mn := servers[0].Node()
 	mn.CPU.ResetStats()
+	cn.CPU.ResetStats()
 	toMem0, _ := fab.LinkStats(cn, mn)
 	fromMem0, _ := fab.LinkStats(mn, cn)
 
@@ -173,6 +177,7 @@ func measure(env *sim.Env, fab *rdma.Fabric, cfg Config, kind opKind, db kvDB, c
 	}
 	res.SpaceUsed = db.SpaceUsed()
 	res.RemoteCPUUtil = mn.CPU.Utilization()
+	res.ComputeCPUUtil = cn.CPU.Utilization()
 	toMem1, _ := fab.LinkStats(cn, mn)
 	fromMem1, _ := fab.LinkStats(mn, cn)
 	res.NetToMem = toMem1 - toMem0

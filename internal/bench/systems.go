@@ -115,6 +115,15 @@ func engineOptions(sys System, cfg Config, lambda int) engine.Options {
 	// 8 MemTables per shard slot.
 	o.Durability = cfg.Durability
 	o.WALPerWriteCommit = cfg.WALPerWrite
+	// Cost-model override (FigOffload makes build layers CPU-visible).
+	if cfg.Costs != (sim.CostModel{}) {
+		o.Costs = cfg.Costs
+	}
+	// Write-path offloading (FigOffload ablation); all-false keeps the
+	// flush path bit-identical to the seed figures.
+	o.OffloadFlush = cfg.OffloadFlush
+	o.OffloadIndexBuild = cfg.OffloadIndexBuild
+	o.OffloadFilter = cfg.OffloadFilter
 	// Replication (FigRepl sweep): quorum ack across two copies; the
 	// replica server itself is attached by openSystemRange, which
 	// dedicates the last memory node to the backup role.
@@ -357,6 +366,9 @@ func deployment(cfg Config) (*sim.Env, *rdma.Fabric, []*rdma.Node, []*memnode.Se
 	}
 	var servers []*memnode.Server
 	mcfg := memnode.DefaultConfig()
+	if cfg.Costs != (sim.CostModel{}) {
+		mcfg.Costs = cfg.Costs
+	}
 	mcfg.ComputeRegionSize = cfg.regionSize()
 	mcfg.SelfRegionSize = cfg.regionSize()
 	mcfg.Subcompactions = 12

@@ -6,6 +6,7 @@ import (
 
 	"dlsm/internal/engine"
 	"dlsm/internal/rdma"
+	"dlsm/internal/sim"
 )
 
 // Config describes one benchmark run. Zero fields take defaults.
@@ -53,6 +54,21 @@ type Config struct {
 	// WALPerWrite disables group commit: one doorbell per write (the
 	// FigWAL ablation baseline).
 	WALPerWrite bool
+
+	// Costs overrides the CPU cost model on every node (engine and
+	// memnode). The zero value keeps sim.DefaultCosts — the calibration
+	// every existing figure uses. FigOffload sets nonzero IndexByte /
+	// FilterKey so the index- and filter-build layers become separately
+	// visible in CPU utilization.
+	Costs sim.CostModel
+
+	// Offload* push write-path layers to the memory node (engine.Options
+	// passthrough, the FigOffload ablation): flush serialization, block
+	// index build, and bloom-filter build. All false keeps the flush path
+	// bit-identical to the pre-offload figures.
+	OffloadFlush      bool
+	OffloadIndexBuild bool
+	OffloadFilter     bool
 
 	// ReplicationFactor mirrors every durable artifact onto a second
 	// memory node (internal/repl, the FigRepl sweep). 0 and 1 keep the

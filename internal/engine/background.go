@@ -101,18 +101,35 @@ func (db *DB) flushOne(w *bgWorker, mt *memtable.MemTable) {
 	// filter is ~10 bits/key.
 	capacity := mt.ApproximateSize() + mt.KeyBytes() + int64(mt.Len())*24 + 8<<10
 	var meta *sstable.Meta
+	offload := db.offloadEnabled()
 	for attempt := 1; ; attempt++ {
-		m, err := db.buildFlushTable(w, mt, capacity)
+		var m *sstable.Meta
+		var err error
+		if offload {
+			m, err = db.flushRemote(w, mt, capacity)
+			if err != nil {
+				// Graceful degradation, mirroring compaction.fallback: the
+				// memory node's RPC service is unreachable, or the replay
+				// view was incomplete. The memtable is still here — build on
+				// the compute node instead, for this table and the rest of
+				// this flush's attempts.
+				db.stats.OffloadFallbacks.Add(1)
+				offload = false
+				m, err = db.buildFlushTable(w, mt, capacity)
+			}
+		} else {
+			m, err = db.buildFlushTable(w, mt, capacity)
+		}
 		if err == nil {
 			// Replicate before install (no-op at ReplicationFactor 1): a
 			// checkpoint may name this table the moment it publishes, so its
-			// replica copy must exist first. On failure the primary extent
-			// is returned and the whole build retries.
+			// replica copy must exist first. On failure the extent is
+			// returned and the whole build retries.
 			if err = db.attachMirror(m); err == nil {
 				meta = m
 				break
 			}
-			db.freeTableLocal(m)
+			db.discardFlushTable(w, m)
 		}
 		// The write failed (fabric fault, service outage). The MemTable is
 		// immutable, so the build can simply run again after a pause.

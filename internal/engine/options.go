@@ -105,6 +105,27 @@ type Options struct {
 	AsyncFlush     bool // overlap serialization with RDMA writes (§X-C)
 	FlushBufSize   int
 
+	// OffloadFlush pushes MemTable flushes to the memory node (three-layer
+	// write-path offloading, DESIGN.md §11): a flush_build RPC has it
+	// serialize the SSTable into its self-controlled area — replaying its
+	// resident WAL ring in place when Durability is on (zero extra data
+	// bytes on the network), else from memtable contents shipped inline.
+	// False — the default — keeps the compute-side flush path
+	// byte-identical to builds that predate offloading. Requires the
+	// native transport (other transports ignore it); on exhausted RPC
+	// retries the flush falls back to the compute-local build.
+	OffloadFlush bool
+
+	// OffloadIndexBuild additionally builds the block index on the memory
+	// node during an offloaded flush; otherwise the compute node
+	// constructs it and one-sided-writes it into the extent's reserved
+	// footer space. Only meaningful with OffloadFlush.
+	OffloadIndexBuild bool
+
+	// OffloadFilter likewise offloads bloom-filter construction. Only
+	// meaningful with OffloadFlush and BitsPerKey > 0.
+	OffloadFilter bool
+
 	PrefetchBytes int // range-scan read-ahead
 
 	// PrefetchDepth is how many readahead chunk fetches a range scan keeps

@@ -32,6 +32,13 @@ type Stats struct {
 	FlushErrors *telemetry.Counter // flush attempts that failed and retried
 	GCDropped   *telemetry.Counter // free batches dropped after retries
 
+	// Write-path offloading (Options.OffloadFlush). All stay zero when
+	// offloading is off: the flush path never issues flush_build RPCs.
+	OffloadedFlushes *telemetry.Counter // flush builds completed on the memory node
+	OffloadReplays   *telemetry.Counter // offloaded flushes fed by WAL-ring replay
+	OffloadInline    *telemetry.Counter // offloaded flushes that shipped contents
+	OffloadFallbacks *telemetry.Counter // offload gave up -> compute-local build
+
 	Stalls       *telemetry.Counter
 	StallTime    *telemetry.Counter // virtual ns
 	StallL0Time  *telemetry.Counter // stalled on level0_stop_writes_trigger
@@ -85,6 +92,13 @@ func newStats(reg *telemetry.Registry) Stats {
 
 		FlushErrors: reg.Counter("engine.flush.errors"),
 		GCDropped:   reg.Counter("engine.gc.dropped_batches"),
+
+		OffloadedFlushes: reg.Counter("offload.flushes"),
+		OffloadReplays:   reg.Counter("offload.replay"),
+		OffloadInline:    reg.Counter("offload.inline"),
+		// Named without the engine. prefix, like compaction.fallback: the
+		// graceful-degradation signal for the offloaded write path.
+		OffloadFallbacks: reg.Counter("offload.fallback"),
 
 		Stalls:       reg.Counter("engine.stalls"),
 		StallTime:    reg.Counter("engine.stall.time_ns"),

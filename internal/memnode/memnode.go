@@ -8,6 +8,11 @@
 //     memory, merged by a pool of subcompaction workers bounded by the
 //     node's (weak) CPU, and written to the self-controlled area; only the
 //     new tables' metadata crosses the network back.
+//   - "flush_build": memtable flush offloading (three-layer offloading,
+//     after O³-LSM): serializes one immutable memtable — shipped contents,
+//     or replayed in place from the already-remote WAL ring — into the
+//     self-controlled area, building the block index and bloom filter
+//     there, and returns only the metadata + index/filter bytes.
 //   - "free": batched reclamation of self-allocated extents (§V-B).
 //   - "fs_read"/"fs_write"/"fs_free": a tmpfs-like byte service used by the
 //     Nova-LSM baseline, which does file I/O through two-sided RPCs.
@@ -76,10 +81,10 @@ type Server struct {
 	computeAlloc *remote.Allocator
 	rpc          *rpc.Server
 
-	// Compaction job deduplication: retried "compact" RPCs share a job id,
-	// so redelivery (a retry racing a slow original) never runs the merge
-	// twice or leaks output extents. The table lives outside the RPC
-	// service and therefore survives service crash/restart.
+	// Job deduplication for "compact" and "flush_build": retried RPCs
+	// share a job id, so redelivery (a retry racing a slow original) never
+	// runs the work twice or leaks output extents. The table lives outside
+	// the RPC service and therefore survives service crash/restart.
 	jobMu    sync.Mutex
 	jobs     map[uint64]*jobState
 	jobOrder []uint64
@@ -127,7 +132,8 @@ type LeaseSlot struct {
 	Size int64
 }
 
-// jobState tracks one compaction job from first delivery to eviction.
+// jobState tracks one offloaded job (compaction or flush build) from
+// first delivery to eviction.
 type jobState struct {
 	done     bool
 	canceled bool
@@ -161,6 +167,10 @@ func NewServer(node *rdma.Node, cfg Config) *Server {
 	s.canceled = tel.Counter("memnode.jobs.canceled")
 	s.rpc.HandleDedicated("compact", s.handleCompact, 12)
 	s.rpc.Handle("compact_cancel", s.handleCompactCancel)
+	// flush_build rides the shared worker pool: builds are bounded by one
+	// memtable (milliseconds), unlike multi-table merges, so they cannot
+	// starve the pool the way compactions would.
+	s.rpc.Handle("flush_build", s.handleFlushBuild)
 	s.rpc.Handle("free", s.handleFree)
 	s.rpc.Handle("fs_read", s.handleFSRead)
 	s.rpc.Handle("fs_write", s.handleFSWrite)
@@ -442,22 +452,32 @@ func DecodeMetas(b []byte) ([]*sstable.Meta, error) {
 	return out, nil
 }
 
-// handleCompact executes one near-data compaction job, deduplicating
-// redelivered jobs by id: a duplicate of a completed job returns the
-// cached reply; a duplicate of a running job parks until the original
-// finishes and returns the same reply. Neither runs the merge again.
+// handleCompact executes one near-data compaction job under the shared
+// job-dedupe table.
 func (s *Server) handleCompact(from int, argBytes []byte) ([]byte, error) {
 	args, err := DecodeCompactArgs(argBytes)
 	if err != nil {
 		return nil, err
 	}
-	if args.JobID == 0 {
-		reply, _, err := s.runCompactJob(args)
+	return s.withJobDedupe(args.JobID, func() ([]byte, []*sstable.Meta, error) {
+		return s.runCompactJob(args)
+	})
+}
+
+// withJobDedupe executes run once per job id, deduplicating redelivered
+// jobs: a duplicate of a completed job returns the cached reply; a
+// duplicate of a running job parks until the original finishes and
+// returns the same reply. Neither runs the work again. jobID 0 disables
+// deduplication. Shared by the "compact" and "flush_build" services —
+// both allocate self-region output extents that a cancel must reclaim.
+func (s *Server) withJobDedupe(jobID uint64, run func() ([]byte, []*sstable.Meta, error)) ([]byte, error) {
+	if jobID == 0 {
+		reply, _, err := run()
 		return reply, err
 	}
 
 	s.jobMu.Lock()
-	if st, ok := s.jobs[args.JobID]; ok {
+	if st, ok := s.jobs[jobID]; ok {
 		s.deduped.Inc()
 		if !st.done {
 			ch := make(chan struct{})
@@ -472,21 +492,21 @@ func (s *Server) handleCompact(from int, argBytes []byte) ([]byte, error) {
 		return reply, jerr
 	}
 	st := &jobState{}
-	s.jobs[args.JobID] = st
-	s.jobOrder = append(s.jobOrder, args.JobID)
+	s.jobs[jobID] = st
+	s.jobOrder = append(s.jobOrder, jobID)
 	s.jobMu.Unlock()
 
-	reply, outputs, err := s.runCompactJob(args)
+	reply, outputs, err := run()
 
 	s.jobMu.Lock()
 	st.done = true
 	if st.canceled {
-		// A cancel raced the merge: the compute node has fallen back to
-		// local compaction and will never claim these outputs.
+		// A cancel raced the work: the compute node has fallen back to
+		// the local path and will never claim these outputs.
 		for _, m := range outputs {
 			s.freeSelf(m)
 		}
-		reply, outputs, err = nil, nil, fmt.Errorf("memnode: job %d canceled", args.JobID)
+		reply, outputs, err = nil, nil, fmt.Errorf("memnode: job %d canceled", jobID)
 	}
 	st.reply, st.err, st.outputs = reply, err, outputs
 	waiters := st.waiters
@@ -499,9 +519,10 @@ func (s *Server) handleCompact(from int, argBytes []byte) ([]byte, error) {
 	return reply, err
 }
 
-// handleCompactCancel frees the outputs of a job whose requester gave up
-// (exhausted retries and fell back to local compaction). Best effort: the
-// id is tombstoned so a late duplicate delivery cannot start the merge.
+// handleCompactCancel frees the outputs of a job — compaction or flush
+// build, they share the table — whose requester gave up (exhausted
+// retries and fell back to the compute-local path). Best effort: the id
+// is tombstoned so a late duplicate delivery cannot start the work.
 func (s *Server) handleCompactCancel(from int, args []byte) ([]byte, error) {
 	if len(args) < 8 {
 		return nil, fmt.Errorf("memnode: short cancel args")

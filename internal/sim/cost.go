@@ -26,6 +26,13 @@ type CostModel struct {
 
 	// RPC / misc.
 	RPCHandle Duration // server-side dispatch + handler entry
+
+	// Table-build accounting knobs, zero by default so the build cost
+	// stays folded into SerializeByte/BlockByte exactly as calibrated.
+	// Offload ablation figures set them nonzero to make the index- and
+	// filter-construction layers separately visible in CPU utilization.
+	IndexByte float64  // ns/B: block-index construction, per index byte
+	FilterKey Duration // bloom-filter construction, per key
 }
 
 // DefaultCosts is the calibration used throughout the benchmarks.

@@ -108,6 +108,16 @@ type Options struct {
 	// FillCache gates inserting fetched values and negative results into
 	// Cache (ReadOptions.FillCache); lookups happen regardless.
 	FillCache bool
+
+	// Build-splitting controls for three-layer write-path offloading
+	// (DESIGN.md §11). All false by default, leaving writer behavior —
+	// bytes and CPU charges — exactly as before. A builder running on one
+	// node sets Skip* for the sections another node constructs, and
+	// DeferFooter when the caller places the footer sections itself.
+	SkipIndex   bool // don't construct the block index
+	SkipFilter  bool // don't construct the bloom filter
+	SkipData    bool // track geometry only: no data writes, no data charges
+	DeferFooter bool // Finish returns index/filter without writing them to the sink
 }
 
 // QPFetcher reads table bytes from remote memory with one-sided RDMA reads

@@ -75,16 +75,20 @@ func (w *byteAddrWriter) Add(ikey, value []byte) {
 		w.small = append([]byte(nil), ikey...)
 	}
 	w.large = append(w.large[:0], ikey...)
-	w.ib.Add(ikey, uint32(w.off), uint32(len(ikey)), uint32(len(value)))
-	if w.bits > 0 {
+	if !w.costs.SkipIndex {
+		w.ib.Add(ikey, uint32(w.off), uint32(len(ikey)), uint32(len(value)))
+	}
+	if w.bits > 0 && !w.costs.SkipFilter {
 		w.userKey = append(w.userKey, append([]byte(nil), keys.UserKey(ikey)...))
 	}
-	w.sink.Write(ikey)
-	w.sink.Write(value)
 	n := len(ikey) + len(value)
+	if !w.costs.SkipData {
+		w.sink.Write(ikey)
+		w.sink.Write(value)
+		w.charges.add(bytesCost(n, w.costs.Costs.SerializeByte))
+	}
 	w.off += int64(n)
 	w.count++
-	w.charges.add(bytesCost(n, w.costs.Costs.SerializeByte))
 }
 
 func (w *byteAddrWriter) EstimatedSize() int64 { return w.off }
@@ -94,17 +98,25 @@ func (w *byteAddrWriter) FooterSize() int64 {
 }
 
 func (w *byteAddrWriter) Finish() (BuildResult, error) {
-	w.charges.flush()
 	var f bloom.Filter
-	if w.bits > 0 {
+	if w.bits > 0 && !w.costs.SkipFilter {
 		f = bloom.Build(w.userKey, w.bits)
+		if w.costs.Costs.FilterKey > 0 {
+			w.charges.add(time.Duration(w.count) * w.costs.Costs.FilterKey)
+		}
 	}
 	ix := w.ib.Finish()
+	if !w.costs.SkipIndex && w.costs.Costs.IndexByte > 0 {
+		w.charges.add(bytesCost(len(ix.Raw()), w.costs.Costs.IndexByte))
+	}
+	w.charges.flush()
 	// Footer: the index and filter live in the extent right after the
 	// data, so the memory node can reload them locally for near-data
 	// compaction while the compute node keeps its own cached copy (§V-A).
-	w.sink.Write(ix.Raw())
-	w.sink.Write(f)
+	if !w.costs.DeferFooter {
+		w.sink.Write(ix.Raw())
+		w.sink.Write(f)
+	}
 	if err := w.sink.Finish(); err != nil {
 		return BuildResult{}, err
 	}
@@ -169,12 +181,14 @@ func (w *blockWriter) Add(ikey, value []byte) {
 	w.cur = binary.LittleEndian.AppendUint32(w.cur, uint32(len(value)))
 	w.cur = append(w.cur, ikey...)
 	w.cur = append(w.cur, value...)
-	if w.bits > 0 {
+	if w.bits > 0 && !w.costs.SkipFilter {
 		w.userKey = append(w.userKey, append([]byte(nil), keys.UserKey(ikey)...))
 	}
 	w.count++
 	n := len(ikey) + len(value) + 6
-	w.charges.add(bytesCost(n, w.costs.Costs.SerializeByte))
+	if !w.costs.SkipData {
+		w.charges.add(bytesCost(n, w.costs.Costs.SerializeByte))
+	}
 	if len(w.cur) >= w.blockSize {
 		w.flushBlock()
 	}
@@ -188,11 +202,15 @@ func (w *blockWriter) flushBlock() {
 		w.cur = binary.LittleEndian.AppendUint32(w.cur, o)
 	}
 	w.cur = binary.LittleEndian.AppendUint32(w.cur, uint32(len(w.offsets)))
-	w.ib.Add(w.lastKey, uint32(w.blockOff), uint32(len(w.cur)), uint32(len(w.offsets)))
-	w.sink.Write(w.cur)
-	// Block wrapping pays an extra pass over the block bytes plus fixed
-	// per-block work.
-	w.charges.add(bytesCost(len(w.cur), w.costs.Costs.BlockByte) + w.costs.Costs.BlockTouch)
+	if !w.costs.SkipIndex {
+		w.ib.Add(w.lastKey, uint32(w.blockOff), uint32(len(w.cur)), uint32(len(w.offsets)))
+	}
+	if !w.costs.SkipData {
+		w.sink.Write(w.cur)
+		// Block wrapping pays an extra pass over the block bytes plus fixed
+		// per-block work.
+		w.charges.add(bytesCost(len(w.cur), w.costs.Costs.BlockByte) + w.costs.Costs.BlockTouch)
+	}
 	w.off = w.blockOff + int64(len(w.cur))
 	w.blockOff = w.off
 	w.cur = w.cur[:0]
@@ -209,14 +227,22 @@ func (w *blockWriter) FooterSize() int64 {
 
 func (w *blockWriter) Finish() (BuildResult, error) {
 	w.flushBlock()
-	w.charges.flush()
 	var f bloom.Filter
-	if w.bits > 0 {
+	if w.bits > 0 && !w.costs.SkipFilter {
 		f = bloom.Build(w.userKey, w.bits)
+		if w.costs.Costs.FilterKey > 0 {
+			w.charges.add(time.Duration(w.count) * w.costs.Costs.FilterKey)
+		}
 	}
 	ix := w.ib.Finish()
-	w.sink.Write(ix.Raw())
-	w.sink.Write(f)
+	if !w.costs.SkipIndex && w.costs.Costs.IndexByte > 0 {
+		w.charges.add(bytesCost(len(ix.Raw()), w.costs.Costs.IndexByte))
+	}
+	w.charges.flush()
+	if !w.costs.DeferFooter {
+		w.sink.Write(ix.Raw())
+		w.sink.Write(f)
+	}
 	if err := w.sink.Finish(); err != nil {
 		return BuildResult{}, err
 	}

@@ -190,6 +190,19 @@ func appendRecord(dst []byte, epoch, lsn, seqLo uint64, n int, ent func(i int) (
 // epoch and exact LSN. Returns the framed size on success; ok=false means
 // the bytes are not a valid next record (torn tail).
 func parseRecord(b []byte, epoch, wantLSN uint64) (Record, int, bool) {
+	return parseRecordAt(b, epoch, wantLSN, true)
+}
+
+// ParseReplayRecord decodes one framed record for offload replay. Unlike
+// recovery's ring scan it has no sequential-LSN requirement: replay
+// selects records by ring location (wal.View), not by walking from the
+// header, so any LSN of the right epoch with a valid CRC is acceptable.
+func ParseReplayRecord(b []byte, epoch uint64) (Record, bool) {
+	rec, _, ok := parseRecordAt(b, epoch, 0, false)
+	return rec, ok
+}
+
+func parseRecordAt(b []byte, epoch, wantLSN uint64, exactLSN bool) (Record, int, bool) {
 	if len(b) < 4 {
 		return Record{}, 0, false
 	}
@@ -208,7 +221,7 @@ func parseRecord(b []byte, epoch, wantLSN uint64) (Record, int, bool) {
 		LSN:   binary.LittleEndian.Uint64(body[8:]),
 		SeqLo: binary.LittleEndian.Uint64(body[16:]),
 	}
-	if rec.LSN != wantLSN {
+	if exactLSN && rec.LSN != wantLSN {
 		return Record{}, 0, false
 	}
 	count := int(binary.LittleEndian.Uint32(body[24:]))

@@ -1,0 +1,93 @@
+package wal
+
+import (
+	"fmt"
+	"time"
+)
+
+// RecordLoc locates one framed record inside the ring (ring-relative
+// offset; records never wrap the ring edge, so [Off, Off+Size) is always
+// contiguous).
+type RecordLoc struct {
+	Off  int
+	Size int
+}
+
+// View is a zero-copy flush descriptor: the ring locations of every
+// durable record whose sequence span overlaps a requested range. The
+// engine ships it to the memory node instead of re-sending immutable
+// memtable contents (three-layer offloading, DESIGN.md §11) — the bytes
+// are already resident in memory-node DRAM, so the memnode replays them
+// in place for zero extra network traffic. The records stay resident
+// until the flush completes: truncation only trims records whose
+// sequences a published checkpoint covers, and the covered horizon stays
+// strictly below any unflushed memtable's range.
+type View struct {
+	Epoch   uint64
+	Records []RecordLoc
+}
+
+const (
+	replayPollInterval = 200 * time.Microsecond
+	replayPollMax      = 100
+)
+
+// ReplayView returns the ring locations of every durable record
+// overlapping [seqLo, seqHi]. Records still staged or in a not-yet-acked
+// commit group are waited for with a bounded poll; if durability does not
+// arrive (ring stalled on space, log broken mid-wait) an error is
+// returned and the caller falls back to shipping the memtable contents.
+//
+// A view can legitimately miss entries that were inserted into the
+// memtable but never staged (an ErrTooLarge append, or a writer between
+// its claim release and its Stage call); the flush protocol detects that
+// by comparing the built table's entry count against the memtable's and
+// falls back, so ReplayView itself makes no completeness promise.
+func (l *Log) ReplayView(seqLo, seqHi uint64) (View, error) {
+	overlaps := func(lo, hi uint64) bool { return lo <= seqHi && hi >= seqLo }
+	for attempt := 0; ; attempt++ {
+		l.mu.Lock()
+		switch {
+		case l.closed:
+			l.mu.Unlock()
+			return View{}, ErrClosed
+		case l.broken:
+			err := l.brokenErr
+			l.mu.Unlock()
+			return View{}, err
+		case l.recovering:
+			l.mu.Unlock()
+			return View{}, fmt.Errorf("wal: replay view during recovery")
+		}
+		wait := false
+		for _, r := range l.pending {
+			if overlaps(r.loSeq, r.maxSeq) {
+				wait = true
+				break
+			}
+		}
+		if !wait {
+			for _, r := range l.live {
+				if overlaps(r.loSeq, r.maxSeq) && r.lsn > l.durableLSN {
+					wait = true
+					break
+				}
+			}
+		}
+		if !wait {
+			v := View{Epoch: l.epoch}
+			for _, r := range l.live {
+				if overlaps(r.loSeq, r.maxSeq) {
+					v.Records = append(v.Records, RecordLoc{Off: r.off, Size: r.size})
+				}
+			}
+			l.mu.Unlock()
+			return v, nil
+		}
+		l.mu.Unlock()
+		if attempt >= replayPollMax {
+			return View{}, fmt.Errorf("wal: replay view stalled waiting for durability of seqs [%d, %d]", seqLo, seqHi)
+		}
+		l.env.Sleep(replayPollInterval)
+	}
+}

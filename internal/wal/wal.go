@@ -124,6 +124,7 @@ type Token struct{ lsn uint64 }
 // stagedRec is one framed record awaiting the commit loop.
 type stagedRec struct {
 	lsn    uint64
+	loSeq  uint64
 	maxSeq uint64
 	buf    []byte // len | body | crc
 }
@@ -134,6 +135,7 @@ type liveRec struct {
 	off       int // ring offset
 	size      int
 	padBefore int // pad bytes consumed at the ring tail edge before it
+	loSeq     uint64
 	maxSeq    uint64
 }
 
@@ -421,7 +423,7 @@ func (l *Log) Stage(seqLo uint64, n int, ent func(i int) (kind byte, key, value 
 		base := i
 		buf := appendRecord(make([]byte, 0, body+recOverhead), l.epoch, lsn, seqLo+uint64(base), j-i,
 			func(k int) (byte, []byte, []byte) { return ent(base + k) })
-		l.pending = append(l.pending, stagedRec{lsn: lsn, maxSeq: seqLo + uint64(j) - 1, buf: buf})
+		l.pending = append(l.pending, stagedRec{lsn: lsn, loSeq: seqLo + uint64(base), maxSeq: seqLo + uint64(j) - 1, buf: buf})
 		staged += len(buf)
 		l.cfg.Metrics.Appends.Inc()
 		l.cfg.Metrics.AppendBytes.Add(int64(len(buf)))
@@ -660,7 +662,7 @@ func (l *Log) placeAvailLocked(group []stagedRec) ([]segment, int) {
 			off = 0
 		}
 		put(off, r.buf)
-		l.live = append(l.live, liveRec{lsn: r.lsn, off: off, size: need, padBefore: pad, maxSeq: r.maxSeq})
+		l.live = append(l.live, liveRec{lsn: r.lsn, off: off, size: need, padBefore: pad, loSeq: r.loSeq, maxSeq: r.maxSeq})
 		l.tail = off + need
 		if l.tail == l.ringSize {
 			l.tail = 0

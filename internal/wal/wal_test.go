@@ -6,24 +6,61 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"dlsm/internal/memnode"
 	"dlsm/internal/rdma"
 	"dlsm/internal/sim"
 )
 
+// logHost is a minimal stand-in for the memory node's log region — just
+// registered slot memory on the remote node, with memnode's OpenLog
+// surface. The real memnode now parses WAL records for flush offloading
+// (so it imports this package), which makes it unusable from these
+// internal tests.
+type logHost struct {
+	node *rdma.Node
+	mr   *rdma.MemoryRegion
+	next int
+	logs map[uint64]logSlot
+}
+
+type logSlot struct {
+	Addr rdma.RemoteAddr
+	Size int64
+}
+
+func newLogHost(mn *rdma.Node) *logHost {
+	return &logHost{node: mn, mr: mn.Register(8 << 20), logs: map[uint64]logSlot{}}
+}
+
+func (h *logHost) Node() *rdma.Node         { return h.node }
+func (h *logHost) LogMR() *rdma.MemoryRegion { return h.mr }
+
+func (h *logHost) OpenLog(key uint64, size int64) (logSlot, error) {
+	if s, ok := h.logs[key]; ok {
+		return s, nil
+	}
+	off := (h.next + 4095) &^ 4095
+	if off+int(size) > h.mr.Size() {
+		return logSlot{}, fmt.Errorf("log region full")
+	}
+	h.next = off + int(size)
+	s := logSlot{Addr: h.mr.Addr(off), Size: size}
+	h.logs[key] = s
+	return s, nil
+}
+
+func (h *logHost) FindLog(key uint64) (logSlot, bool) {
+	s, ok := h.logs[key]
+	return s, ok
+}
+
 // walHarness runs fn inside a fresh simulated deployment.
-func walHarness(t *testing.T, fn func(env *sim.Env, cn *rdma.Node, srv *memnode.Server)) {
+func walHarness(t *testing.T, fn func(env *sim.Env, cn *rdma.Node, srv *logHost)) {
 	t.Helper()
 	env := sim.NewEnv()
 	fab := rdma.NewFabric(env, rdma.EDR100())
 	cn := fab.AddNode("compute", 24)
 	mn := fab.AddNode("memory", 12)
-	cfg := memnode.DefaultConfig()
-	cfg.ComputeRegionSize = 1 << 20
-	cfg.SelfRegionSize = 1 << 20
-	cfg.LogRegionSize = 8 << 20
-	srv := memnode.NewServer(mn, cfg)
-	srv.Start()
+	srv := newLogHost(mn)
 	env.Run(func() {
 		fn(env, cn, srv)
 		fab.Close()
@@ -42,7 +79,7 @@ type testWAL struct {
 	m       Metrics
 }
 
-func openTestWAL(t *testing.T, env *sim.Env, cn *rdma.Node, srv *memnode.Server, key uint64, slotSize int64, perWrite bool) *testWAL {
+func openTestWAL(t *testing.T, env *sim.Env, cn *rdma.Node, srv *logHost, key uint64, slotSize int64, perWrite bool) *testWAL {
 	t.Helper()
 	slot, err := srv.OpenLog(key, slotSize)
 	if err != nil {
@@ -102,7 +139,7 @@ func (tw *testWAL) put(t *testing.T, seq uint64, key, value string) {
 }
 
 // image snapshots the raw slot bytes from the memory node.
-func slotImage(srv *memnode.Server, key uint64) []byte {
+func slotImage(srv *logHost, key uint64) []byte {
 	slot, ok := srv.FindLog(key)
 	if !ok {
 		panic("no log slot")
@@ -158,7 +195,7 @@ func TestRecordRoundTrip(t *testing.T) {
 }
 
 func TestAppendScanRoundTrip(t *testing.T) {
-	walHarness(t, func(env *sim.Env, cn *rdma.Node, srv *memnode.Server) {
+	walHarness(t, func(env *sim.Env, cn *rdma.Node, srv *logHost) {
 		tw := openTestWAL(t, env, cn, srv, 1, 64<<10, false)
 		for i := 1; i <= 20; i++ {
 			tw.put(t, uint64(i), fmt.Sprintf("key-%03d", i), fmt.Sprintf("value-%03d", i))
@@ -201,7 +238,7 @@ func TestAppendScanRoundTrip(t *testing.T) {
 }
 
 func TestRingWraparound(t *testing.T) {
-	walHarness(t, func(env *sim.Env, cn *rdma.Node, srv *memnode.Server) {
+	walHarness(t, func(env *sim.Env, cn *rdma.Node, srv *logHost) {
 		tw := openTestWAL(t, env, cn, srv, 2, 16<<10, false)
 		if tw.l.ringSize >= 1<<14 {
 			t.Fatalf("ring unexpectedly large: %d", tw.l.ringSize)
@@ -254,7 +291,7 @@ func TestRingWraparound(t *testing.T) {
 }
 
 func TestTruncationRacesAppends(t *testing.T) {
-	walHarness(t, func(env *sim.Env, cn *rdma.Node, srv *memnode.Server) {
+	walHarness(t, func(env *sim.Env, cn *rdma.Node, srv *logHost) {
 		tw := openTestWAL(t, env, cn, srv, 3, 32<<10, false)
 		var seqCtr, acked atomic.Uint64
 		const writers, perWriter = 8, 100
@@ -336,7 +373,7 @@ func TestTruncationRacesAppends(t *testing.T) {
 }
 
 func TestTornTailDetection(t *testing.T) {
-	walHarness(t, func(env *sim.Env, cn *rdma.Node, srv *memnode.Server) {
+	walHarness(t, func(env *sim.Env, cn *rdma.Node, srv *logHost) {
 		tw := openTestWAL(t, env, cn, srv, 4, 64<<10, false)
 		for i := 1; i <= 10; i++ {
 			tw.put(t, uint64(i), fmt.Sprintf("key-%02d", i), "value")
@@ -365,7 +402,7 @@ func TestGroupCommitCoalescing(t *testing.T) {
 	run := func(perWrite bool) (appends, doorbells int64, maxGroup float64) {
 		var a, d int64
 		var mg float64
-		walHarness(t, func(env *sim.Env, cn *rdma.Node, srv *memnode.Server) {
+		walHarness(t, func(env *sim.Env, cn *rdma.Node, srv *logHost) {
 			key := uint64(5)
 			if perWrite {
 				key = 6

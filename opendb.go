@@ -1,0 +1,152 @@
+package dlsm
+
+import (
+	"fmt"
+
+	"dlsm/internal/memnode"
+	"dlsm/internal/shard"
+)
+
+// Role selects what OpenDB opens. Every constructor in this package is a
+// (deprecated) wrapper over one (Role, Placement) combination.
+type Role int
+
+const (
+	// RolePrimary opens a fresh read-write DB. With Placement.Lease set it
+	// additionally acquires one epoch-fenced write lease per shard
+	// (multi-compute scale-out); without a lease it logs under its own
+	// compute index.
+	RolePrimary Role = iota
+	// RoleSecondary attaches a read-only secondary to the shard group of
+	// the primary identified by Placement.Owner: Gets and scans serve from
+	// the remote SSTables at the primary's last published checkpoint
+	// (bounded staleness); writes return ErrReadOnly. Refresh with
+	// DB.RefreshView or ReadOptions.MaxStaleness.
+	RoleSecondary
+	// RoleTakeover deposes the current lease holder of Placement.Owner's
+	// shard group (the CAS fences the deposed primary's unacknowledged
+	// appends before the log is read) and rebuilds the shards from their
+	// remote write-ahead logs: zero-loss failover to a new compute node.
+	RoleTakeover
+	// RoleRecover rebuilds the DB that compute node Placement.Owner ran
+	// before crashing, replaying its remote write-ahead logs (§VIII). The
+	// Placement geometry must match the dead DB's; Options.Durability must
+	// be set.
+	RoleRecover
+)
+
+// String names the role for error messages.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleSecondary:
+		return "secondary"
+	case RoleTakeover:
+		return "takeover"
+	case RoleRecover:
+		return "recover"
+	}
+	return fmt.Sprintf("role(%d)", int(r))
+}
+
+// Placement names where a DB runs and which remote resources it binds: the
+// compute node it runs on, the logical owner whose log slots and shard
+// leases it uses, the memory nodes its shards round-robin across, and the
+// shard geometry. The zero value places a single-shard DB on the
+// deployment's first compute node over all its memory nodes — exactly what
+// Open(d, opts) always did.
+//
+// The owner-remap rule: ComputeIdx chooses where the DB runs, Owner names
+// whose log slots (and shard leases) it adopts. A recovered or taken-over
+// DB keeps logging under Owner — never ComputeIdx — so a later recovery,
+// from any compute node, derives the same slot keys and finds the same
+// logs. Remapping the owner itself would orphan the dead node's slots and
+// silently start an empty DB.
+type Placement struct {
+	ComputeIdx int               // compute node the DB runs on (default 0)
+	Owner      int               // logical identity whose slots/leases it uses (default 0)
+	Servers    []*memnode.Server // shard i uses Servers[i % len]; nil means all of d.Servers
+	Lambda     int               // shard count (§VII); 0 means 1
+	Boundaries [][]byte          // Lambda-1 ascending user-key split points
+
+	// Lease makes a RolePrimary the shard group's single writer under an
+	// epoch-fenced per-shard lease (ErrLeaseHeld if another compute node
+	// owns one; the fence rides the WAL commit path, so Options.Durability
+	// is required). RoleTakeover implies it.
+	Lease bool
+}
+
+// OpenDB opens, recovers, takes over, or attaches to a dLSM index — the
+// single constructor behind Open, OpenSharded, OpenAt, Recover,
+// RecoverSharded, RecoverAt, OpenPrimaryAt, TakeoverAt, OpenSecondaryAt
+// and the per-node loops of OpenCluster / RecoverCluster. The Role picks
+// the protocol, the Placement picks the nodes and shard geometry, and
+// opts configures each shard's engine.
+//
+// With Options.Durability set, the facade manages log-slot identity
+// itself: Options.WALOwner is overwritten from the Placement (and each
+// shard gets WALShard = its index), so DBs on different compute nodes
+// sharing a memory node never collide. Use the engine package directly
+// for manual slot control.
+func OpenDB(d *Deployment, role Role, p Placement, opts Options) (*DB, error) {
+	if p.Lambda == 0 {
+		p.Lambda = 1
+	}
+	if p.Servers == nil {
+		p.Servers = d.Servers
+	}
+	if p.ComputeIdx < 0 || p.ComputeIdx >= len(d.Compute) {
+		return nil, fmt.Errorf("dlsm: placement names compute node %d of a %d-node deployment", p.ComputeIdx, len(d.Compute))
+	}
+	cn := d.Compute[p.ComputeIdx]
+	switch role {
+	case RolePrimary:
+		if p.Lease {
+			opts.WALOwner = p.Owner
+			inner, err := shard.NewPrimary(cn, p.Servers, p.Lambda, p.Boundaries, opts, p.ComputeIdx)
+			if err != nil {
+				return nil, err
+			}
+			return &DB{inner: inner}, nil
+		}
+		// A lease-less primary is a fresh DB: it has no predecessor's slots
+		// to adopt, so it logs under its own compute index.
+		if p.Owner != 0 && p.Owner != p.ComputeIdx {
+			return nil, fmt.Errorf("dlsm: a primary without a lease logs under its own compute index; Owner %d conflicts with ComputeIdx %d", p.Owner, p.ComputeIdx)
+		}
+		opts.WALOwner = p.ComputeIdx
+		return &DB{inner: shard.New(cn, p.Servers, p.Lambda, p.Boundaries, opts)}, nil
+	case RoleSecondary:
+		opts.WALOwner = p.Owner
+		inner, err := shard.OpenSecondary(cn, p.Servers, p.Lambda, p.Boundaries, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &DB{inner: inner}, nil
+	case RoleTakeover:
+		opts.WALOwner = p.Owner
+		inner, err := shard.Takeover(cn, p.Servers, p.Lambda, p.Boundaries, opts, p.ComputeIdx)
+		if err != nil {
+			return nil, err
+		}
+		return &DB{inner: inner}, nil
+	case RoleRecover:
+		opts.WALOwner = p.Owner
+		inner, err := shard.Recover(cn, p.Servers, p.Lambda, p.Boundaries, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &DB{inner: inner}, nil
+	}
+	return nil, fmt.Errorf("dlsm: unknown role %v", role)
+}
+
+// mustOpen adapts OpenDB to the legacy constructors that return a bare
+// *DB: their roles cannot fail except by panicking inside the shard layer.
+func mustOpen(db *DB, err error) *DB {
+	if err != nil {
+		panic(err)
+	}
+	return db
+}

@@ -26,13 +26,11 @@ var ErrLeaseHeld = shard.ErrLeaseHeld
 // set — the lease fence rides the WAL commit path, and handoff replays the
 // log. Fails with ErrLeaseHeld if another compute node already owns a
 // shard.
+//
+// Deprecated: use OpenDB with RolePrimary and Placement.Lease set.
 func OpenPrimaryAt(d *Deployment, computeIdx, owner int, servers []*memnode.Server, opts Options, lambda int, boundaries [][]byte) (*DB, error) {
-	opts.WALOwner = owner
-	inner, err := shard.NewPrimary(d.Compute[computeIdx], servers, lambda, boundaries, opts, computeIdx)
-	if err != nil {
-		return nil, err
-	}
-	return &DB{inner: inner}, nil
+	return OpenDB(d, RolePrimary,
+		Placement{ComputeIdx: computeIdx, Owner: owner, Servers: servers, Lambda: lambda, Boundaries: boundaries, Lease: true}, opts)
 }
 
 // TakeoverAt moves write ownership of owner's shard group to compute node
@@ -40,15 +38,13 @@ func OpenPrimaryAt(d *Deployment, computeIdx, owner int, servers []*memnode.Serv
 // fences the old primary's unacknowledged appends before the log is read)
 // and rebuilds the shards from their remote write-ahead logs, so every
 // write the old primary acknowledged survives. The geometry arguments must
-// match the dead primary's OpenPrimaryAt call; the owner-remap rule of
-// RecoverAt applies — the new primary keeps logging under owner.
+// match the dead primary's OpenPrimaryAt call; the owner-remap rule
+// (see Placement) applies — the new primary keeps logging under owner.
+//
+// Deprecated: use OpenDB with RoleTakeover and an explicit Placement.
 func TakeoverAt(d *Deployment, computeIdx, owner int, servers []*memnode.Server, opts Options, lambda int, boundaries [][]byte) (*DB, error) {
-	opts.WALOwner = owner
-	inner, err := shard.Takeover(d.Compute[computeIdx], servers, lambda, boundaries, opts, computeIdx)
-	if err != nil {
-		return nil, err
-	}
-	return &DB{inner: inner}, nil
+	return OpenDB(d, RoleTakeover,
+		Placement{ComputeIdx: computeIdx, Owner: owner, Servers: servers, Lambda: lambda, Boundaries: boundaries}, opts)
 }
 
 // OpenSecondaryAt attaches compute node computeIdx as a read-only
@@ -59,13 +55,11 @@ func TakeoverAt(d *Deployment, computeIdx, owner int, servers []*memnode.Server,
 // at the primary's last published checkpoint: bounded staleness, not
 // read-your-writes. Refresh the view explicitly with DB.RefreshView or per
 // read via ReadOptions.MaxStaleness; writes return ErrReadOnly.
+//
+// Deprecated: use OpenDB with RoleSecondary and an explicit Placement.
 func OpenSecondaryAt(d *Deployment, computeIdx, owner int, servers []*memnode.Server, opts Options, lambda int, boundaries [][]byte) (*DB, error) {
-	opts.WALOwner = owner
-	inner, err := shard.OpenSecondary(d.Compute[computeIdx], servers, lambda, boundaries, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &DB{inner: inner}, nil
+	return OpenDB(d, RoleSecondary,
+		Placement{ComputeIdx: computeIdx, Owner: owner, Servers: servers, Lambda: lambda, Boundaries: boundaries}, opts)
 }
 
 // RefreshView re-reads every shard's WAL checkpoint slot on a read-only
