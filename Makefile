@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race fuzz bench cache faults wal repl scan scaleout offload
+.PHONY: check build test vet race fuzz bench cache faults wal repl scan scaleout offload rebalance
 
 check: vet build test race fuzz
 
@@ -22,7 +22,7 @@ race:
 		./internal/rpc/... ./internal/memnode/... ./internal/faults/... \
 		./internal/cache/... ./internal/shard/... ./internal/wal/... \
 		./internal/sstable/... ./internal/iterx/... ./internal/readahead/... \
-		./internal/lease/... ./internal/repl/...
+		./internal/lease/... ./internal/repl/... ./internal/balance/...
 
 # Short fuzz of the bytes recovery trusts from remote memory (checkpoint
 # blobs must decode or error, never panic) and of the merge iterator the
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test ./internal/lease/ -run '^$$' -fuzz FuzzDecodeEntry -fuzztime 5s
 	$(GO) test ./internal/repl/ -run '^$$' -fuzz FuzzDecodeReplicaSlot -fuzztime 5s
 	$(GO) test ./internal/memnode/ -run '^$$' -fuzz FuzzDecodeFlushBuildArgs -fuzztime 5s
+	$(GO) test ./internal/shard/ -run '^$$' -fuzz FuzzRouteKey -fuzztime 5s
 
 # Hot-KV cache budget sweep (Zipf readrandom, cache off -> 64MB).
 cache:
@@ -64,6 +65,13 @@ scan:
 # worse throughput.
 offload:
 	$(GO) run ./cmd/dlsm-bench -fig offload -n 100000
+
+# Elastic-sharding sweep: a 90%-hot key band inside one of λ=4 shards,
+# static geometry vs Options.AutoBalance, plus a shifting-hotspot fill
+# where the band moves mid-run. Auto-balance must beat static on every
+# workload and the shifting run must show at least two splits.
+rebalance:
+	$(GO) run ./cmd/dlsm-bench -fig rebalance -n 100000
 
 # Multi-compute scale-out sweep: aggregate read throughput at 1, 2 and 4
 # compute nodes (one lease-holding primary + read-only secondaries) over a

@@ -292,6 +292,38 @@ func (db *DB) TelemetrySnapshot() telemetry.Snapshot {
 // Shard exposes shard i's engine (advanced use, ablations).
 func (db *DB) Shard(i int) *engine.DB { return db.inner.Shard(i) }
 
+// Boundaries returns the current shard split points (λ-1 ascending user
+// keys). With Options.AutoBalance — or after manual Split/Merge calls —
+// these drift from the Placement.Boundaries passed at open time, which are
+// a starting geometry, not a contract.
+func (db *DB) Boundaries() [][]byte { return db.inner.Boundaries() }
+
+// Split divides the shard owning pivot into two at pivot, the upper half
+// served by a fresh engine on the same memory node. The cut is online:
+// writers to the moving range pause only for the final drain-fence-delta
+// window; reads and other ranges are never blocked. Zero acknowledged
+// writes are lost (the source is fenced with a burned sequence range, the
+// same mechanism flushes trust).
+func (db *DB) Split(pivot []byte) error {
+	rt := db.inner
+	return rt.SplitShardAt(rt.ShardID(rt.Route(pivot)), pivot)
+}
+
+// Merge folds the two shards meeting at boundary back into one (boundary
+// must be one of Boundaries()). The right shard's live keys move into the
+// left engine; the right engine is retired until Close.
+func (db *DB) Merge(boundary []byte) error {
+	return db.inner.MergeAt(boundary)
+}
+
+// Migrate moves the shard owning key to the deployment memory node at
+// index server, using server-to-server extent cloning plus a WAL tail
+// replay when durability and the native transport allow it.
+func (db *DB) Migrate(key []byte, server int) error {
+	rt := db.inner
+	return rt.MigrateShard(rt.ShardID(rt.Route(key)), server)
+}
+
 // Close stops background work and releases engine resources.
 func (db *DB) Close() { db.inner.Close() }
 

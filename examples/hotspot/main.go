@@ -1,0 +1,126 @@
+// Hotspot: elastic λ-sharding reacting to a skewed workload. The demo has
+// two acts:
+//
+// Act 1 drives the topology by hand: Split cuts the single shard in two at
+// a chosen pivot while writers keep running, Migrate moves the hot half to
+// the second memory node through the server-to-server clone path, and
+// Merge folds the geometry back together — all without losing a write.
+//
+// Act 2 turns Options.AutoBalance on and hammers a narrow hot band: the
+// rebalancer notices the skewed per-shard op counters, derives a
+// load-weighted pivot from sampled keys, and splits the hot shard on its
+// own. When the hotspot then moves to a different part of the key space,
+// it splits again. The starting Boundaries are just that — a starting
+// point; the live geometry is whatever the load shaped.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dlsm"
+)
+
+const n = 40_000
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func main() {
+	cfg := dlsm.SingleNodeConfig()
+	cfg.MemoryNodes = 2
+	d := dlsm.NewDeployment(cfg)
+	defer d.Close()
+
+	d.Run(func() {
+		manual(d)
+		auto(d)
+	})
+}
+
+func manual(d *dlsm.Deployment) {
+	opts := dlsm.DefaultOptions()
+	db, err := dlsm.OpenDB(d, dlsm.RolePrimary, dlsm.Placement{Servers: d.Servers}, opts)
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	s := db.NewSession()
+	defer s.Close()
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), key(i)); err != nil {
+			panic(err)
+		}
+	}
+
+	pivot := key(n / 2)
+	if err := db.Split(pivot); err != nil {
+		panic(err)
+	}
+	fmt.Printf("manual split at %q: λ=%d, boundaries=%q\n", pivot, db.Lambda(), db.Boundaries())
+
+	// Move the upper shard to the second memory node and write through it.
+	if err := db.Migrate(key(3*n/4), 1); err != nil {
+		panic(err)
+	}
+	if err := s.Put(key(3*n/4), []byte("post-migrate")); err != nil {
+		panic(err)
+	}
+	fmt.Println("upper shard migrated to memory node 1; writes keep flowing")
+
+	if err := db.Merge(pivot); err != nil {
+		panic(err)
+	}
+	fmt.Printf("merged back: λ=%d\n", db.Lambda())
+
+	// Nothing was lost along the way.
+	for i := 0; i < n; i += 97 {
+		want := key(i)
+		if i == 3*n/4 {
+			want = []byte("post-migrate")
+		}
+		v, err := s.Get(key(i))
+		if err != nil || string(v) != string(want) {
+			panic(fmt.Sprintf("Get(%s) = %q, %v", key(i), v, err))
+		}
+	}
+	fmt.Println("manual act: all keys intact after split -> migrate -> merge")
+}
+
+func auto(d *dlsm.Deployment) {
+	opts := dlsm.DefaultOptions()
+	opts.AutoBalance = true
+	opts.BalanceInterval = 2 * time.Millisecond
+	db, err := dlsm.OpenDB(d, dlsm.RolePrimary, dlsm.Placement{Servers: d.Servers}, opts)
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	s := db.NewSession()
+	defer s.Close()
+	r := rand.New(rand.NewSource(42))
+
+	// Two hotspot phases: 90% of writes hit a band covering 10% of the key
+	// space, first around 45%, then around 80%.
+	for phase, origin := range []int{45 * n / 100, 80 * n / 100} {
+		for j := 0; j < 60_000; j++ {
+			i := r.Intn(n)
+			if r.Intn(10) != 0 {
+				i = origin + r.Intn(n/10)
+			}
+			if err := s.Put(key(i), key(i)); err != nil {
+				panic(err)
+			}
+		}
+		snap := db.TelemetrySnapshot()
+		fmt.Printf("auto act phase %d: λ=%d after %d splits, %d merges (hot band at %d%%)\n",
+			phase, db.Lambda(), snap.Counters["balance.splits"],
+			snap.Counters["balance.merges"], origin*100/n)
+	}
+	if db.Lambda() < 2 {
+		panic("auto-balancer never split the hot shard")
+	}
+	fmt.Printf("final boundaries shaped by load: %q\n", db.Boundaries())
+}

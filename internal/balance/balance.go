@@ -1,0 +1,387 @@
+// Package balance implements the elastic-sharding rebalancer: a control
+// loop that watches per-shard load telemetry on the simulated clock and
+// issues online split, merge, and migrate operations against the shard
+// layer. The policy lives here, decoupled from the mechanism (the shard
+// package's cut-over protocol) behind the Target interface, so it can be
+// unit-tested against a fake and tuned without touching the data path.
+package balance
+
+import (
+	"fmt"
+	"time"
+
+	"dlsm/internal/sim"
+	"dlsm/internal/telemetry"
+)
+
+// Shard is one routing-table entry's identity and load, as sampled by the
+// Target at a decision tick.
+type Shard struct {
+	ID     int
+	Server int
+	// Ops is the cumulative operation count (reads + writes) the shard's
+	// engine has served; the balancer differences consecutive samples.
+	Ops int64
+	// Stalls is the cumulative write-stall count — a shard under memtable
+	// or L0 pressure is a split candidate even at moderate op rates.
+	Stalls int64
+	// CanSplit reports whether the shard's key range can be divided (a
+	// pivot strictly inside the range is known).
+	CanSplit bool
+}
+
+// Target is the surface the balancer drives. The shard layer implements
+// it; tests implement fakes. All calls run on the simulation clock in the
+// balancer's entity.
+type Target interface {
+	// Shards samples the current routing table, in routing order.
+	Shards() []Shard
+	// Servers returns the number of memory nodes available for placement.
+	Servers() int
+	// Split divides the identified shard at a load-weighted pivot.
+	Split(id int) error
+	// Merge folds the identified shard's right neighbor into it.
+	Merge(leftID int) error
+	// Migrate moves the identified shard's data to the given server.
+	Migrate(id int, server int) error
+}
+
+// Config tunes the decision policy. Zero values select the defaults.
+type Config struct {
+	// Interval is the decision tick period (virtual time).
+	Interval time.Duration
+	// SplitRatio: split the hottest shard when its per-tick ops exceed
+	// SplitRatio × the mean across shards.
+	SplitRatio float64
+	// SplitShare: also split when one shard carries more than this
+	// fraction of the total per-tick ops. The ratio test alone goes blind
+	// at small shard counts — with one shard the hottest IS the mean, and
+	// with two a 90% shard is still under 2× the mean.
+	SplitShare float64
+	// MinOps is the per-tick op floor below which a shard is never split
+	// or migrated — skew over a trickle is not worth a cut-over.
+	MinOps int64
+	// MaxShards caps the shard count; splits stop at the cap.
+	MaxShards int
+	// MergeRatio: a shard is "cold" when its per-tick ops fall under
+	// MergeRatio × the mean.
+	MergeRatio float64
+	// MergeTicks is how many consecutive cold ticks a pair of adjacent
+	// shards must accumulate before they merge — hysteresis against
+	// oscillating split/merge cycles.
+	MergeTicks int
+	// MergeIdleOps is the total per-tick op ceiling above which merges
+	// are deferred (cold runs keep accumulating). A merge's only payoff
+	// is reclaiming memtable/cache budget, and its cut-over bulk-copies
+	// the donor shard's whole live set through the compute node — worth
+	// it on a quiet table, ruinous in the middle of a heavy workload
+	// just because two shards look cold next to a hotspot.
+	MergeIdleOps int64
+	// MigrateRatio: when one server carries more than MigrateRatio × the
+	// per-server mean load, its hottest shard moves to the lightest
+	// server.
+	MigrateRatio float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 20 * time.Millisecond
+	}
+	if c.SplitRatio <= 0 {
+		c.SplitRatio = 2.0
+	}
+	if c.SplitShare <= 0 {
+		c.SplitShare = 0.55
+	}
+	if c.MinOps <= 0 {
+		c.MinOps = 256
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 16
+	}
+	if c.MergeRatio <= 0 {
+		c.MergeRatio = 0.1
+	}
+	if c.MergeTicks <= 0 {
+		c.MergeTicks = 3
+	}
+	if c.MergeIdleOps <= 0 {
+		c.MergeIdleOps = 4096
+	}
+	if c.MigrateRatio <= 0 {
+		c.MigrateRatio = 1.75
+	}
+	return c
+}
+
+// Balancer runs the decision loop as one simulation entity. At each tick
+// it differences cumulative op counters against the previous sample,
+// classifies shards, and applies at most one operation — split first
+// (relieving overload beats tidying), then migrate, then merge — so the
+// system moves in small, observable steps.
+type Balancer struct {
+	env *sim.Env
+	t   Target
+	cfg Config
+	tel *telemetry.Registry
+
+	mu     *sim.Mutex
+	closed bool
+	wg     *sim.WaitGroup
+
+	lastOps  map[int]int64 // shard id → cumulative ops at previous tick
+	lastStal map[int]int64 // shard id → cumulative stalls at previous tick
+	coldRuns map[int]int   // left shard id → consecutive cold ticks of (left, right)
+}
+
+// New starts a balancer driving t every cfg.Interval of virtual time.
+// Decisions and outcomes are counted in reg under balance.* names; the
+// span histogram balance.decide_ns times each executed operation.
+func New(env *sim.Env, t Target, cfg Config, reg *telemetry.Registry) *Balancer {
+	b := &Balancer{
+		env:      env,
+		t:        t,
+		cfg:      cfg.withDefaults(),
+		tel:      reg,
+		mu:       sim.NewMutex(env),
+		wg:       sim.NewWaitGroup(env),
+		lastOps:  map[int]int64{},
+		lastStal: map[int]int64{},
+		coldRuns: map[int]int{},
+	}
+	b.wg.Add(1)
+	env.Go(func() {
+		defer b.wg.Done()
+		b.loop()
+	})
+	return b
+}
+
+// Close stops the decision loop and waits for an in-flight tick to finish.
+func (b *Balancer) Close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+func (b *Balancer) loop() {
+	for {
+		b.env.Sleep(b.cfg.Interval)
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Unlock()
+		b.tick()
+	}
+}
+
+// load is one shard's per-tick activity.
+type load struct {
+	Shard
+	dOps   int64
+	dStall int64
+}
+
+func (b *Balancer) tick() {
+	b.tel.Counter("balance.ticks").Add(1)
+	shards := b.t.Shards()
+	if len(shards) == 0 {
+		return
+	}
+
+	loads := make([]load, len(shards))
+	seen := map[int]bool{}
+	var total int64
+	for i, s := range shards {
+		d := s.Ops - b.lastOps[s.ID]
+		if _, ok := b.lastOps[s.ID]; !ok {
+			d = 0 // first sight: no baseline, don't mistake history for heat
+		}
+		ds := s.Stalls - b.lastStal[s.ID]
+		if _, ok := b.lastStal[s.ID]; !ok {
+			ds = 0
+		}
+		b.lastOps[s.ID] = s.Ops
+		b.lastStal[s.ID] = s.Stalls
+		seen[s.ID] = true
+		loads[i] = load{Shard: s, dOps: d, dStall: ds}
+		total += d
+	}
+	for id := range b.lastOps {
+		if !seen[id] {
+			delete(b.lastOps, id)
+			delete(b.lastStal, id)
+			delete(b.coldRuns, id)
+		}
+	}
+	mean := float64(total) / float64(len(loads))
+	b.tel.Gauge("balance.shards").Set(int64(len(loads)))
+
+	if b.trySplit(loads, mean, total) {
+		return
+	}
+	if b.tryMigrate(loads) {
+		return
+	}
+	b.tryMerge(loads, mean, total)
+}
+
+// trySplit divides the hottest shard when it dominates — by ratio over
+// the mean, by absolute share of the total (the only test that can fire
+// at λ=1, where the hottest shard is the mean), or by stalling while
+// measurably hotter than the mean. The stall clause needs the heat
+// qualifier: under a heavy uniform write load every shard stalls a
+// little, and splitting average shards just walks the table to
+// MaxShards without relieving anything.
+func (b *Balancer) trySplit(loads []load, mean float64, total int64) bool {
+	if len(loads) >= b.cfg.MaxShards {
+		return false
+	}
+	best := -1
+	for i, l := range loads {
+		if !l.CanSplit || l.dOps < b.cfg.MinOps {
+			continue
+		}
+		hot := float64(l.dOps) > b.cfg.SplitRatio*mean ||
+			float64(l.dOps) > b.cfg.SplitShare*float64(total) ||
+			(l.dStall > 0 && float64(l.dOps) > 1.25*mean)
+		if !hot {
+			continue
+		}
+		if best < 0 || l.dOps > loads[best].dOps {
+			best = i
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	id := loads[best].ID
+	sp := b.tel.StartSpan("balance.decide_ns")
+	err := b.t.Split(id)
+	sp.End()
+	if err != nil {
+		b.tel.Counter("balance.split.errors").Add(1)
+		return false
+	}
+	delete(b.coldRuns, id) // geometry changed under this id
+	b.tel.Counter("balance.splits").Add(1)
+	return true
+}
+
+// tryMigrate moves the busiest eligible shard off the most loaded server
+// when the per-server imbalance crosses the ratio. Requires ≥2 servers,
+// and skips the move when it would just relocate the hotspot.
+func (b *Balancer) tryMigrate(loads []load) bool {
+	n := b.t.Servers()
+	if n < 2 {
+		return false
+	}
+	perSrv := make([]int64, n)
+	var total int64
+	for _, l := range loads {
+		if l.Server >= 0 && l.Server < n {
+			perSrv[l.Server] += l.dOps
+			total += l.dOps
+		}
+	}
+	if total == 0 {
+		return false
+	}
+	mean := float64(total) / float64(n)
+	hotSrv, coldSrv := 0, 0
+	for s := 1; s < n; s++ {
+		if perSrv[s] > perSrv[hotSrv] {
+			hotSrv = s
+		}
+		if perSrv[s] < perSrv[coldSrv] {
+			coldSrv = s
+		}
+	}
+	if float64(perSrv[hotSrv]) <= b.cfg.MigrateRatio*mean || hotSrv == coldSrv {
+		return false
+	}
+	// The hot server's busiest shard moves — but prefer one whose load,
+	// added to the cold server, leaves the destination under the bar.
+	best := -1
+	for i, l := range loads {
+		if l.Server != hotSrv || l.dOps < b.cfg.MinOps {
+			continue
+		}
+		if float64(perSrv[coldSrv]+l.dOps) > b.cfg.MigrateRatio*mean {
+			continue
+		}
+		if best < 0 || l.dOps > loads[best].dOps {
+			best = i
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	id := loads[best].ID
+	sp := b.tel.StartSpan("balance.decide_ns")
+	err := b.t.Migrate(id, coldSrv)
+	sp.End()
+	if err != nil {
+		b.tel.Counter("balance.migrate.errors").Add(1)
+		return false
+	}
+	b.tel.Counter("balance.migrates").Add(1)
+	return true
+}
+
+// tryMerge folds an adjacent cold pair after sustained inactivity. Only
+// one merge per tick; the left shard absorbs the right. Above the
+// MergeIdleOps ceiling merges are deferred — cold runs keep counting,
+// so the fold happens the moment the table quiets down. Below MinOps
+// total the tick is skipped entirely: a quiet table says nothing about
+// skew (with zero traffic the mean is zero and every pair looks
+// "cold"), and acting on it would fold a healthy geometry flat during
+// any lull — cold runs freeze until real traffic returns.
+func (b *Balancer) tryMerge(loads []load, mean float64, total int64) bool {
+	if len(loads) < 2 || total < b.cfg.MinOps {
+		return false
+	}
+	threshold := b.cfg.MergeRatio * mean
+	busy := total > b.cfg.MergeIdleOps
+	merged := false
+	for i := 0; i+1 < len(loads); i++ {
+		l, r := loads[i], loads[i+1]
+		cold := float64(l.dOps) <= threshold && float64(r.dOps) <= threshold &&
+			l.dStall == 0 && r.dStall == 0
+		if !cold {
+			delete(b.coldRuns, l.ID)
+			continue
+		}
+		if merged {
+			continue
+		}
+		b.coldRuns[l.ID]++
+		if busy || b.coldRuns[l.ID] < b.cfg.MergeTicks {
+			continue
+		}
+		sp := b.tel.StartSpan("balance.decide_ns")
+		err := b.t.Merge(l.ID)
+		sp.End()
+		delete(b.coldRuns, l.ID)
+		if err != nil {
+			b.tel.Counter("balance.merge.errors").Add(1)
+			continue
+		}
+		b.tel.Counter("balance.merges").Add(1)
+		merged = true
+	}
+	return merged
+}
+
+// String summarizes the live policy, for logs and tests.
+func (b *Balancer) String() string {
+	return fmt.Sprintf("balance{interval=%v split>%.1fx merge<%.2fx/%dt migrate>%.2fx max=%d}",
+		b.cfg.Interval, b.cfg.SplitRatio, b.cfg.MergeRatio, b.cfg.MergeTicks,
+		b.cfg.MigrateRatio, b.cfg.MaxShards)
+}

@@ -1,0 +1,249 @@
+package balance
+
+import (
+	"testing"
+	"time"
+
+	"dlsm/internal/sim"
+	"dlsm/internal/telemetry"
+)
+
+// fakeTarget is an in-memory shard population: operations mutate the
+// shard list the way the real shard layer would, and tickLoad scripts the
+// per-tick load the balancer observes.
+type fakeTarget struct {
+	shards  []Shard
+	servers int
+
+	splits, merges, migrates int
+	nextID                   int
+}
+
+func (f *fakeTarget) Shards() []Shard { return append([]Shard(nil), f.shards...) }
+func (f *fakeTarget) Servers() int    { return f.servers }
+
+func (f *fakeTarget) find(id int) int {
+	for i := range f.shards {
+		if f.shards[i].ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (f *fakeTarget) Split(id int) error {
+	i := f.find(id)
+	f.splits++
+	// The right half starts with the same cumulative counter (monotone).
+	right := Shard{ID: f.nextID, Server: f.shards[i].Server, Ops: f.shards[i].Ops, CanSplit: true}
+	f.nextID++
+	f.shards = append(f.shards[:i+1], append([]Shard{right}, f.shards[i+1:]...)...)
+	return nil
+}
+
+func (f *fakeTarget) Merge(leftID int) error {
+	i := f.find(leftID)
+	f.merges++
+	f.shards = append(f.shards[:i+1], f.shards[i+2:]...)
+	return nil
+}
+
+func (f *fakeTarget) Migrate(id, server int) error {
+	i := f.find(id)
+	f.migrates++
+	f.shards[i].Server = server
+	return nil
+}
+
+// tickLoad advances every shard's cumulative counter by its per-tick rate.
+func (f *fakeTarget) tickLoad(rates map[int]int64) {
+	for i := range f.shards {
+		f.shards[i].Ops += rates[f.shards[i].ID]
+	}
+}
+
+// harness builds a balancer whose loop never fires (huge interval); tests
+// drive b.tick() by hand for deterministic schedules.
+func harness(t *testing.T, f *fakeTarget, cfg Config, fn func(b *Balancer)) {
+	t.Helper()
+	env := sim.NewEnv()
+	cfg.Interval = time.Hour
+	env.Run(func() {
+		r := telemetry.NewRegistry(telemetry.ClockFunc(func() int64 { return int64(env.Now()) }))
+		b := New(env, f, cfg, r)
+		fn(b)
+		b.Close()
+	})
+	env.Wait()
+}
+
+func TestSplitsHotSingleShard(t *testing.T) {
+	f := &fakeTarget{servers: 1, nextID: 1,
+		shards: []Shard{{ID: 0, Server: 0, CanSplit: true}}}
+	harness(t, f, Config{MinOps: 100}, func(b *Balancer) {
+		// One shard carrying all the traffic: the share test must fire
+		// even though hottest == mean.
+		f.tickLoad(map[int]int64{0: 1000})
+		b.tick() // baseline
+		f.tickLoad(map[int]int64{0: 1000})
+		b.tick()
+		if f.splits == 0 {
+			t.Fatal("hot single shard never split")
+		}
+	})
+}
+
+func TestNoSplitWhenBalanced(t *testing.T) {
+	f := &fakeTarget{servers: 1, nextID: 2, shards: []Shard{
+		{ID: 0, Server: 0, CanSplit: true}, {ID: 1, Server: 0, CanSplit: true}}}
+	harness(t, f, Config{MinOps: 100}, func(b *Balancer) {
+		for i := 0; i < 6; i++ {
+			f.tickLoad(map[int]int64{0: 1000, 1: 1000})
+			b.tick()
+		}
+		if f.splits != 0 {
+			t.Fatalf("balanced shards split %d times", f.splits)
+		}
+	})
+}
+
+func TestNoSplitBelowMinOps(t *testing.T) {
+	f := &fakeTarget{servers: 1, nextID: 1,
+		shards: []Shard{{ID: 0, Server: 0, CanSplit: true}}}
+	harness(t, f, Config{MinOps: 5000}, func(b *Balancer) {
+		for i := 0; i < 4; i++ {
+			f.tickLoad(map[int]int64{0: 1000})
+			b.tick()
+		}
+		if f.splits != 0 {
+			t.Fatal("trickle-load shard split")
+		}
+	})
+}
+
+func TestMergesColdPairAfterHysteresis(t *testing.T) {
+	f := &fakeTarget{servers: 1, nextID: 3, shards: []Shard{
+		{ID: 0, Server: 0}, {ID: 1, Server: 0}, {ID: 2, Server: 0}}}
+	harness(t, f, Config{MinOps: 100, MergeTicks: 3}, func(b *Balancer) {
+		f.tickLoad(map[int]int64{0: 1000})
+		b.tick() // baseline: every delta 0, total under MinOps — no evidence
+		// Shard 0 stays warm; 1 and 2 stay cold. The pair must survive
+		// MergeTicks consecutive cold observations before merging.
+		f.tickLoad(map[int]int64{0: 1000})
+		b.tick() // cold run 1
+		f.tickLoad(map[int]int64{0: 1000})
+		b.tick() // cold run 2
+		if f.merges != 0 {
+			t.Fatal("merged before hysteresis elapsed")
+		}
+		f.tickLoad(map[int]int64{0: 1000})
+		b.tick() // cold run 3 → merge
+		if f.merges == 0 {
+			t.Fatal("cold adjacent pair never merged")
+		}
+		if len(f.shards) != 2 {
+			t.Fatalf("shard count = %d, want 2", len(f.shards))
+		}
+	})
+}
+
+func TestMergeDeferredWhileBusy(t *testing.T) {
+	f := &fakeTarget{servers: 1, nextID: 3, shards: []Shard{
+		{ID: 0, Server: 0}, {ID: 1, Server: 0}, {ID: 2, Server: 0}}}
+	// Shard 0 keeps the table over the idle ceiling; (1,2) stay cold far
+	// past the hysteresis. MaxShards pins the count so the busy shard is
+	// never split out from under the scenario.
+	harness(t, f, Config{MinOps: 100, MergeTicks: 2, MergeIdleOps: 4096, MaxShards: 3},
+		func(b *Balancer) {
+			for i := 0; i < 5; i++ {
+				f.tickLoad(map[int]int64{0: 10_000})
+				b.tick()
+			}
+			if f.merges != 0 {
+				t.Fatalf("merged while busy (merges=%d)", f.merges)
+			}
+			// The moment the table quiets, the accumulated cold run pays off.
+			f.tickLoad(map[int]int64{0: 1000})
+			b.tick()
+			if f.merges == 0 {
+				t.Fatal("cold pair never merged after the table went idle")
+			}
+		})
+}
+
+func TestIdleTableNeverMerges(t *testing.T) {
+	f := &fakeTarget{servers: 1, nextID: 4, shards: []Shard{
+		{ID: 0, Server: 0}, {ID: 1, Server: 0}, {ID: 2, Server: 0}, {ID: 3, Server: 0}}}
+	// A table with no traffic at all gives no skew evidence: with zero
+	// totals the mean is zero and every pair would look "cold", so an
+	// overnight lull must not fold a healthy geometry flat.
+	harness(t, f, Config{MinOps: 100, MergeTicks: 2}, func(b *Balancer) {
+		for i := 0; i < 10; i++ {
+			b.tick()
+		}
+		if f.merges != 0 {
+			t.Fatalf("idle table merged (merges=%d)", f.merges)
+		}
+	})
+}
+
+func TestColdRunResetsOnActivity(t *testing.T) {
+	f := &fakeTarget{servers: 1, nextID: 2, shards: []Shard{
+		{ID: 0, Server: 0}, {ID: 1, Server: 0}}}
+	harness(t, f, Config{MinOps: 100, MergeTicks: 2, MergeRatio: 0.1}, func(b *Balancer) {
+		// The baseline tick sees zero deltas (everything "cold"); the warm
+		// ticks after it must reset the pair's cold run, so with
+		// MergeTicks=2 no merge ever fires.
+		f.tickLoad(map[int]int64{0: 1000, 1: 1000})
+		b.tick() // baseline (cold run 1: deltas are zero)
+		f.tickLoad(map[int]int64{0: 1000, 1: 1000})
+		b.tick() // warm → run resets
+		f.tickLoad(map[int]int64{0: 1000, 1: 1000})
+		b.tick() // warm
+		if f.merges != 0 {
+			t.Fatalf("active pair merged (merges=%d)", f.merges)
+		}
+	})
+}
+
+func TestMigratesOffHotServer(t *testing.T) {
+	f := &fakeTarget{servers: 2, nextID: 4, shards: []Shard{
+		{ID: 0, Server: 0}, {ID: 1, Server: 0}, {ID: 2, Server: 0}, {ID: 3, Server: 1}}}
+	harness(t, f, Config{MinOps: 100, MaxShards: 4}, func(b *Balancer) {
+		// Server 0 carries 4500 ops/tick against server 1's 300: the
+		// imbalance (4500 > 1.75 × 2400) triggers a move; no shard is
+		// individually split-hot (and the count is at MaxShards anyway).
+		rates := map[int]int64{0: 1500, 1: 1500, 2: 1500, 3: 300}
+		for i := 0; i < 3; i++ {
+			f.tickLoad(rates)
+			b.tick()
+		}
+		if f.migrates == 0 {
+			t.Fatal("imbalanced servers never triggered a migration")
+		}
+		perSrv := map[int]int{}
+		for _, s := range f.shards {
+			perSrv[s.Server]++
+		}
+		if perSrv[0] == 3 {
+			t.Fatal("server 0 still has all three shards")
+		}
+	})
+}
+
+func TestDisappearedShardForgotten(t *testing.T) {
+	f := &fakeTarget{servers: 1, nextID: 2, shards: []Shard{
+		{ID: 0, Server: 0}, {ID: 1, Server: 0}}}
+	harness(t, f, Config{MinOps: 100}, func(b *Balancer) {
+		f.tickLoad(map[int]int64{0: 500, 1: 500})
+		b.tick()
+		if _, ok := b.lastOps[1]; !ok {
+			t.Fatal("tracked shard missing before removal")
+		}
+		f.shards = f.shards[:1]
+		b.tick()
+		if _, ok := b.lastOps[1]; ok {
+			t.Fatal("removed shard still tracked")
+		}
+	})
+}

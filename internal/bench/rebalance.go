@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"time"
+)
+
+// FigRebalance measures elastic λ-sharding under a hot key range: 90% of
+// the measured operations hit a band covering 10% of the keyspace, which
+// lands inside one of the four initial shards. The static series keeps
+// the λ=4 geometry it started with; the auto-balance series lets the
+// rebalancer split the hot shard at a load-weighted pivot (and migrate
+// or merge as the load map evolves). The shifting-fill point moves the
+// band to a different shard at each third of the run, so the balancer
+// must split again as the hotspot travels.
+func FigRebalance(n, threads int) *Figure {
+	f := &Figure{Name: "Fig rebalance", Title: "elastic λ-sharding under a hot range", XLabel: "workload"}
+	workloads := []struct {
+		label string
+		shift float64
+		run   func(Config) Result
+	}{
+		{"fillrandom", 0, FillRandom},
+		{"mixed-50r", 0, Mixed},
+		{"shifting-fill", 0.25, FillRandom},
+	}
+	variants := []struct {
+		label string
+		auto  bool
+	}{
+		{"dLSM static λ=4", false},
+		{"dLSM auto-balance", true},
+	}
+	for _, v := range variants {
+		s := Series{Label: v.label}
+		for _, w := range workloads {
+			cfg := Config{
+				System: DLSM, Threads: threads, N: n, KeyRange: n,
+				Lambda: 4, ReadRatio: 0.5,
+				HotFrac: 0.9, HotWidth: 0.1, HotShift: w.shift,
+				AutoBalance:     v.auto,
+				BalanceInterval: 2 * time.Millisecond,
+				// The unmeasured warmup lets the balancer split the hot
+				// shard and settle before measurement, so the figure
+				// compares steady-state geometries, not cut-over cost.
+				Warmup: n,
+			}
+			r := w.run(cfg)
+			c := r.Metrics.Counters
+			progress("figrebalance %s %s: %s ops/s (splits %d, migrates %d, merges %d)",
+				v.label, w.label, fmtTput(r.Throughput),
+				c["balance.splits"], c["balance.migrates"], c["balance.merges"])
+			s.Points = append(s.Points, Point{X: w.label, R: r})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}

@@ -78,6 +78,16 @@ func run(cfg Config, kind opKind, preload bool) Result {
 			doPreload(env, cfg, db)
 			db.Settle()
 		}
+		if cfg.Warmup > 0 {
+			doWarmup(env, cfg, kind, db)
+			if preload {
+				// Read-involving measurements settle after the warmup the
+				// same way they settle after preload: a rebalance split
+				// leaves its copied range as a stack of small L0 tables,
+				// and reads should see the compacted steady state.
+				db.Settle()
+			}
+		}
 		res = measure(env, fab, cfg, kind, db, cns[0], servers)
 		db.Close()
 		// Re-snapshot after Close drained the background workers, so
@@ -113,6 +123,26 @@ func doPreload(env *sim.Env, cfg Config, db kvDB) {
 				k := perm[i]
 				s.Put(cfg.Key(k), cfg.Value(k))
 			}
+		})
+	}
+	wg.Wait()
+}
+
+// doWarmup runs cfg.Warmup unmeasured operations of the same mix across
+// cfg.Threads entities, on random streams disjoint from the measured
+// phase's.
+func doWarmup(env *sim.Env, cfg Config, kind opKind, db kvDB) {
+	wg := sim.NewWaitGroup(env)
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		wg.Add(1)
+		env.Go(func() {
+			defer wg.Done()
+			s := db.NewSession()
+			defer s.Close()
+			rnd := cfg.threadRand(t + 100003)
+			var lat []time.Duration
+			opLoop(env, cfg, kind, s, rnd, cfg.Warmup/cfg.Threads, &lat)
 		})
 	}
 	wg.Wait()
@@ -195,7 +225,12 @@ func opLoop(env *sim.Env, cfg Config, kind opKind, s kvSession, rnd *rand.Rand, 
 	z := cfg.zipf(rnd)
 	var ops int64
 	for i := 0; i < per; i++ {
-		k := cfg.nextKey(rnd, z)
+		var k int
+		if cfg.HotFrac > 0 {
+			k = cfg.hotKey(rnd, i, per)
+		} else {
+			k = cfg.nextKey(rnd, z)
+		}
 		read := kind == opRead || (kind == opMixed && rnd.Float64() < cfg.ReadRatio)
 		sample := i%32 == 0
 		var t0 sim.Time

@@ -103,6 +103,13 @@ func engineOptions(sys System, cfg Config, lambda int) engine.Options {
 	o.ReplyBufSize = 32 << 20
 	// Whole-node cache budget; shard.New splits it across the λ shards.
 	o.CacheBudgetBytes = cfg.CacheBudgetBytes
+	// Elastic sharding (FigRebalance): the balancer watches per-shard load
+	// and splits/merges/migrates online. Off keeps the routing table
+	// static — every other figure byte-identical.
+	o.AutoBalance = cfg.AutoBalance
+	if cfg.BalanceInterval > 0 {
+		o.BalanceInterval = cfg.BalanceInterval
+	}
 	// Scan readahead (FigScan sweep); zero keeps the engine defaults
 	// (depth 1: the synchronous scan path, bit-identical to the seed).
 	if cfg.PrefetchDepth > 0 {
@@ -225,7 +232,10 @@ func openSystemRange(sys System, cfg Config, cn *rdma.Node, servers []*memnode.S
 	}
 	opts := engineOptions(sys, cfg, lambda)
 	opts.Replica = replica
-	db := shard.New(cn, primaries, lambda, bounds, opts)
+	db, err := shard.New(cn, primaries, lambda, bounds, opts)
+	if err != nil {
+		panic(err) // bench geometries are derived, never user input
+	}
 	return &lsmDB{db: db, servers: uniqueServers(servers)}
 }
 

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"dlsm/internal/engine"
 	"dlsm/internal/rdma"
@@ -28,6 +29,22 @@ type Config struct {
 	// keys spread over shards). <= 1 keeps the uniform db_bench draw,
 	// bit-identical to the pre-Zipf workloads.
 	Zipf float64
+
+	// HotFrac > 0 draws that fraction of measured-phase keys from a hot
+	// band HotWidth (fraction of the keyspace) wide; the band's origin
+	// advances by HotShift at each third of a thread's run — the
+	// shifting-hotspot workload FigRebalance uses. 0 keeps the uniform
+	// draw bit-identical to the historical workloads.
+	HotFrac  float64
+	HotWidth float64
+	HotShift float64
+
+	// AutoBalance turns on the elastic-sharding rebalancer (online split/
+	// merge/migrate, internal/balance); BalanceInterval overrides its
+	// decision tick. Off keeps the routing table static — every other
+	// figure byte-identical.
+	AutoBalance     bool
+	BalanceInterval time.Duration
 
 	// CacheBudgetBytes enables the compute-side hot-KV cache (0 = off,
 	// the historical behavior). Passed through to engine.Options.
@@ -91,6 +108,12 @@ type Config struct {
 	// Preload is the number of keys filled before a read-only or mixed
 	// measurement (0 = KeyRange).
 	Preload int
+
+	// Warmup runs that many unmeasured operations of the configured mix
+	// before the measured phase (FigRebalance: lets the auto-balancer
+	// split the hot shard so the measurement sees the settled geometry).
+	// 0 — the default everywhere else — skips the phase entirely.
+	Warmup int
 
 	// FaultScenario injects faults during the run: "" (none), "delay"
 	// (probabilistic latency on verbs), "flap" (periodic link down/up
@@ -197,6 +220,30 @@ func (c Config) nextKey(r *rand.Rand, z *rand.Zipf) int {
 		return r.Intn(c.KeyRange)
 	}
 	return int(scramble(z.Uint64()) % uint64(c.KeyRange))
+}
+
+// hotKey draws one measured-phase key for hot-banded workloads: with
+// probability HotFrac the key comes from a band HotWidth wide whose
+// origin starts at 40% of the keyspace and advances by HotShift at each
+// third of the thread's run. Only called when HotFrac > 0, so uniform
+// workloads keep their historical random stream bit-identical.
+func (c Config) hotKey(r *rand.Rand, i, per int) int {
+	if r.Float64() >= c.HotFrac {
+		return r.Intn(c.KeyRange)
+	}
+	phase := 0
+	if per > 0 {
+		phase = 3 * i / per
+		if phase > 2 {
+			phase = 2
+		}
+	}
+	width := int(float64(c.KeyRange) * c.HotWidth)
+	if width < 1 {
+		width = 1
+	}
+	origin := int(float64(c.KeyRange) * (0.4 + float64(phase)*c.HotShift))
+	return (origin + r.Intn(width)) % c.KeyRange
 }
 
 // scramble is splitmix64's finalizer: it maps the dense hot ranks

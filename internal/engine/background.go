@@ -378,10 +378,16 @@ func (db *DB) compactRemote(w *bgWorker, c *version.Compaction) ([]*sstable.Meta
 	// A stable nonzero job id: every retry of this call re-sends the same
 	// bytes, so the memory node can deduplicate redelivery. Derived from
 	// the first input's identity — its table id and extent offset are
-	// unique among live jobs — plus the seed, so runs are reproducible.
+	// unique among this DB's live jobs — plus instanceID: sibling shards
+	// (and the fresh engines elastic sharding opens mid-run) restart their
+	// file-id and sequence counters, and flush extents from the shared
+	// compute-controlled allocator reuse the same offsets, so without the
+	// instance qualifier two engines can collide on a job id and the
+	// dedupe table would hand the second engine the first one's outputs —
+	// two owners for one extent, and a double free at GC.
 	m0 := args.Inputs[0]
 	args.JobID = sim.Mix64(uint64(db.env.Seed()), uint64(db.cn.ID),
-		uint64(m0.ID), uint64(m0.Data.Off), m0.MaxSeq) | 1
+		db.instanceID, uint64(m0.ID), uint64(m0.Data.Off), m0.MaxSeq) | 1
 	reply, err := w.largeClient().CallLargePolicy("compact", memnode.EncodeCompactArgs(args), db.opts.CompactRPC)
 	if err != nil {
 		// Give up on the remote job. Best effort: if the merge is still

@@ -335,6 +335,30 @@ func (db *DB) Flush() {
 	db.mu.Unlock()
 }
 
+// FenceNow burns a fence sequence and retires the current MemTable the way
+// Flush's switch does, but without waiting for the flush queue: it returns
+// as soon as the fence is in place. Every write acknowledged before the
+// call carries a sequence at or below the returned fence; every write
+// admitted after it carries a higher one. The shard rebalancer uses this as
+// the cut point when moving a range — a delta copy at Snapshot=fence is
+// complete by construction.
+func (db *DB) FenceNow() keys.Seq {
+	db.switchMu.Lock()
+	defer db.switchMu.Unlock()
+	mt := db.cur.Load()
+	fence := keys.Seq(db.seq.Add(1))
+	if db.opts.SwitchPolicy == SwitchSeqRange {
+		// Truncate the table's owned range at the fence (sizeSwitch's
+		// discipline) so straggler writes with later sequences cannot route
+		// into it once it is retired.
+		mt.TruncateHi(fence + 1)
+	}
+	if !mt.Empty() {
+		db.switchLocked(mt)
+	}
+	return fence
+}
+
 // WaitForCompactions blocks until no compaction is runnable or running.
 // Used by read benchmarks that measure after the tree settles (§XI-C2).
 func (db *DB) WaitForCompactions() {

@@ -28,6 +28,10 @@ type Iterator struct {
 	value []byte
 	valid bool
 	err   error
+
+	minSeq  keys.Seq // skip keys whose newest visible version is <= minSeq
+	incTomb bool     // surface tombstones instead of hiding them
+	isTomb  bool     // current position is a tombstone (incTomb only)
 }
 
 // NewIterator opens a scan at the current sequence. Close it to release
@@ -96,6 +100,7 @@ func (s *Session) NewIteratorOpts(ro ReadOptions) *Iterator {
 		s: s, snap: snap,
 		merged: iterx.Merging(keys.Compare, children...),
 		mem:    mem, imms: imms, v: v,
+		minSeq: ro.MinSeq, incTomb: ro.IncludeTombstones,
 	}
 }
 
@@ -174,10 +179,24 @@ func (it *Iterator) findNext(haveLast bool) {
 		}
 		it.ukey = append(it.ukey[:0], ukey...)
 		haveLast = true
-		if kind == keys.KindDelete {
+		// The merge yields (ukey asc, seq desc), so this is the newest
+		// visible version of ukey: at or below the floor means the key did
+		// not change after minSeq and the whole key is skipped.
+		if seq <= it.minSeq {
 			it.merged.Next()
 			continue
 		}
+		if kind == keys.KindDelete {
+			if it.incTomb {
+				it.isTomb = true
+				it.value = nil
+				it.valid = true
+				return
+			}
+			it.merged.Next()
+			continue
+		}
+		it.isTomb = false
 		it.value = it.merged.Value()
 		it.valid = true
 		return
@@ -195,6 +214,10 @@ func (it *Iterator) Key() []byte { return it.ukey }
 
 // Value returns the current value (valid until the next move).
 func (it *Iterator) Value() []byte { return it.value }
+
+// IsTombstone reports whether the current position is a deletion. Only an
+// iterator opened with ReadOptions.IncludeTombstones ever stops on one.
+func (it *Iterator) IsTombstone() bool { return it.isTomb }
 
 // Error reports the first failure encountered.
 func (it *Iterator) Error() error { return it.err }

@@ -208,6 +208,17 @@ type Options struct {
 	// timeout is checked each time background progress wakes the writer.
 	StallTimeout time.Duration
 
+	// AutoBalance enables the elastic λ-sharding rebalancer (consumed by
+	// the shard layer, ignored by a single engine): a background entity on
+	// the virtual clock that watches per-shard load and splits hot shards,
+	// merges cold adjacent ones, and migrates ranges between memory nodes.
+	// Default off — the static λ geometry then behaves exactly as before.
+	AutoBalance bool
+
+	// BalanceInterval is the rebalancer's decision tick (0 = its default).
+	// Consumed by the shard layer alongside AutoBalance.
+	BalanceInterval time.Duration
+
 	// SyncOverhead is CPU charged inside the global write lock under
 	// SwitchLocked — the synchronization cost dLSM eliminates (§IV).
 	SyncOverhead time.Duration

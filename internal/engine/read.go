@@ -42,6 +42,15 @@ type ReadOptions struct {
 	// view however old it is (refreshes ride RefreshView calls only).
 	// Ignored on primaries, whose view is always current.
 	MaxStaleness time.Duration
+	// MinSeq makes an iterator skip keys whose newest visible version is at
+	// or below this sequence (0 = no floor). Combined with Snapshot it
+	// yields exactly the keys that changed in (MinSeq, Snapshot] — the
+	// delta the shard rebalancer copies after fencing a source shard.
+	MinSeq keys.Seq
+	// IncludeTombstones makes an iterator stop on deleted keys too (with
+	// Iterator.IsTombstone reporting true and Value nil) instead of hiding
+	// them. A delta copy needs the deletions, not just the live keys.
+	IncludeTombstones bool
 }
 
 // Get reads the newest visible value of key (snapshot = current sequence).

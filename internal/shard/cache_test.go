@@ -27,7 +27,10 @@ func TestPerShardBudgetIsolation(t *testing.T) {
 	env.Run(func() {
 		o := opts()
 		o.CacheBudgetBytes = totalBudget
-		db := New(cn, []*memnode.Server{srv}, lambda, UniformBoundaries(lambda, n, key), o)
+		db, err := New(cn, []*memnode.Server{srv}, lambda, UniformBoundaries(lambda, n, key), o)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
 		defer func() { db.Close(); fab.Close() }()
 
 		for i := 0; i < lambda; i++ {

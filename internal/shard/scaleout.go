@@ -29,26 +29,12 @@ type leaseHold struct {
 // is held by another live compute node, everything already claimed is
 // released and ErrLeaseHeld returned. Requires Options.Durability (the
 // fence lives on the WAL commit path, and lease handoff replays the log).
+// Shards born from later splits claim their own lease the same way.
 func NewPrimary(cn *rdma.Node, servers []*memnode.Server, lambda int, boundaries [][]byte, opts engine.Options, holder int) (*DB, error) {
 	if opts.Durability == engine.DurabilityNone {
 		return nil, errors.New("shard: NewPrimary requires Options.Durability (the lease fence rides the WAL)")
 	}
-	lambda, opts = normalize(lambda, boundaries, opts)
-	db := &DB{boundaries: boundaries}
-	for i := 0; i < lambda; i++ {
-		srv := servers[i%len(servers)]
-		hold, err := claimShard(cn, srv, opts.Replica, opts.WALOwner, i, holder, false)
-		if err != nil {
-			db.Close()
-			return nil, fmt.Errorf("shard %d lease: %w", i, err)
-		}
-		db.leases = append(db.leases, hold)
-		opts.WALShard = i
-		opts.WALFence = hold.client.Addr()
-		opts.WALFenceWord = hold.l.Word()
-		db.shards = append(db.shards, engine.Open(cn, srv, opts))
-	}
-	return db, nil
+	return openLeased(cn, servers, lambda, boundaries, opts, holder, false)
 }
 
 // Takeover deposes the current holder of every shard lease and recovers
@@ -60,26 +46,51 @@ func NewPrimary(cn *rdma.Node, servers []*memnode.Server, lambda int, boundaries
 // call the way Recover's must match New's; holder is the new owner's own
 // compute index.
 func Takeover(cn *rdma.Node, servers []*memnode.Server, lambda int, boundaries [][]byte, opts engine.Options, holder int) (*DB, error) {
-	lambda, opts = normalize(lambda, boundaries, opts)
-	db := &DB{boundaries: boundaries}
+	return openLeased(cn, servers, lambda, boundaries, opts, holder, true)
+}
+
+// openLeased opens (takeover: recovers) the λ shards with a write lease
+// claimed per shard before its engine touches the log slot.
+func openLeased(cn *rdma.Node, servers []*memnode.Server, lambda int, boundaries [][]byte, opts engine.Options, holder int, takeover bool) (*DB, error) {
+	lambda, opts, err := normalize(lambda, boundaries, opts)
+	if err != nil {
+		return nil, err
+	}
+	db := newShell(cn, servers, opts, lambda)
+	db.initBoundaries = boundaries
+	db.leased = true
+	db.holder = holder
+	var entries []entry
+	fail := func(err error) (*DB, error) {
+		closeEntries(entries)
+		db.releaseLeases()
+		return nil, err
+	}
 	for i := 0; i < lambda; i++ {
 		srv := servers[i%len(servers)]
-		hold, err := claimShard(cn, srv, opts.Replica, opts.WALOwner, i, holder, true)
+		hold, err := claimShard(cn, srv, opts.Replica, opts.WALOwner, i, holder, takeover)
 		if err != nil {
-			db.Close()
-			return nil, fmt.Errorf("shard %d lease: %w", i, err)
+			return fail(fmt.Errorf("shard %d lease: %w", i, err))
 		}
-		db.leases = append(db.leases, hold)
+		db.leases[i] = hold
 		opts.WALShard = i
 		opts.WALFence = hold.client.Addr()
 		opts.WALFenceWord = hold.l.Word()
-		sh, err := engine.Recover(cn, srv, opts)
-		if err != nil {
-			db.Close()
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+		e := entry{id: i, srv: i % len(servers)}
+		if takeover {
+			e.eng, err = engine.Recover(cn, srv, opts)
+			if err != nil {
+				return fail(fmt.Errorf("shard %d: %w", i, err))
+			}
+		} else {
+			e.eng = engine.Open(cn, srv, opts)
 		}
-		db.shards = append(db.shards, sh)
+		if opts.AutoBalance {
+			e.sampler = newKeySampler()
+		}
+		entries = append(entries, e)
 	}
+	db.finish(entries)
 	return db, nil
 }
 
@@ -120,30 +131,40 @@ func claimShard(cn *rdma.Node, srv, replica *memnode.Server, owner, shard, holde
 // belongs to — or will be taken over by — the next owner, and releasing
 // never rewinds the epoch either way.
 func (db *DB) releaseLeases() {
-	for _, h := range db.leases {
+	for id, h := range db.leases {
 		_ = h.client.Release(h.l)
 		h.client.Close()
+		delete(db.leases, id)
 	}
-	db.leases = nil
 }
 
 // OpenSecondary attaches a read-only secondary across all λ shards of the
 // primary identified by Options.WALOwner (see engine.OpenSecondary). The
 // geometry arguments must match the primary's; the secondary builds its
 // own compute-local state per shard and serves reads at the primary's last
-// published checkpoints.
+// published checkpoints. Secondaries never rebalance — the routing table
+// is compute-local, so a primary's online splits are invisible here; reads
+// stay correct regardless because secondaries route over the original
+// geometry, whose shards keep serving their initial full ranges.
 func OpenSecondary(cn *rdma.Node, servers []*memnode.Server, lambda int, boundaries [][]byte, opts engine.Options) (*DB, error) {
-	lambda, opts = normalize(lambda, boundaries, opts)
-	db := &DB{boundaries: boundaries}
+	lambda, opts, err := normalize(lambda, boundaries, opts)
+	if err != nil {
+		return nil, err
+	}
+	db := newShell(cn, servers, opts, lambda)
+	db.initBoundaries = boundaries
+	db.secondary = true
+	var entries []entry
 	for i := 0; i < lambda; i++ {
 		opts.WALShard = i
 		sh, err := engine.OpenSecondary(cn, servers[i%len(servers)], opts)
 		if err != nil {
-			db.Close()
+			closeEntries(entries)
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		db.shards = append(db.shards, sh)
+		entries = append(entries, entry{eng: sh, id: i, srv: i % len(servers)})
 	}
+	db.finish(entries)
 	return db, nil
 }
 
@@ -151,9 +172,9 @@ func OpenSecondary(cn *rdma.Node, servers []*memnode.Server, lambda int, boundar
 // primary's latest published WAL checkpoint.
 func (db *DB) RefreshView() error {
 	var errs []error
-	for i, s := range db.shards {
-		if err := s.RefreshView(); err != nil {
-			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+	for _, e := range db.routing.Load().entries {
+		if err := e.eng.RefreshView(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", e.id, err))
 		}
 	}
 	return errors.Join(errs...)
@@ -164,9 +185,9 @@ func (db *DB) RefreshView() error {
 // secondaries' next RefreshView.
 func (db *DB) PublishCheckpoint() error {
 	var errs []error
-	for i, s := range db.shards {
-		if err := s.PublishCheckpoint(); err != nil {
-			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+	for _, e := range db.routing.Load().entries {
+		if err := e.eng.PublishCheckpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", e.id, err))
 		}
 	}
 	return errors.Join(errs...)

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -35,7 +36,10 @@ func harness(t *testing.T, lambda int, n int, fn func(env *sim.Env, db *DB)) {
 	srv.Start()
 	env.Run(func() {
 		bounds := UniformBoundaries(lambda, n, key)
-		db := New(cn, []*memnode.Server{srv}, lambda, bounds, opts())
+		db, err := New(cn, []*memnode.Server{srv}, lambda, bounds, opts())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
 		fn(env, db)
 		db.Close()
 		fab.Close()
@@ -159,7 +163,7 @@ func TestLambdaOnePassthrough(t *testing.T) {
 	})
 }
 
-func TestBadBoundariesPanic(t *testing.T) {
+func TestBadBoundariesError(t *testing.T) {
 	env := sim.NewEnv()
 	fab := rdma.NewFabric(env, rdma.EDR100())
 	cn := fab.AddNode("compute", 24)
@@ -168,12 +172,12 @@ func TestBadBoundariesPanic(t *testing.T) {
 	srv.Start()
 	env.Run(func() {
 		defer fab.Close()
-		defer func() {
-			if recover() == nil {
-				t.Error("descending boundaries did not panic")
-			}
-		}()
-		New(cn, []*memnode.Server{srv}, 3, [][]byte{[]byte("b"), []byte("a")}, opts())
+		if _, err := New(cn, []*memnode.Server{srv}, 3, [][]byte{[]byte("b"), []byte("a")}, opts()); !errors.Is(err, ErrBadBoundaries) {
+			t.Errorf("descending boundaries: err = %v, want ErrBadBoundaries", err)
+		}
+		if _, err := New(cn, []*memnode.Server{srv}, 3, [][]byte{[]byte("a")}, opts()); !errors.Is(err, ErrBadBoundaries) {
+			t.Errorf("wrong boundary count: err = %v, want ErrBadBoundaries", err)
+		}
 	})
 	env.Wait()
 }

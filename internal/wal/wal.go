@@ -183,6 +183,7 @@ type Log struct {
 	ckptSlot       uint32 // active checkpoint slot of the last header
 	pubSeq         uint64 // header Tag of the last published pair (replicated slots)
 
+	holdTrunc   int // >0: ring truncation paused (see HoldTruncation)
 	refreshReq  bool
 	recovering  bool
 	closed      bool
@@ -846,18 +847,22 @@ func (l *Log) publishRefresh(blob []byte, covered uint64) error {
 		tag = l.pubSeq
 	}
 	// Trim plan: pop durable records fully below the horizon. The frees
-	// are applied only after the header lands.
+	// are applied only after the header lands. While a truncation hold is
+	// in force (shard migration reading the tail) nothing is popped — the
+	// checkpoint still publishes, but every live record stays readable.
 	trimN, freed := 0, 0
 	startOff, startLSN := l.head, uint64(0)
-	for _, r := range l.live {
-		if r.lsn > l.durableLSN || r.maxSeq > covered {
-			break
-		}
-		trimN++
-		freed += r.padBefore + r.size
-		startOff = r.off + r.size
-		if startOff == l.ringSize {
-			startOff = 0
+	if l.holdTrunc == 0 {
+		for _, r := range l.live {
+			if r.lsn > l.durableLSN || r.maxSeq > covered {
+				break
+			}
+			trimN++
+			freed += r.padBefore + r.size
+			startOff = r.off + r.size
+			if startOff == l.ringSize {
+				startOff = 0
+			}
 		}
 	}
 	if trimN > 0 {

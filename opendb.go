@@ -116,7 +116,11 @@ func OpenDB(d *Deployment, role Role, p Placement, opts Options) (*DB, error) {
 			return nil, fmt.Errorf("dlsm: a primary without a lease logs under its own compute index; Owner %d conflicts with ComputeIdx %d", p.Owner, p.ComputeIdx)
 		}
 		opts.WALOwner = p.ComputeIdx
-		return &DB{inner: shard.New(cn, p.Servers, p.Lambda, p.Boundaries, opts)}, nil
+		inner, err := shard.New(cn, p.Servers, p.Lambda, p.Boundaries, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &DB{inner: inner}, nil
 	case RoleSecondary:
 		opts.WALOwner = p.Owner
 		inner, err := shard.OpenSecondary(cn, p.Servers, p.Lambda, p.Boundaries, opts)
