@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race fuzz bench cache faults wal repl scan scaleout offload rebalance
+.PHONY: check build test vet race fuzz bench cache faults wal repl scan scaleout offload rebalance ycsb
 
 check: vet build test race fuzz
 
@@ -22,7 +22,8 @@ race:
 		./internal/rpc/... ./internal/memnode/... ./internal/faults/... \
 		./internal/cache/... ./internal/shard/... ./internal/wal/... \
 		./internal/sstable/... ./internal/iterx/... ./internal/readahead/... \
-		./internal/lease/... ./internal/repl/... ./internal/balance/...
+		./internal/lease/... ./internal/repl/... ./internal/balance/... \
+		./internal/service/...
 
 # Short fuzz of the bytes recovery trusts from remote memory (checkpoint
 # blobs must decode or error, never panic) and of the merge iterator the
@@ -36,6 +37,7 @@ fuzz:
 	$(GO) test ./internal/repl/ -run '^$$' -fuzz FuzzDecodeReplicaSlot -fuzztime 5s
 	$(GO) test ./internal/memnode/ -run '^$$' -fuzz FuzzDecodeFlushBuildArgs -fuzztime 5s
 	$(GO) test ./internal/shard/ -run '^$$' -fuzz FuzzRouteKey -fuzztime 5s
+	$(GO) test ./internal/service/ -run '^$$' -fuzz FuzzAdmission -fuzztime 5s
 
 # Hot-KV cache budget sweep (Zipf readrandom, cache off -> 64MB).
 cache:
@@ -72,6 +74,13 @@ offload:
 # workload and the shifting run must show at least two splits.
 rebalance:
 	$(GO) run ./cmd/dlsm-bench -fig rebalance -n 100000
+
+# Multi-tenant service-tier YCSB matrix: all six core workloads through
+# the front-end tier, then the mixed-tenant scenario (latency-sensitive
+# YCSB-B beside scan-heavy YCSB-E). Rate-limiting the scan tenant must
+# strictly improve the frontend's p99.
+ycsb:
+	$(GO) run ./cmd/dlsm-bench -fig ycsb -n 100000
 
 # Multi-compute scale-out sweep: aggregate read throughput at 1, 2 and 4
 # compute nodes (one lease-holding primary + read-only secondaries) over a

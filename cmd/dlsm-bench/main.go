@@ -9,7 +9,7 @@
 //	dlsm-bench -fig all -n 100000
 //
 // Figures: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal repl scan
-// scaleout offload rebalance all.
+// scaleout offload rebalance ycsb all.
 // Throughput is virtual-time based (see DESIGN.md); -n scales the paper's
 // 100M-key workloads down to laptop runtimes while preserving the
 // data:memtable:sstable ratios.
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to reproduce: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal repl scan scaleout offload rebalance all")
+		fig     = flag.String("fig", "", "figure to reproduce: 7a 7b 8 9 10 11 12 13 14a 14b 15 cache faults wal repl scan scaleout offload rebalance ycsb all")
 		n       = flag.Int("n", 200_000, "operations per data point (paper: 100M)")
 		threads = flag.String("threads", "1,2,4,8,16", "thread counts for thread-sweep figures")
 		quiet   = flag.Bool("q", false, "suppress per-point progress output")
@@ -48,7 +48,7 @@ func main() {
 	ths := parseInts(*threads)
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"7a", "7b", "8", "9", "10", "11", "12", "13", "14a", "14b", "15", "cache", "faults", "wal", "repl", "scan", "scaleout", "offload", "rebalance"}
+		figs = []string{"7a", "7b", "8", "9", "10", "11", "12", "13", "14a", "14b", "15", "cache", "faults", "wal", "repl", "scan", "scaleout", "offload", "rebalance", "ycsb"}
 	}
 	for _, f := range figs {
 		runFigure(f, *n, ths, *metrics)
@@ -137,6 +137,12 @@ func runFigure(fig string, n int, threads []int, metrics bool) {
 		// pipeline for the split to pay off; the progress lines carry the
 		// balance.* decision counters per point.
 		show(bench.FigRebalance(n, 16))
+	case "ycsb":
+		// The full YCSB A-F matrix through the multi-tenant service tier,
+		// then the mixed-tenant scenario: admission control on the
+		// scan-heavy tenant must strictly improve the latency-sensitive
+		// tenant's p99.
+		bench.FigYCSB(n, maxOf(threads)).Print(out)
 	case "scaleout":
 		// 8 threads per compute node: one node leaves fabric headroom, so
 		// adding read-only secondaries must raise aggregate throughput.

@@ -1,12 +1,16 @@
-// YCSB-style mixed workload over a sharded dLSM (§VII): 16 concurrent
-// client threads running an update-heavy mix (50% reads / 50% writes,
-// YCSB-A) against dLSM with λ = 1 vs λ = 8, reproducing the effect behind
-// Fig 10 — sharding parallelizes L0 compaction and shortens the read path.
+// Multi-tenant YCSB over the front-end service tier: a latency-sensitive
+// tenant ("frontend", YCSB-B point ops) shares a sharded dLSM with a
+// scan-heavy batch tenant ("analytics", YCSB-E range scans). The run is
+// repeated twice — first with no limits, then with the analytics tenant
+// behind a token-bucket admission controller — and prints the per-tenant
+// SLO tables. Admission control on the scan tenant strictly improves the
+// frontend's p99. Everything runs on the virtual clock from a fixed seed,
+// so the output is deterministic.
 package main
 
 import (
 	"fmt"
-	"math/rand"
+	"os"
 	"time"
 
 	"dlsm"
@@ -14,96 +18,109 @@ import (
 )
 
 const (
-	numKeys   = 100_000
-	numOps    = 200_000
-	threads   = 16
-	readRatio = 0.5
+	numKeys = 100_000
+	lambda  = 4
+	seed    = 20230401
 )
 
 func main() {
-	for _, lambda := range []int{1, 8} {
-		tput := runWorkload(lambda)
-		fmt.Printf("dLSM-%d: YCSB-A (%d%% reads) -> %.2fM ops/s\n",
-			lambda, int(readRatio*100), tput/1e6)
-	}
+	fmt.Println("Two tenants, no limits:")
+	open := runScenario(0)
+	dlsm.WriteServiceReports(os.Stdout, open)
+
+	// Cap analytics at a quarter of the rate it reached unthrottled, with
+	// a one-token-interval admission deadline: over-quota scans queue
+	// briefly, then fail fast with ErrThrottled.
+	limit := open[1].Throughput / 4
+	fmt.Printf("\nTwo tenants, analytics rate-limited to %.0f req/s:\n", limit)
+	limited := runScenario(limit)
+	dlsm.WriteServiceReports(os.Stdout, limited)
+
+	fmt.Printf("\nfrontend p99: %v -> %v (analytics throttled %d times)\n",
+		open[0].P99, limited[0].P99, limited[1].Throttled)
 }
 
-func runWorkload(lambda int) float64 {
+// runScenario preloads the store and drives both tenants through the
+// service tier, rate-limiting analytics when limit > 0.
+func runScenario(limit float64) []dlsm.ServiceReport {
 	d := dlsm.NewDeployment(dlsm.SingleNodeConfig())
 	defer d.Close()
 
-	var tput float64
+	var reports []dlsm.ServiceReport
 	d.Run(func() {
-		format := func(i int) []byte { return []byte(fmt.Sprintf("user%016d", i)) }
 		db, err := dlsm.OpenDB(d, dlsm.RolePrimary, dlsm.Placement{
 			Lambda:     lambda,
-			Boundaries: dlsm.UniformBoundaries(lambda, numKeys, format),
+			Boundaries: dlsm.UniformBoundaries(lambda, numKeys, key),
 		}, dlsm.DefaultOptions())
 		if err != nil {
 			panic(err)
 		}
 		defer db.Close()
+		preload(d, db)
 
-		// Load phase: every key once, batched — one sequence-range claim
-		// per 512 keys instead of one per Put.
-		loadStart := d.Env.Now()
-		wg := sim.NewWaitGroup(d.Env)
-		for t := 0; t < threads; t++ {
-			t := t
-			wg.Add(1)
-			d.Env.Go(func() {
-				defer wg.Done()
-				s := db.NewSession()
-				defer s.Close()
-				var b dlsm.Batch
-				for i := t; i < numKeys; i += threads {
-					b.Put(format(i), value(i))
-					if b.Len() == 512 {
-						if err := s.Apply(&b); err != nil {
-							panic(err)
-						}
-						b.Reset()
-					}
-				}
-				if err := s.Apply(&b); err != nil {
-					panic(err)
-				}
-			})
+		analytics := dlsm.TenantConfig{
+			Name:    "analytics",
+			Clients: 8,
+			Ops:     5_000,
+			// YCSB-E: 95% range scans (up to 100 entries), 5% inserts.
+			Workload: dlsm.YCSBWorkload('E', numKeys),
 		}
-		wg.Wait()
-		fmt.Printf("  load: %d keys in %v (virtual)\n", numKeys, time.Duration(d.Env.Now()-loadStart))
+		if limit > 0 {
+			analytics.RatePerSec = limit
+			analytics.Burst = 8
+			analytics.AdmissionDeadline = time.Duration(float64(time.Second) / limit)
+		}
+		tier := dlsm.NewService(d, db, dlsm.ServiceConfig{
+			Seed:  seed,
+			Key:   key,
+			Value: value,
+			Tenants: []dlsm.TenantConfig{
+				{
+					Name:    "frontend",
+					Clients: 8,
+					Ops:     50_000,
+					// YCSB-B: 95% point reads, 5% updates, zipf-skewed.
+					Workload: dlsm.YCSBWorkload('B', numKeys),
+				},
+				analytics,
+			},
+		})
+		reports = tier.Run()
+	})
+	return reports
+}
 
-		// Run phase: the measured mix.
-		start := d.Env.Now()
-		var ops int64
-		wg2 := sim.NewWaitGroup(d.Env)
-		for t := 0; t < threads; t++ {
-			t := t
-			wg2.Add(1)
-			d.Env.Go(func() {
-				defer wg2.Done()
-				rnd := rand.New(rand.NewSource(int64(t) + 1))
-				s := db.NewSession()
-				defer s.Close()
-				for i := 0; i < numOps/threads; i++ {
-					k := rnd.Intn(numKeys)
-					if rnd.Float64() < readRatio {
-						if _, err := s.Get(format(k)); err != nil {
-							panic(err)
-						}
-					} else if err := s.Put(format(k), value(k)); err != nil {
+// preload inserts every key once, batched, across 16 loader entities.
+func preload(d *dlsm.Deployment, db *dlsm.DB) {
+	const loaders = 16
+	wg := sim.NewWaitGroup(d.Env)
+	for t := 0; t < loaders; t++ {
+		t := t
+		wg.Add(1)
+		d.Env.Go(func() {
+			defer wg.Done()
+			s := db.NewSession()
+			defer s.Close()
+			var b dlsm.Batch
+			for i := t; i < numKeys; i += loaders {
+				b.Put(key(i), value(i))
+				if b.Len() == 512 {
+					if err := s.Apply(&b); err != nil {
 						panic(err)
 					}
+					b.Reset()
 				}
-			})
-		}
-		wg2.Wait()
-		elapsed := time.Duration(d.Env.Now() - start)
-		ops = numOps
-		tput = float64(ops) / elapsed.Seconds()
-	})
-	return tput
+			}
+			if err := s.Apply(&b); err != nil {
+				panic(err)
+			}
+		})
+	}
+	wg.Wait()
+	db.WaitForCompactions()
 }
+
+func key(i int) []byte { return []byte(fmt.Sprintf("user%016d", i)) }
 
 func value(i int) []byte {
 	return []byte(fmt.Sprintf("profile-%08d-%0380d", i, i)) // ~400B, like the paper

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNextKeyUniformChiSquared: with Zipf off, nextKey must be uniform
+// over the key range. Pearson chi-squared over 100 cells; the threshold is
+// ~4 sigma for 99 degrees of freedom, far looser than any real skew.
+func TestNextKeyUniformChiSquared(t *testing.T) {
+	c := Config{KeyRange: 100_000, Seed: 1}
+	r := c.threadRand(0)
+	if c.zipf(r) != nil {
+		t.Fatal("Zipf 0 must build the uniform (nil) generator")
+	}
+	const draws = 200_000
+	const cells = 100
+	counts := make([]int, cells)
+	for i := 0; i < draws; i++ {
+		k := c.nextKey(r, nil)
+		if k < 0 || k >= c.KeyRange {
+			t.Fatalf("key %d outside [0,%d)", k, c.KeyRange)
+		}
+		counts[k*cells/c.KeyRange]++
+	}
+	expect := float64(draws) / cells
+	var chi2 float64
+	for _, n := range counts {
+		d := float64(n) - expect
+		chi2 += d * d / expect
+	}
+	// df=99: mean 99, stddev ~14. 160 is ~4.3 sigma.
+	if chi2 > 160 {
+		t.Errorf("uniform chi-squared = %.1f over %d cells — not uniform", chi2, cells)
+	}
+}
+
+// TestNextKeyZipfSkewAndSpread: with Zipf on, a small set of hot keys must
+// dominate, and the scramble must spread those hot keys across the whole
+// key space instead of clustering them at low indexes.
+func TestNextKeyZipfSkewAndSpread(t *testing.T) {
+	c := Config{KeyRange: 100_000, Seed: 1, Zipf: 1.2}
+	r := c.threadRand(0)
+	z := c.zipf(r)
+	if z == nil {
+		t.Fatal("Zipf 1.2 must build a skewed generator")
+	}
+	const draws = 200_000
+	counts := map[int]int{}
+	for i := 0; i < draws; i++ {
+		counts[c.nextKey(r, z)]++
+	}
+	// Skew: the top-10 keys must carry far more than uniform's share.
+	top := make([]int, 0, len(counts))
+	for _, n := range counts {
+		top = append(top, n)
+	}
+	sortDesc(top)
+	top10 := 0
+	for i := 0; i < 10 && i < len(top); i++ {
+		top10 += top[i]
+	}
+	if frac := float64(top10) / draws; frac < 0.2 {
+		t.Errorf("top-10 keys carry %.1f%% of draws — zipf skew missing", frac*100)
+	}
+	// Spread: hot keys must not cluster. Every tenth of the key space
+	// should see traffic.
+	tenths := [10]int{}
+	for k := range counts {
+		tenths[k*10/c.KeyRange]++
+	}
+	for i, n := range tenths {
+		if n == 0 {
+			t.Errorf("key-space tenth %d never drawn — scramble not spreading ranks", i)
+		}
+	}
+}
+
+// TestZipfGoldenReplay: the skewed stream is a pure function of the seed —
+// the same (seed, zipf) pair replays identically, and the stream matches
+// a reference rand.Zipf driven the same way.
+func TestZipfGoldenReplay(t *testing.T) {
+	c := Config{KeyRange: 50_000, Seed: 42, Zipf: 1.2}
+	draw := func() []int {
+		r := c.threadRand(3)
+		z := c.zipf(r)
+		out := make([]int, 1_000)
+		for i := range out {
+			out[i] = c.nextKey(r, z)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Reference model: rand.Zipf rank -> scramble -> mod range.
+	ref := rand.New(rand.NewSource(c.Seed + 3*7919))
+	zr := rand.NewZipf(ref, c.Zipf, 1, uint64(c.KeyRange-1))
+	for i := range a {
+		want := int(scramble(zr.Uint64()) % uint64(c.KeyRange))
+		if a[i] != want {
+			t.Fatalf("draw %d = %d, reference model wants %d", i, a[i], want)
+		}
+	}
+}
+
+// TestHotKeyBandFractionAndShift: hotKey must put ~HotFrac of draws inside
+// the moving band, and the band's origin must advance by HotShift at each
+// third of the run.
+func TestHotKeyBandFractionAndShift(t *testing.T) {
+	c := Config{KeyRange: 100_000, Seed: 7, HotFrac: 0.9, HotWidth: 0.05, HotShift: 0.2}
+	const per = 90_000
+	r := c.threadRand(0)
+	phaseHits := [3]int{}
+	phaseDraws := [3]int{}
+	for i := 0; i < per; i++ {
+		phase := 3 * i / per
+		if phase > 2 {
+			phase = 2
+		}
+		k := c.hotKey(r, i, per)
+		width := int(float64(c.KeyRange) * c.HotWidth)
+		origin := int(float64(c.KeyRange) * (0.4 + float64(phase)*c.HotShift))
+		lo, hi := origin%c.KeyRange, (origin+width)%c.KeyRange
+		hit := false
+		if lo < hi {
+			hit = k >= lo && k < hi
+		} else { // band wraps
+			hit = k >= lo || k < hi
+		}
+		phaseDraws[phase]++
+		if hit {
+			phaseHits[phase]++
+		}
+	}
+	for p := 0; p < 3; p++ {
+		frac := float64(phaseHits[p]) / float64(phaseDraws[p])
+		// HotFrac of draws target the band; the uniform remainder adds
+		// ~HotWidth more. Allow 3% tolerance either side.
+		want := c.HotFrac + (1-c.HotFrac)*c.HotWidth
+		if frac < want-0.03 || frac > want+0.03 {
+			t.Errorf("phase %d: %.3f of draws in band, want %.3f±0.03", p, frac, want)
+		}
+	}
+}
+
+// TestScrambleInjectiveOnDenseRanks: splitmix64's finalizer is a
+// bijection on uint64; over the dense rank prefix the zipf head lives in,
+// it must produce no collisions and no obvious clustering.
+func TestScrambleInjectiveOnDenseRanks(t *testing.T) {
+	const n = 1 << 16
+	seen := make(map[uint64]uint64, n)
+	for x := uint64(0); x < n; x++ {
+		s := scramble(x)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("scramble collision: %d and %d both map to %d", prev, x, s)
+		}
+		seen[s] = x
+	}
+	// Clustering check: consecutive ranks must land in different 2^48-wide
+	// regions often (a linear map would keep them adjacent).
+	jumps := 0
+	for x := uint64(1); x < 1_000; x++ {
+		if scramble(x)>>48 != scramble(x-1)>>48 {
+			jumps++
+		}
+	}
+	if jumps < 900 {
+		t.Errorf("only %d/999 consecutive ranks changed high bits — scramble too linear", jumps)
+	}
+}
+
+// sortDesc sorts ints descending (tiny n, insertion sort keeps this file
+// dependency-free).
+func sortDesc(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"errors"
+
+	"dlsm/internal/sim"
+)
+
+// ErrThrottled is returned to a client whose request the tenant's token
+// bucket rejects: either immediately (AdmissionDeadline 0 and no token
+// available) or after the earliest conforming time falls past the
+// admission deadline. The request consumes no quota.
+var ErrThrottled = errors.New("service: request throttled by tenant quota")
+
+// Bucket is a deterministic token-bucket admission controller in GCRA
+// (virtual-scheduling) form: one state word — the theoretical arrival
+// time of the next conforming request — updated per admit, no refill
+// loop, no wall clock. Rate r requests/second with burst b means any
+// window of length W admits at most b + W*r requests.
+//
+// Bucket is a pure state machine over virtual time: callers serialize
+// access (the tenant holds its mutex) and perform the returned wait
+// themselves on the sim clock. Identical call sequences produce identical
+// decisions, which is what makes seeded service-tier runs reproducible
+// and the machine directly fuzzable (FuzzAdmission).
+//
+// A nil Bucket admits everything with zero wait.
+type Bucket struct {
+	inc sim.Duration // virtual time per token (1e9/rate ns)
+	tau sim.Duration // burst tolerance: (burst-1)*inc
+	tat sim.Time     // theoretical arrival time of the next token
+}
+
+// NewBucket builds a bucket admitting ratePerSec requests per second of
+// virtual time with the given burst capacity (minimum 1: the bucket must
+// be able to hold the token it hands out). ratePerSec <= 0 returns nil —
+// the unlimited bucket.
+func NewBucket(ratePerSec float64, burst int) *Bucket {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	inc := sim.Duration(1e9 / ratePerSec)
+	if inc < 1 {
+		inc = 1
+	}
+	return &Bucket{inc: inc, tau: sim.Duration(burst-1) * inc}
+}
+
+// Admit decides one arrival at virtual time now. ok means the request is
+// admitted after waiting wait (0 when a token is free immediately); the
+// caller sleeps that long before issuing the request. !ok means the
+// earliest conforming time lies more than deadline past now: the request
+// is throttled and the bucket state is unchanged, so a rejected request
+// consumes no quota. Deadline 0 is fail-fast admission: admit only
+// requests that need no wait at all.
+func (b *Bucket) Admit(now sim.Time, deadline sim.Duration) (wait sim.Duration, ok bool) {
+	if b == nil {
+		return 0, true
+	}
+	tat := b.tat
+	if t := now; tat < t {
+		tat = t
+	}
+	admitAt := tat - sim.Time(b.tau)
+	if admitAt < now {
+		admitAt = now
+	}
+	wait = sim.Duration(admitAt - now)
+	if wait > deadline {
+		return wait, false
+	}
+	b.tat = tat + sim.Time(b.inc)
+	return wait, true
+}
+
+// Interval returns the virtual time between tokens (0 for the unlimited
+// bucket).
+func (b *Bucket) Interval() sim.Duration {
+	if b == nil {
+		return 0
+	}
+	return b.inc
+}
+
+// TAT exposes the theoretical-arrival-time state word for tests and
+// fuzzing: it must never decrease across Admit calls.
+func (b *Bucket) TAT() sim.Time {
+	if b == nil {
+		return 0
+	}
+	return b.tat
+}

@@ -1,0 +1,159 @@
+package service
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"dlsm/internal/sim"
+)
+
+func TestNilBucketAdmitsEverything(t *testing.T) {
+	var b *Bucket
+	for i := 0; i < 10; i++ {
+		wait, ok := b.Admit(sim.Time(i), 0)
+		if !ok || wait != 0 {
+			t.Fatalf("nil bucket: wait=%v ok=%v", wait, ok)
+		}
+	}
+	if NewBucket(0, 5) != nil {
+		t.Fatal("rate 0 must build the unlimited (nil) bucket")
+	}
+}
+
+func TestBucketBurstThenSteadyRate(t *testing.T) {
+	// 1000/s, burst 4: four tokens at t=0, then one per millisecond.
+	b := NewBucket(1000, 4)
+	for i := 0; i < 4; i++ {
+		wait, ok := b.Admit(0, 0)
+		if !ok || wait != 0 {
+			t.Fatalf("burst token %d: wait=%v ok=%v", i, wait, ok)
+		}
+	}
+	// Fifth request at t=0 fail-fast: rejected, needing 1ms.
+	wait, ok := b.Admit(0, 0)
+	if ok {
+		t.Fatal("fifth immediate request must be throttled at deadline 0")
+	}
+	if wait != time.Millisecond {
+		t.Fatalf("fifth request wait = %v, want 1ms", wait)
+	}
+	// Same request with a deadline queues for exactly that wait.
+	wait, ok = b.Admit(0, 2*time.Millisecond)
+	if !ok || wait != time.Millisecond {
+		t.Fatalf("queued request: wait=%v ok=%v, want 1ms true", wait, ok)
+	}
+	// After a long idle gap the burst is available again.
+	at := sim.Time(time.Second)
+	for i := 0; i < 4; i++ {
+		wait, ok := b.Admit(at, 0)
+		if !ok || wait != 0 {
+			t.Fatalf("post-idle burst token %d: wait=%v ok=%v", i, wait, ok)
+		}
+	}
+}
+
+func TestBucketThrottleLeavesStateUnchanged(t *testing.T) {
+	b := NewBucket(100, 1)
+	b.Admit(0, 0)
+	tat := b.TAT()
+	for i := 0; i < 5; i++ {
+		if _, ok := b.Admit(0, 0); ok {
+			t.Fatal("over-quota request admitted")
+		}
+		if b.TAT() != tat {
+			t.Fatal("throttled request mutated bucket state")
+		}
+	}
+	// The token that was not consumed by the rejected requests is still
+	// there at its scheduled time.
+	wait, ok := b.Admit(sim.Time(b.Interval()), 0)
+	if !ok || wait != 0 {
+		t.Fatalf("token after interval: wait=%v ok=%v", wait, ok)
+	}
+}
+
+func TestBucketRateBoundOverWindow(t *testing.T) {
+	// Greedy arrivals with a queueing deadline: admitted count over the
+	// window must respect burst + window*rate.
+	const rate, burst = 500.0, 10
+	b := NewBucket(rate, burst)
+	var now sim.Time
+	admitted := 0
+	horizon := sim.Time(200 * time.Millisecond)
+	for now < horizon {
+		wait, ok := b.Admit(now, time.Hour)
+		if !ok {
+			t.Fatal("unbounded deadline must always admit")
+		}
+		now += sim.Time(wait) // model the client sleeping out its wait
+		admitted++
+	}
+	limit := burst + int(float64(horizon)/1e9*rate) + 1
+	if admitted > limit {
+		t.Fatalf("admitted %d over %v, limit %d", admitted, time.Duration(horizon), limit)
+	}
+	if admitted < limit-2 {
+		t.Fatalf("admitted %d, expected to saturate near %d", admitted, limit)
+	}
+}
+
+// FuzzAdmission drives the GCRA state machine with arbitrary arrival
+// gaps, deadlines, rates and bursts, checking the invariants the service
+// tier's conservation and quota guarantees rest on.
+func FuzzAdmission(f *testing.F) {
+	f.Add(uint16(1000), uint8(4), []byte{0, 0, 1, 0, 10, 1, 0, 0, 255, 255})
+	f.Add(uint16(1), uint8(1), []byte{255, 255, 255, 255, 0, 0, 0, 0})
+	f.Add(uint16(60000), uint8(255), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Fuzz(func(t *testing.T, rate uint16, burst uint8, steps []byte) {
+		if rate == 0 {
+			rate = 1
+		}
+		b := NewBucket(float64(rate), int(burst))
+		replay := NewBucket(float64(rate), int(burst))
+		var now, lastAdmit sim.Time
+		admitted := 0
+		for i := 0; i+3 < len(steps); i += 4 {
+			now += sim.Time(binary.LittleEndian.Uint16(steps[i:])) * sim.Time(time.Microsecond)
+			deadline := sim.Duration(binary.LittleEndian.Uint16(steps[i+2:])) * time.Microsecond
+			prevTAT := b.TAT()
+			wait, ok := b.Admit(now, deadline)
+			if wait < 0 {
+				t.Fatalf("negative wait %v", wait)
+			}
+			if ok {
+				admitted++
+				if at := now + sim.Time(wait); at > lastAdmit {
+					lastAdmit = at
+				}
+				if wait > deadline {
+					t.Fatalf("admitted with wait %v > deadline %v", wait, deadline)
+				}
+				if b.TAT() < prevTAT {
+					t.Fatalf("TAT went backwards: %v -> %v", prevTAT, b.TAT())
+				}
+			} else {
+				if wait <= deadline {
+					t.Fatalf("throttled with wait %v <= deadline %v", wait, deadline)
+				}
+				if b.TAT() != prevTAT {
+					t.Fatal("throttle mutated state")
+				}
+			}
+			// Replaying the identical sequence gives identical decisions.
+			rwait, rok := replay.Admit(now, deadline)
+			if rwait != wait || rok != ok {
+				t.Fatalf("replay diverged: (%v,%v) vs (%v,%v)", wait, ok, rwait, rok)
+			}
+		}
+		// Quota: counting each admission at its scheduled admit time
+		// (arrival + queue wait), admissions cannot exceed burst +
+		// window*rate — each admit advances TAT by one interval, and TAT
+		// trails the admit time by at most tau + inc.
+		bound := int(burst) + 1 + int(float64(lastAdmit)/1e9*float64(rate)) + 1
+		if admitted > bound {
+			t.Fatalf("admitted %d > quota bound %d (window=%v rate=%d burst=%d)",
+				admitted, bound, time.Duration(lastAdmit), rate, burst)
+		}
+	})
+}

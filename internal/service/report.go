@@ -1,0 +1,88 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"dlsm/internal/sim"
+)
+
+// Report is one tenant's SLO summary for a Run: request accounting,
+// throughput, and the latency tail from the virtual clock. Reports are
+// deterministic for a seeded scenario — byte-identical across runs — so
+// they double as regression fixtures.
+type Report struct {
+	Tenant  string
+	Clients int
+
+	// Issued = Admitted + Throttled, always.
+	Issued, Admitted, Throttled int64
+
+	// Per-kind admitted counts and total entries visited by scans.
+	Reads, Updates, Inserts, Scans, RMWs int64
+	ScanEntries                          int64
+
+	// Units is what Throughput counts per second: admitted ops, except
+	// under ScanAll accounting where it is entries scanned (readseq).
+	Units      int64
+	Elapsed    time.Duration // first issue to slowest client's finish
+	Throughput float64       // Units per second of virtual time
+
+	// Latency quantiles over admitted requests, measured arrival (after
+	// think time) to completion — admission queueing included.
+	P50, P95, P99, P999, Max time.Duration
+}
+
+// report assembles tn's Report for a run that started at start.
+func (t *Tier) report(tn *tenant, start sim.Time) Report {
+	h := tn.latency.Snapshot()
+	r := Report{
+		Tenant:      tn.cfg.Name,
+		Clients:     tn.cfg.Clients,
+		Issued:      tn.issued.Load(),
+		Admitted:    tn.admitted.Load(),
+		Throttled:   tn.throttled.Load(),
+		Reads:       tn.kinds[OpRead].Load(),
+		Updates:     tn.kinds[OpUpdate].Load(),
+		Inserts:     tn.kinds[OpInsert].Load(),
+		Scans:       tn.kinds[OpScan].Load() + tn.kinds[OpScanAll].Load(),
+		RMWs:        tn.kinds[OpRMW].Load(),
+		ScanEntries: tn.scanned.Load(),
+		Units:       tn.units.Load(),
+		Elapsed:     time.Duration(sim.Time(tn.endNS.Load()) - start),
+		P50:         time.Duration(h.P50),
+		P95:         time.Duration(h.P95),
+		P99:         time.Duration(h.P99),
+		P999:        time.Duration(h.P999),
+		Max:         time.Duration(h.Max),
+	}
+	if r.Elapsed > 0 {
+		r.Throughput = float64(r.Units) / r.Elapsed.Seconds()
+	}
+	return r
+}
+
+// WriteReports renders per-tenant SLO rows as an aligned table.
+func WriteReports(w io.Writer, reports []Report) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tenant\tclients\tissued\tadmitted\tthrottled\tthroughput\tp50\tp95\tp99\tp999")
+	for _, r := range reports {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%v\t%v\t%v\t%v\n",
+			r.Tenant, r.Clients, r.Issued, r.Admitted, r.Throttled,
+			fmtRate(r.Throughput), r.P50, r.P95, r.P99, r.P999)
+	}
+	tw.Flush()
+}
+
+func fmtRate(t float64) string {
+	switch {
+	case t >= 1e6:
+		return fmt.Sprintf("%.2fM/s", t/1e6)
+	case t >= 1e3:
+		return fmt.Sprintf("%.1fK/s", t/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", t)
+	}
+}

@@ -1,0 +1,272 @@
+// Package service is a simulated front-end tier over a dLSM deployment:
+// the piece that turns the engine-as-a-library harness into something
+// shaped like production traffic. N client entities per tenant issue a
+// configured workload (the YCSB A-F core mixes, or full-table scans) with
+// per-op think time, route requests through the sharded DB via ordinary
+// per-client sessions, and pass every request through the tenant's
+// admission controller — a deterministic GCRA token bucket on the virtual
+// clock. Over-quota requests are throttled (ErrThrottled) or queue up to
+// an admission deadline, riding the same virtual-clock wait machinery the
+// engine's write stalls use. Per-tenant SLOs (p50/p95/p99/p999 latency,
+// throughput, throttle counts) are measured from virtual-clock latencies
+// into internal/telemetry histograms and returned as Reports.
+//
+// Everything is deterministic: op streams are pure functions of the seed,
+// admission is a pure state machine over virtual time, and the sim
+// kernel's cooperative serial dispatch makes the interleaving of client
+// entities a function of virtual state alone. Two runs of the same seeded
+// scenario produce byte-identical SLO reports.
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlsm/internal/sim"
+	"dlsm/internal/telemetry"
+)
+
+// Session is the per-client operation surface the tier drives. Backends
+// adapt their native sessions (dlsm.Session, the bench harness's
+// kvSession) to it; Get returning an error for a missing key is expected
+// and not fatal.
+type Session interface {
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, error)
+	// Scan iterates from start (nil = first key) in key order until fn
+	// returns false.
+	Scan(start []byte, fn func(k, v []byte) bool)
+	Close()
+}
+
+// DB hands out per-client sessions. Routing over shards is the session's
+// business (shard.Session routes per key); the tier only demands
+// session-per-client discipline, mirroring one connection per client.
+type DB interface {
+	NewSession() Session
+}
+
+// TenantConfig describes one tenant: its client population, workload,
+// pacing and quota.
+type TenantConfig struct {
+	Name    string
+	Clients int
+	// Ops is the tenant's total request budget, split evenly across
+	// clients (remainder dropped, like the bench harness).
+	Ops int
+	// ThinkTime is the fixed virtual-time pause before each request
+	// (0 = closed loop at full speed).
+	ThinkTime time.Duration
+
+	// RatePerSec caps admitted requests per second of virtual time
+	// (0 = unlimited: admission is bypassed entirely and adds no
+	// virtual-time events, so an unlimited single-tenant run is
+	// indistinguishable from driving the engine directly).
+	RatePerSec float64
+	// Burst is the token-bucket capacity (default 1).
+	Burst int
+	// AdmissionDeadline is how long an over-quota request may queue for
+	// a token before it is throttled. 0 = fail fast: reject any request
+	// that cannot be admitted immediately.
+	AdmissionDeadline time.Duration
+
+	Workload Workload
+}
+
+// Config describes one service-tier run.
+type Config struct {
+	// Seed derives every client's op stream (client c of the run uses
+	// Seed + c*7919, the bench harness's per-thread convention).
+	Seed int64
+	// Key and Value format a key index into stored bytes.
+	Key   func(i int) []byte
+	Value func(i int) []byte
+
+	Tenants []TenantConfig
+}
+
+// Tier is one front-end service tier bound to a deployment's sim
+// environment and a backend DB. Build with New, drive with Run.
+type Tier struct {
+	env     *sim.Env
+	db      DB
+	cfg     Config
+	reg     *telemetry.Registry
+	tenants []*tenant
+}
+
+// tenant is the runtime state behind one TenantConfig.
+type tenant struct {
+	cfg   TenantConfig
+	per   int // ops per client
+	first int // global index of the tenant's first client
+
+	mu     sync.Mutex // guards bucket; never held across sim blocking
+	bucket *Bucket
+
+	issued    *telemetry.Counter
+	admitted  *telemetry.Counter
+	throttled *telemetry.Counter
+	kinds     [numOpKinds]*telemetry.Counter
+	scanned   *telemetry.Counter
+	latency   *telemetry.Histogram
+	admitWait *telemetry.Histogram
+
+	units atomic.Int64 // throughput units (ops, or entries for ScanAll)
+	endNS atomic.Int64 // virtual finish time of the slowest client
+}
+
+// New builds a tier over db inside env. It spawns nothing; Run does.
+func New(env *sim.Env, db DB, cfg Config) *Tier {
+	if cfg.Key == nil || cfg.Value == nil {
+		panic("service: Config.Key and Config.Value are required")
+	}
+	t := &Tier{
+		env: env,
+		db:  db,
+		cfg: cfg,
+		reg: telemetry.NewRegistry(telemetry.ClockFunc(func() int64 { return int64(env.Now()) })),
+	}
+	first := 0
+	for _, tc := range cfg.Tenants {
+		if tc.Clients <= 0 {
+			panic(fmt.Sprintf("service: tenant %q needs at least one client", tc.Name))
+		}
+		tn := &tenant{cfg: tc, per: tc.Ops / tc.Clients, first: first}
+		tn.bucket = NewBucket(tc.RatePerSec, tc.Burst)
+		p := "svc." + tc.Name + "."
+		tn.issued = t.reg.Counter(p + "issued")
+		tn.admitted = t.reg.Counter(p + "admitted")
+		tn.throttled = t.reg.Counter(p + "throttled")
+		for k := OpKind(0); k < numOpKinds; k++ {
+			tn.kinds[k] = t.reg.Counter(p + k.String() + "s")
+		}
+		tn.scanned = t.reg.Counter(p + "scan_entries")
+		tn.latency = t.reg.Histogram(p + "latency_ns")
+		tn.admitWait = t.reg.Histogram(p + "admit_wait_ns")
+		t.tenants = append(t.tenants, tn)
+		first += tc.Clients
+	}
+	return t
+}
+
+// Run spawns every tenant's clients, waits for all of them to drain their
+// request budgets, and returns one Report per tenant (in Config order).
+// Call from inside the deployment's Run (the driver entity).
+func (t *Tier) Run() []Report {
+	total := 0
+	for _, tn := range t.tenants {
+		total += tn.cfg.Clients
+	}
+	start := t.env.Now()
+	wg := sim.NewWaitGroup(t.env)
+	for _, tn := range t.tenants {
+		tn := tn
+		for c := 0; c < tn.cfg.Clients; c++ {
+			c := c
+			wg.Add(1)
+			t.env.Go(func() {
+				defer wg.Done()
+				t.client(tn, c, total)
+			})
+		}
+	}
+	wg.Wait()
+	reports := make([]Report, len(t.tenants))
+	for i, tn := range t.tenants {
+		reports[i] = t.report(tn, start)
+	}
+	return reports
+}
+
+// client is one tenant client entity: think, generate, admit, execute,
+// observe — per ops, then exit.
+func (t *Tier) client(tn *tenant, c, totalClients int) {
+	s := t.db.NewSession()
+	defer s.Close()
+	global := tn.first + c
+	rnd := rand.New(rand.NewSource(t.cfg.Seed + int64(global)*7919))
+	g := newGen(tn.cfg.Workload, rnd, global, totalClients)
+	deadline := tn.cfg.AdmissionDeadline
+	for i := 0; i < tn.per; i++ {
+		if tn.cfg.ThinkTime > 0 {
+			t.env.Sleep(tn.cfg.ThinkTime)
+		}
+		op := g.next()
+		tn.issued.Inc()
+		arrive := t.env.Now()
+		if tn.bucket != nil {
+			tn.mu.Lock()
+			wait, ok := tn.bucket.Admit(arrive, deadline)
+			tn.mu.Unlock()
+			if !ok {
+				tn.throttled.Inc()
+				continue
+			}
+			if wait > 0 {
+				t.env.Sleep(wait)
+			}
+			tn.admitWait.Observe(int64(wait))
+		}
+		units := t.exec(s, tn, op)
+		tn.latency.Observe(int64(t.env.Now() - arrive))
+		tn.admitted.Inc()
+		tn.kinds[op.Kind].Inc()
+		tn.units.Add(units)
+	}
+	// The slowest client's finish time bounds the tenant's window.
+	now := int64(t.env.Now())
+	for {
+		old := tn.endNS.Load()
+		if now <= old || tn.endNS.CompareAndSwap(old, now) {
+			break
+		}
+	}
+}
+
+// exec performs one admitted op and returns its throughput units (1, or
+// entries visited for scans under ScanAll accounting).
+func (t *Tier) exec(s Session, tn *tenant, op Op) int64 {
+	switch op.Kind {
+	case OpRead:
+		s.Get(t.cfg.Key(op.Key)) // a miss is an answer, not an error
+		return 1
+	case OpUpdate, OpInsert:
+		if err := s.Put(t.cfg.Key(op.Key), t.cfg.Value(op.Key)); err != nil {
+			panic(fmt.Sprintf("service: put: %v", err))
+		}
+		return 1
+	case OpScan:
+		n := 0
+		s.Scan(t.cfg.Key(op.Key), func(k, v []byte) bool {
+			n++
+			return n < op.ScanLen
+		})
+		tn.scanned.Add(int64(n))
+		return 1
+	case OpRMW:
+		k := t.cfg.Key(op.Key)
+		s.Get(k)
+		if err := s.Put(k, t.cfg.Value(op.Key)); err != nil {
+			panic(fmt.Sprintf("service: rmw put: %v", err))
+		}
+		return 1
+	case OpScanAll:
+		var n int64
+		s.Scan(nil, func(k, v []byte) bool {
+			n++
+			return true
+		})
+		tn.scanned.Add(n)
+		return n
+	}
+	panic(fmt.Sprintf("service: unknown op kind %d", op.Kind))
+}
+
+// TelemetrySnapshot returns the tier's svc.* metrics (per-tenant latency
+// and admission-wait histograms, issue/admit/throttle counters) for
+// merging with engine and fabric snapshots.
+func (t *Tier) TelemetrySnapshot() telemetry.Snapshot { return t.reg.Snapshot() }

@@ -1,0 +1,212 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dlsm/internal/sim"
+)
+
+// fakeDB is a deterministic in-sim backend: every op costs a fixed slice
+// of virtual time and bumps a counter, nothing more. It stands in for the
+// engine so the model test isolates the service tier's own bookkeeping.
+type fakeDB struct {
+	env    *sim.Env
+	opCost sim.Duration
+
+	gets, puts, scans atomic.Int64
+}
+
+func (d *fakeDB) NewSession() Session { return &fakeSession{d: d} }
+
+type fakeSession struct{ d *fakeDB }
+
+func (s *fakeSession) Put(k, v []byte) error {
+	s.d.puts.Add(1)
+	s.d.env.Sleep(s.d.opCost)
+	return nil
+}
+
+func (s *fakeSession) Get(k []byte) ([]byte, error) {
+	s.d.gets.Add(1)
+	s.d.env.Sleep(s.d.opCost)
+	return nil, nil
+}
+
+func (s *fakeSession) Scan(start []byte, fn func(k, v []byte) bool) {
+	s.d.scans.Add(1)
+	s.d.env.Sleep(s.d.opCost)
+	// Serve a tiny synthetic range so scan callbacks and ScanEntries
+	// accounting are exercised.
+	for i := 0; i < 3; i++ {
+		if !fn([]byte{byte(i)}, nil) {
+			return
+		}
+	}
+}
+
+func (s *fakeSession) Close() {}
+
+func testKey(i int) []byte   { return []byte(fmt.Sprintf("%016d", i)) }
+func testValue(i int) []byte { return []byte(fmt.Sprintf("v%014d", i)) }
+
+// runScenario executes one seeded scenario on a fresh sim kernel and
+// returns the reports plus the backend's op counters.
+func runScenario(t *testing.T, seed int64, tenants []TenantConfig) ([]Report, *fakeDB) {
+	t.Helper()
+	env := sim.NewEnvSeed(seed)
+	db := &fakeDB{env: env, opCost: 20 * time.Microsecond}
+	var reports []Report
+	env.Run(func() {
+		tier := New(env, db, Config{Seed: seed, Key: testKey, Value: testValue, Tenants: tenants})
+		reports = tier.Run()
+	})
+	env.Wait()
+	return reports, db
+}
+
+// randomTenants builds a randomized multi-tenant scenario: mixed
+// workloads, random client counts, think times, quotas and deadlines —
+// including unlimited tenants (RatePerSec 0).
+func randomTenants(rnd *rand.Rand) []TenantConfig {
+	n := 2 + rnd.Intn(3)
+	letters := []byte{'A', 'B', 'C', 'D', 'E', 'F'}
+	tenants := make([]TenantConfig, n)
+	for i := range tenants {
+		tc := TenantConfig{
+			Name:     fmt.Sprintf("t%d", i),
+			Clients:  1 + rnd.Intn(4),
+			Ops:      200 + rnd.Intn(400),
+			Workload: YCSB(letters[rnd.Intn(len(letters))], 2_000),
+		}
+		if rnd.Intn(2) == 0 {
+			tc.ThinkTime = time.Duration(rnd.Intn(200)) * time.Microsecond
+		}
+		if rnd.Intn(3) > 0 { // 2/3 of tenants are rate-limited
+			tc.RatePerSec = float64(1_000 + rnd.Intn(50_000))
+			tc.Burst = 1 + rnd.Intn(16)
+			if rnd.Intn(2) == 0 {
+				tc.AdmissionDeadline = time.Duration(rnd.Intn(500)) * time.Microsecond
+			}
+		}
+		tenants[i] = tc
+	}
+	return tenants
+}
+
+// TestServiceModelInvariants runs randomized seeded scenarios against the
+// flat reference model and checks the tier's conservation laws:
+//
+//   - every tenant issues exactly its configured budget (per-client split),
+//   - issued == admitted + throttled,
+//   - per-kind admitted counts sum back to admitted,
+//   - no tenant is admitted above quota: admitted <= burst + window*rate,
+//   - backend ops match admitted op kinds exactly (conservation
+//     end-to-end: nothing lost, nothing duplicated, throttled requests
+//     never reach the backend).
+func TestServiceModelInvariants(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(int64(1000 + trial)))
+			tenants := randomTenants(rnd)
+			reports, db := runScenario(t, int64(42+trial), tenants)
+
+			var wantGets, wantPuts, wantScans int64
+			for i, r := range reports {
+				tc := tenants[i]
+				wantIssued := int64(tc.Ops/tc.Clients) * int64(tc.Clients)
+				if r.Issued != wantIssued {
+					t.Errorf("%s: issued %d, want %d", r.Tenant, r.Issued, wantIssued)
+				}
+				if r.Issued != r.Admitted+r.Throttled {
+					t.Errorf("%s: issued %d != admitted %d + throttled %d",
+						r.Tenant, r.Issued, r.Admitted, r.Throttled)
+				}
+				if sum := r.Reads + r.Updates + r.Inserts + r.Scans + r.RMWs; sum != r.Admitted {
+					t.Errorf("%s: op kinds sum %d != admitted %d", r.Tenant, sum, r.Admitted)
+				}
+				if tc.RatePerSec > 0 {
+					burst := tc.Burst
+					if burst < 1 {
+						burst = 1
+					}
+					// Admissions are scheduled inside [start, end]; the GCRA
+					// guarantees at most burst + window*rate admits in any
+					// window (+1 for the fencepost).
+					limit := int64(burst) + int64(r.Elapsed.Seconds()*tc.RatePerSec) + 1
+					if r.Admitted > limit {
+						t.Errorf("%s: admitted %d over quota limit %d (rate %.0f burst %d window %v)",
+							r.Tenant, r.Admitted, limit, tc.RatePerSec, burst, r.Elapsed)
+					}
+				} else if r.Throttled != 0 {
+					t.Errorf("%s: unlimited tenant throttled %d requests", r.Tenant, r.Throttled)
+				}
+				// Flat reference model of backend traffic per admitted kind.
+				wantGets += r.Reads + r.RMWs
+				wantPuts += r.Updates + r.Inserts + r.RMWs
+				wantScans += r.Scans
+			}
+			if got := db.gets.Load(); got != wantGets {
+				t.Errorf("backend gets %d, model wants %d", got, wantGets)
+			}
+			if got := db.puts.Load(); got != wantPuts {
+				t.Errorf("backend puts %d, model wants %d", got, wantPuts)
+			}
+			if got := db.scans.Load(); got != wantScans {
+				t.Errorf("backend scans %d, model wants %d", got, wantScans)
+			}
+		})
+	}
+}
+
+// TestThrottledRequestsNeverReachBackend pins the fail-fast path: a
+// 1-token, tiny-rate bucket with no deadline admits almost nothing, and
+// the backend sees exactly the admitted count.
+func TestThrottledRequestsNeverReachBackend(t *testing.T) {
+	tenants := []TenantConfig{{
+		Name:       "strangled",
+		Clients:    4,
+		Ops:        400,
+		RatePerSec: 1, // one token per virtual second
+		Burst:      1,
+		Workload:   YCSB('C', 1_000),
+	}}
+	reports, db := runScenario(t, 9, tenants)
+	r := reports[0]
+	if r.Throttled == 0 {
+		t.Fatal("expected heavy throttling")
+	}
+	if got := db.gets.Load(); got != r.Admitted {
+		t.Fatalf("backend saw %d gets, admitted %d — throttled requests leaked", got, r.Admitted)
+	}
+	if r.Admitted+r.Throttled != r.Issued {
+		t.Fatalf("conservation broken: %d + %d != %d", r.Admitted, r.Throttled, r.Issued)
+	}
+}
+
+// TestServiceDeterministic is the regression gate for satellite 3: two
+// runs of the same seeded multi-tenant scenario must produce
+// byte-identical SLO reports.
+func TestServiceDeterministic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(77))
+	tenants := randomTenants(rnd)
+	render := func() string {
+		reports, _ := runScenario(t, 123, tenants)
+		var buf bytes.Buffer
+		WriteReports(&buf, reports)
+		for _, r := range reports {
+			fmt.Fprintf(&buf, "%+v\n", r)
+		}
+		return buf.String()
+	}
+	a := render()
+	b := render()
+	if a != b {
+		t.Fatalf("seeded scenario not deterministic:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}

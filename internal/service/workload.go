@@ -1,0 +1,211 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind classifies one client request.
+type OpKind int
+
+// The request kinds the tier executes.
+const (
+	OpRead    OpKind = iota // point Get
+	OpUpdate                // Put over an existing key
+	OpInsert                // Put of a brand-new key
+	OpScan                  // bounded range scan from a start key
+	OpRMW                   // read-modify-write: Get then Put of the same key
+	OpScanAll               // one full-table scan (the readseq workload)
+	numOpKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpScan:
+		return "scan"
+	case OpRMW:
+		return "rmw"
+	case OpScanAll:
+		return "scanall"
+	}
+	return "unknown"
+}
+
+// Op is one generated request: a kind, the key index it targets, and for
+// scans the entry budget.
+type Op struct {
+	Kind    OpKind
+	Key     int
+	ScanLen int
+}
+
+// Mix is the operation mix of a workload; the fractions must sum to 1
+// (anything left over goes to reads).
+type Mix struct {
+	Read, Update, Insert, Scan, RMW float64
+}
+
+// Workload describes what one tenant's clients ask for. The generator is
+// purely a function of (seed, client index, op index): same seed, same
+// stream, regardless of how the ops interleave across tenants at runtime.
+type Workload struct {
+	Name string
+	Mix  Mix
+
+	// KeyRange is the number of preloaded keys; reads, updates and scan
+	// starts draw from [0, KeyRange) plus whatever this client inserted.
+	KeyRange int
+
+	// Zipf > 1 skews key choice with a Zipf(s) distribution whose ranks
+	// are scrambled across the key space (the same scheme the bench
+	// harness uses); <= 1 draws uniformly. The classic YCSB zipfian
+	// constant is 0.99, which math/rand's Zipf cannot express (it needs
+	// s > 1); the presets use 1.2 — a slightly hotter head — and say so.
+	Zipf float64
+
+	// Latest biases reads toward recently inserted keys (YCSB-D): the
+	// read key is the newest insert minus a Zipf-distributed age.
+	Latest bool
+
+	// MaxScanLen is the scan budget upper bound (YCSB-E draws uniformly
+	// from [1, MaxScanLen]).
+	MaxScanLen int
+
+	// ScanAll makes every op one full-table scan; the tier counts scanned
+	// entries (not scans) as throughput units, matching the direct
+	// harness's readseq accounting.
+	ScanAll bool
+}
+
+// YCSB returns the standard YCSB core workload w ('A'..'F') over keyRange
+// preloaded keys:
+//
+//	A  50% read / 50% update, zipf
+//	B  95% read /  5% update, zipf
+//	C 100% read,              zipf
+//	D  95% read /  5% insert, latest
+//	E  95% scan /  5% insert, zipf, scans up to 100 entries
+//	F  50% read / 50% read-modify-write, zipf
+func YCSB(w byte, keyRange int) Workload {
+	wl := Workload{Name: fmt.Sprintf("YCSB-%c", w), KeyRange: keyRange, Zipf: 1.2}
+	switch w {
+	case 'A', 'a':
+		wl.Mix = Mix{Read: 0.5, Update: 0.5}
+	case 'B', 'b':
+		wl.Mix = Mix{Read: 0.95, Update: 0.05}
+	case 'C', 'c':
+		wl.Mix = Mix{Read: 1.0}
+	case 'D', 'd':
+		wl.Mix = Mix{Read: 0.95, Insert: 0.05}
+		wl.Latest = true
+		wl.Zipf = 0 // recency bias comes from Latest, not key scrambling
+	case 'E', 'e':
+		wl.Mix = Mix{Scan: 0.95, Insert: 0.05}
+		wl.MaxScanLen = 100
+	case 'F', 'f':
+		wl.Mix = Mix{Read: 0.5, RMW: 0.5}
+	default:
+		panic(fmt.Sprintf("service: unknown YCSB workload %q", w))
+	}
+	return wl
+}
+
+// ReadSeq is the full-table-scan workload (the direct harness's readseq):
+// each client scans the whole database once.
+func ReadSeq(keyRange int) Workload {
+	return Workload{Name: "readseq", KeyRange: keyRange, ScanAll: true}
+}
+
+// gen generates one client's op stream. Inserted keys are allocated
+// disjointly across all clients of the run: client c (global index) takes
+// KeyRange + c + i*stride for its i-th insert, so no two clients ever
+// collide and the stream stays a pure function of the seed.
+type gen struct {
+	w        Workload
+	rnd      *rand.Rand
+	zipf     *rand.Zipf
+	latest   *rand.Zipf
+	base     int // global client index
+	stride   int // total clients in the run
+	inserted int
+}
+
+func newGen(w Workload, rnd *rand.Rand, clientIdx, totalClients int) *gen {
+	g := &gen{w: w, rnd: rnd, base: clientIdx, stride: totalClients}
+	if w.Zipf > 1 && w.KeyRange > 1 {
+		g.zipf = rand.NewZipf(rnd, w.Zipf, 1, uint64(w.KeyRange-1))
+	}
+	if w.Latest && w.KeyRange > 1 {
+		g.latest = rand.NewZipf(rnd, 1.2, 1, uint64(w.KeyRange-1))
+	}
+	return g
+}
+
+// next draws the i-th op of the stream.
+func (g *gen) next() Op {
+	if g.w.ScanAll {
+		return Op{Kind: OpScanAll}
+	}
+	m := g.w.Mix
+	f := g.rnd.Float64()
+	switch {
+	case f < m.Update:
+		return Op{Kind: OpUpdate, Key: g.pick()}
+	case f < m.Update+m.Insert:
+		k := g.w.KeyRange + g.base + g.inserted*g.stride
+		g.inserted++
+		return Op{Kind: OpInsert, Key: k}
+	case f < m.Update+m.Insert+m.Scan:
+		n := 1
+		if g.w.MaxScanLen > 1 {
+			n += g.rnd.Intn(g.w.MaxScanLen)
+		}
+		return Op{Kind: OpScan, Key: g.pick(), ScanLen: n}
+	case f < m.Update+m.Insert+m.Scan+m.RMW:
+		return Op{Kind: OpRMW, Key: g.pick()}
+	default:
+		return Op{Kind: OpRead, Key: g.pick()}
+	}
+}
+
+// pick draws a read/update/scan-start key index.
+func (g *gen) pick() int {
+	if g.latest != nil {
+		// Newest key this client knows about, aged by a Zipf draw.
+		newest := g.w.KeyRange - 1
+		if g.inserted > 0 {
+			newest = g.w.KeyRange + g.base + (g.inserted-1)*g.stride
+		}
+		k := newest - int(g.latest.Uint64())
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	if g.zipf != nil {
+		return int(scramble(g.zipf.Uint64()) % uint64(g.w.KeyRange))
+	}
+	if g.w.KeyRange <= 1 {
+		return 0
+	}
+	return g.rnd.Intn(g.w.KeyRange)
+}
+
+// scramble is splitmix64's finalizer: it spreads the dense Zipf ranks
+// 0,1,2,... over the whole key space so skew stresses caches and shards
+// uniformly (the same mapping internal/bench uses).
+func scramble(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// drawOps generates n ops from one seeded client stream.
+func drawOps(w Workload, seed int64, n int) []Op {
+	rnd := rand.New(rand.NewSource(seed))
+	g := newGen(w, rnd, 0, 4)
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = g.next()
+	}
+	return ops
+}
+
+func kindFractions(ops []Op) map[OpKind]float64 {
+	counts := map[OpKind]int{}
+	for _, op := range ops {
+		counts[op.Kind]++
+	}
+	out := map[OpKind]float64{}
+	for k, c := range counts {
+		out[k] = float64(c) / float64(len(ops))
+	}
+	return out
+}
+
+// TestYCSBMixRatios checks every preset hits its stated
+// read/update/insert/scan/RMW ratios within 1% over a long stream.
+func TestYCSBMixRatios(t *testing.T) {
+	const n = 200_000
+	const tol = 0.01
+	want := map[byte]map[OpKind]float64{
+		'A': {OpRead: 0.5, OpUpdate: 0.5},
+		'B': {OpRead: 0.95, OpUpdate: 0.05},
+		'C': {OpRead: 1.0},
+		'D': {OpRead: 0.95, OpInsert: 0.05},
+		'E': {OpScan: 0.95, OpInsert: 0.05},
+		'F': {OpRead: 0.5, OpRMW: 0.5},
+	}
+	for letter, mix := range want {
+		got := kindFractions(drawOps(YCSB(letter, 10_000), 42, n))
+		for k := OpKind(0); k < numOpKinds; k++ {
+			w := mix[k]
+			g := got[k]
+			if g < w-tol || g > w+tol {
+				t.Errorf("YCSB-%c %v fraction = %.4f, want %.2f±%.2f", letter, k, g, w, tol)
+			}
+		}
+	}
+}
+
+// TestSameSeedIdenticalStream pins the generator's determinism: the op
+// stream is a pure function of (workload, seed, client index).
+func TestSameSeedIdenticalStream(t *testing.T) {
+	for _, letter := range []byte{'A', 'B', 'C', 'D', 'E', 'F'} {
+		w := YCSB(letter, 5_000)
+		a := drawOps(w, 7, 10_000)
+		b := drawOps(w, 7, 10_000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("YCSB-%c op %d diverged: %+v vs %+v", letter, i, a[i], b[i])
+			}
+		}
+		c := drawOps(w, 8, 10_000)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("YCSB-%c: different seeds produced identical streams", letter)
+		}
+	}
+}
+
+// TestZipfSkewAndScramble: the zipf-scrambled key choice must be heavily
+// skewed (a hot head) yet spread across the key space rather than
+// clustered at low indexes.
+func TestZipfSkewAndScramble(t *testing.T) {
+	const keys = 10_000
+	ops := drawOps(YCSB('C', keys), 1, 200_000)
+	counts := map[int]int{}
+	for _, op := range ops {
+		counts[op.Key]++
+	}
+	hottest, hotKey := 0, 0
+	for k, c := range counts {
+		if c > hottest {
+			hottest, hotKey = c, k
+		}
+	}
+	// Uniform would give ~20 hits per key; the zipf head must dwarf that.
+	if hottest < 100*len(ops)/keys {
+		t.Errorf("hottest key drew %d of %d — not zipf-skewed", hottest, len(ops))
+	}
+	// The scramble must spread hot ranks over the space: the hottest key
+	// landing in the lowest 1% of the key space would suggest unscrambled
+	// dense ranks (rank 0 maps to key 0).
+	t.Logf("hottest key %d drew %d/%d", hotKey, hottest, len(ops))
+	quarters := [4]int{}
+	for k := range counts {
+		quarters[k*4/keys]++
+	}
+	for q, n := range quarters {
+		if n == 0 {
+			t.Errorf("key-space quarter %d never drawn — scramble not spreading", q)
+		}
+	}
+}
+
+// TestInsertKeysDisjointAcrossClients: concurrent clients must never
+// allocate the same insert key.
+func TestInsertKeysDisjointAcrossClients(t *testing.T) {
+	const clients = 4
+	w := YCSB('D', 1_000)
+	seen := map[int]int{}
+	for c := 0; c < clients; c++ {
+		rnd := rand.New(rand.NewSource(int64(c)))
+		g := newGen(w, rnd, c, clients)
+		for i := 0; i < 5_000; i++ {
+			op := g.next()
+			if op.Kind != OpInsert {
+				continue
+			}
+			if op.Key < w.KeyRange {
+				t.Fatalf("client %d inserted into the preloaded range: %d", c, op.Key)
+			}
+			if prev, dup := seen[op.Key]; dup {
+				t.Fatalf("clients %d and %d both inserted key %d", prev, c, op.Key)
+			}
+			seen[op.Key] = c
+		}
+	}
+}
+
+// TestLatestDistributionTargetsRecentInserts: YCSB-D reads must
+// concentrate near the newest inserted keys.
+func TestLatestDistributionTargetsRecentInserts(t *testing.T) {
+	w := YCSB('D', 10_000)
+	rnd := rand.New(rand.NewSource(3))
+	g := newGen(w, rnd, 0, 1)
+	recent := 0
+	reads := 0
+	var newest int
+	for i := 0; i < 100_000; i++ {
+		op := g.next()
+		switch op.Kind {
+		case OpInsert:
+			newest = op.Key
+		case OpRead:
+			reads++
+			// "Recent" = within 100 keys of the newest write this client
+			// knows about (or of the initial load frontier).
+			frontier := newest
+			if frontier == 0 {
+				frontier = w.KeyRange - 1
+			}
+			if op.Key > frontier-100 && op.Key <= frontier {
+				recent++
+			}
+		}
+	}
+	if frac := float64(recent) / float64(reads); frac < 0.5 {
+		t.Errorf("only %.1f%% of YCSB-D reads hit the 100 newest keys — latest bias missing", frac*100)
+	}
+}
+
+// TestScanLengthsBounded: YCSB-E scan budgets stay in [1, MaxScanLen].
+func TestScanLengthsBounded(t *testing.T) {
+	w := YCSB('E', 1_000)
+	for _, op := range drawOps(w, 11, 50_000) {
+		if op.Kind != OpScan {
+			continue
+		}
+		if op.ScanLen < 1 || op.ScanLen > w.MaxScanLen {
+			t.Fatalf("scan length %d outside [1,%d]", op.ScanLen, w.MaxScanLen)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestP999TailSeparation: a 0.1% tail far above the body must show up in
+// P999 while P99 stays in the body.
+func TestP999TailSeparation(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 9_989; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 11; i++ {
+		h.Observe(1_000_000)
+	}
+	s := h.Snapshot()
+	if s.P99 > 1_000 {
+		t.Errorf("p99 = %d, want body (~100)", s.P99)
+	}
+	if s.P999 < 100_000 {
+		t.Errorf("p999 = %d, want tail (~1e6)", s.P999)
+	}
+	if s.P999 < s.P99 || s.P99 < s.P50 {
+		t.Errorf("quantiles not monotone: p50=%d p99=%d p999=%d", s.P50, s.P99, s.P999)
+	}
+	if s.P999 > s.Max {
+		t.Errorf("p999 %d exceeds tracked max %d", s.P999, s.Max)
+	}
+}
+
+// TestQuantileEmptyHistogram: an untouched histogram reports zeros, never
+// panics or fabricates values.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.99, 0.999, 1.0} {
+		if v := s.Quantile(q); v != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+	if s.P50 != 0 || s.P99 != 0 || s.P999 != 0 || s.Max != 0 || s.Mean() != 0 {
+		t.Errorf("empty snapshot not all-zero: %+v", s)
+	}
+	// A snapshot decoded from JSON has no Buckets slice at all.
+	decoded := HistogramSnapshot{Count: 5, Max: 9}
+	if v := decoded.Quantile(0.5); v != 0 {
+		t.Errorf("bucketless Quantile = %d, want 0", v)
+	}
+}
+
+// TestQuantileSingleBucket: when every sample lands in one bucket, every
+// quantile collapses to that bucket's value, clamped to the exact max.
+func TestQuantileSingleBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1_000; i++ {
+		h.Observe(700) // bucket [512, 1024)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.001, 0.5, 0.99, 0.999, 1.0} {
+		if v := s.Quantile(q); v != 700 {
+			t.Errorf("single-bucket Quantile(%v) = %d, want clamp to max 700", q, v)
+		}
+	}
+}
+
+// TestQuantileSaturatingValues: samples at the int64 edge must land in the
+// last bucket and report without overflow.
+func TestQuantileSaturatingValues(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxInt64)
+	h.Observe(math.MaxInt64 - 1)
+	s := h.Snapshot()
+	if s.Max != math.MaxInt64 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	for _, q := range []float64{0.5, 0.999} {
+		if v := s.Quantile(q); v != math.MaxInt64 {
+			t.Errorf("saturating Quantile(%v) = %d", q, v)
+		}
+	}
+	// Negative and zero samples clamp into bucket 0.
+	var h2 Histogram
+	h2.Observe(-5)
+	h2.Observe(0)
+	s2 := h2.Snapshot()
+	if v := s2.Quantile(0.999); v != 0 {
+		t.Errorf("nonpositive samples: Quantile = %d, want 0", v)
+	}
+}
+
+// TestWriteTextIncludesP999: the human-readable dump carries the new
+// column.
+func TestWriteTextIncludesP999(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Histogram("svc.t.latency_ns").Observe(4096)
+	var buf bytes.Buffer
+	r.Snapshot().WriteText(&buf)
+	if !strings.Contains(buf.String(), "p999") {
+		t.Errorf("WriteText missing p999 column:\n%s", buf.String())
+	}
+}

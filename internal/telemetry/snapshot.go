@@ -19,6 +19,7 @@ type HistogramSnapshot struct {
 	P50   int64 `json:"p50"`
 	P95   int64 `json:"p95"`
 	P99   int64 `json:"p99"`
+	P999  int64 `json:"p999"`
 
 	Buckets []int64 `json:"-"`
 }
@@ -67,6 +68,7 @@ func (h *HistogramSnapshot) finalize() {
 	h.P50 = h.Quantile(0.50)
 	h.P95 = h.Quantile(0.95)
 	h.P99 = h.Quantile(0.99)
+	h.P999 = h.Quantile(0.999)
 }
 
 // Mean returns the average sample (0 when empty).
@@ -148,11 +150,11 @@ func (s Snapshot) WriteText(w io.Writer) {
 		}
 	}
 	if len(s.Histograms) > 0 {
-		fmt.Fprintln(tw, "  histograms:\tcount\tmean\tp50\tp95\tp99\tmax")
+		fmt.Fprintln(tw, "  histograms:\tcount\tmean\tp50\tp95\tp99\tp999\tmax")
 		for _, name := range sortedKeys(s.Histograms) {
 			h := s.Histograms[name]
-			fmt.Fprintf(tw, "    %s\t%d\t%d\t%d\t%d\t%d\t%d\n",
-				name, h.Count, h.Mean(), h.P50, h.P95, h.P99, h.Max)
+			fmt.Fprintf(tw, "    %s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				name, h.Count, h.Mean(), h.P50, h.P95, h.P99, h.P999, h.Max)
 		}
 	}
 	tw.Flush()

@@ -1,0 +1,92 @@
+package dlsm
+
+import (
+	"io"
+
+	"dlsm/internal/service"
+	"dlsm/internal/telemetry"
+)
+
+// Service-tier re-exports: a simulated front-end over a DB — client
+// entities per tenant with think time, per-tenant token-bucket admission
+// control (ErrThrottled / queue-to-deadline), and SLO reports
+// (p50/p95/p99/p999) from virtual-clock latencies. See internal/service.
+type (
+	// ServiceConfig describes one service-tier run (seed, key/value
+	// formatters, tenants).
+	ServiceConfig = service.Config
+	// TenantConfig describes one tenant: clients, ops, think time,
+	// rate limit, admission deadline, workload.
+	TenantConfig = service.TenantConfig
+	// Workload is a tenant's operation mix; build with YCSBWorkload or
+	// ReadSeqWorkload, or fill the struct directly.
+	Workload = service.Workload
+	// ServiceReport is one tenant's SLO summary.
+	ServiceReport = service.Report
+)
+
+// ErrThrottled is returned inside the service tier when a tenant's
+// admission controller rejects a request (the request consumes no quota).
+var ErrThrottled = service.ErrThrottled
+
+// YCSBWorkload returns YCSB core workload w ('A'..'F') over keyRange
+// preloaded keys.
+func YCSBWorkload(w byte, keyRange int) Workload { return service.YCSB(w, keyRange) }
+
+// ReadSeqWorkload is the full-table-scan workload: each client scans the
+// whole database once, with entries (not scans) as throughput units.
+func ReadSeqWorkload(keyRange int) Workload { return service.ReadSeq(keyRange) }
+
+// WriteServiceReports renders per-tenant SLO rows as an aligned table.
+func WriteServiceReports(w io.Writer, reports []ServiceReport) {
+	service.WriteReports(w, reports)
+}
+
+// ServiceTier is a front-end tier bound to a deployment and a DB.
+type ServiceTier struct {
+	inner *service.Tier
+}
+
+// NewService builds a service tier driving db on d's simulation
+// environment. Spawn and drain the tenants with Run (inside d.Run).
+func NewService(d *Deployment, db *DB, cfg ServiceConfig) *ServiceTier {
+	return &ServiceTier{inner: service.New(d.Env, tierDB{db}, cfg)}
+}
+
+// Run spawns every tenant's client entities, waits for them to drain
+// their request budgets, and returns one SLO report per tenant.
+func (t *ServiceTier) Run() []ServiceReport { return t.inner.Run() }
+
+// TelemetrySnapshot returns the tier's svc.* metrics (per-tenant latency
+// and admission histograms, issue/admit/throttle counters).
+func (t *ServiceTier) TelemetrySnapshot() telemetry.Snapshot {
+	return t.inner.TelemetrySnapshot()
+}
+
+// tierDB adapts the facade DB to the service tier's backend interface.
+type tierDB struct{ db *DB }
+
+func (d tierDB) NewSession() service.Session { return tierSession{s: d.db.NewSession()} }
+
+type tierSession struct{ s *Session }
+
+func (s tierSession) Put(k, v []byte) error { return s.s.Put(k, v) }
+
+func (s tierSession) Get(k []byte) ([]byte, error) { return s.s.Get(k) }
+
+func (s tierSession) Scan(start []byte, fn func(k, v []byte) bool) {
+	it := s.s.NewIterator()
+	defer it.Close()
+	if start == nil {
+		it.First()
+	} else {
+		it.SeekGE(start)
+	}
+	for ; it.Valid(); it.Next() {
+		if !fn(it.Key(), it.Value()) {
+			return
+		}
+	}
+}
+
+func (s tierSession) Close() { s.s.Close() }
